@@ -1,0 +1,262 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw software cost of the
+ * building blocks (lookup strategies, tag transforms, cache model,
+ * trace generation). These measure the *simulator*, not the
+ * hardware schemes — they guard the repository's own performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/mru_lookup.h"
+#include "core/partial_lookup.h"
+#include "core/scheme.h"
+#include "core/transform.h"
+#include "mem/hierarchy.h"
+#include "trace/atum_like.h"
+#include "util/rng.h"
+
+using namespace assoc;
+
+namespace {
+
+/** Random set fixture shared by the lookup benchmarks. */
+struct BenchSet
+{
+    std::vector<std::uint32_t> tags;
+    std::vector<std::uint8_t> valid;
+    std::vector<std::uint8_t> order;
+    std::uint32_t incoming;
+
+    explicit BenchSet(unsigned a, Pcg32 &rng)
+        : tags(a), valid(a, 1), order(a)
+    {
+        for (unsigned w = 0; w < a; ++w) {
+            tags[w] = rng.next() & 0xffff;
+            order[w] = static_cast<std::uint8_t>(w);
+        }
+        incoming = rng.chance(0.8) ? tags[rng.below(a)]
+                                   : (rng.next() & 0xffff);
+    }
+
+    core::LookupInput
+    input() const
+    {
+        core::LookupInput in;
+        in.assoc = static_cast<unsigned>(tags.size());
+        in.stored_tags = tags.data();
+        in.valid = valid.data();
+        in.mru_order = order.data();
+        in.incoming_tag = incoming;
+        return in;
+    }
+};
+
+void
+runLookup(benchmark::State &state, const core::LookupStrategy &strat)
+{
+    const unsigned a = static_cast<unsigned>(state.range(0));
+    Pcg32 rng(1234);
+    std::vector<BenchSet> sets;
+    for (int i = 0; i < 256; ++i)
+        sets.emplace_back(a, rng);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        core::LookupResult r = strat.lookup(sets[i & 255].input());
+        benchmark::DoNotOptimize(r);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TraditionalLookup(benchmark::State &state)
+{
+    runLookup(state, core::TraditionalLookup{});
+}
+
+void
+BM_NaiveLookup(benchmark::State &state)
+{
+    runLookup(state, core::NaiveLookup{});
+}
+
+void
+BM_MruLookup(benchmark::State &state)
+{
+    runLookup(state, core::MruLookup{});
+}
+
+void
+BM_PartialLookup(benchmark::State &state)
+{
+    core::SchemeSpec spec = core::SchemeSpec::paperPartial(
+        static_cast<unsigned>(state.range(0)));
+    core::PartialConfig cfg;
+    cfg.tag_bits = spec.tag_bits;
+    cfg.field_bits = spec.partial_k;
+    cfg.subsets = spec.partial_subsets;
+    cfg.transform = spec.transform;
+    core::PartialLookup pl(cfg);
+    runLookup(state, pl);
+}
+
+BENCHMARK(BM_TraditionalLookup)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_NaiveLookup)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_MruLookup)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_PartialLookup)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_Transform(benchmark::State &state, core::TransformKind kind)
+{
+    auto xf = core::TagTransform::make(kind, 16, 4);
+    Pcg32 rng(7);
+    std::uint32_t tag = rng.next() & 0xffff;
+    for (auto _ : state) {
+        tag = xf->apply(tag ^ 1, 0);
+        benchmark::DoNotOptimize(tag);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TransformXor(benchmark::State &state)
+{
+    BM_Transform(state, core::TransformKind::XorLow);
+}
+
+void
+BM_TransformImproved(benchmark::State &state)
+{
+    BM_Transform(state, core::TransformKind::Improved);
+}
+
+void
+BM_TransformSwap(benchmark::State &state)
+{
+    BM_Transform(state, core::TransformKind::Swap);
+}
+
+BENCHMARK(BM_TransformXor);
+BENCHMARK(BM_TransformImproved);
+BENCHMARK(BM_TransformSwap);
+
+void
+BM_CacheFindWay(benchmark::State &state)
+{
+    mem::WriteBackCache cache(
+        mem::CacheGeometry(262144, 32, static_cast<std::uint32_t>(
+                                           state.range(0))));
+    Pcg32 rng(5);
+    std::vector<mem::BlockAddr> blocks;
+    for (int i = 0; i < 4096; ++i) {
+        mem::BlockAddr b = rng.next() & 0xffff;
+        if (cache.findWay(b) < 0)
+            cache.fill(b, false);
+        blocks.push_back(b);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.findWay(blocks[i & 4095]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_CacheFindWay)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_CacheFillEvict(benchmark::State &state)
+{
+    mem::WriteBackCache cache(mem::CacheGeometry(65536, 32, 4));
+    Pcg32 rng(6);
+    for (auto _ : state) {
+        mem::BlockAddr b = rng.next() & 0xfffff;
+        int way = cache.findWay(b);
+        if (way >= 0)
+            cache.touch(cache.geom().setOf(b), way);
+        else
+            benchmark::DoNotOptimize(cache.fill(b, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_CacheFillEvict);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    trace::AtumLikeConfig cfg;
+    cfg.segments = 1;
+    cfg.refs_per_segment = 100000;
+    trace::AtumLikeGenerator gen(cfg);
+    trace::MemRef r;
+    for (auto _ : state) {
+        if (!gen.next(r))
+            gen.reset();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_HierarchySimulation(benchmark::State &state)
+{
+    trace::AtumLikeConfig cfg;
+    cfg.segments = 1;
+    cfg.refs_per_segment = 100000;
+    trace::AtumLikeGenerator gen(cfg);
+    mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
+                              mem::CacheGeometry(262144, 32, 4),
+                              true};
+    mem::TwoLevelHierarchy hier(hcfg);
+    trace::MemRef r;
+    for (auto _ : state) {
+        if (!gen.next(r))
+            gen.reset();
+        hier.access(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_HierarchySimulation);
+
+void
+BM_HierarchyWithMeters(benchmark::State &state)
+{
+    trace::AtumLikeConfig cfg;
+    cfg.segments = 1;
+    cfg.refs_per_segment = 100000;
+    trace::AtumLikeGenerator gen(cfg);
+    mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
+                              mem::CacheGeometry(262144, 32, 4),
+                              true};
+    mem::TwoLevelHierarchy hier(hcfg);
+    std::vector<std::unique_ptr<core::ProbeMeter>> meters;
+    core::SchemeSpec naive, mru;
+    naive.kind = core::SchemeKind::Naive;
+    mru.kind = core::SchemeKind::Mru;
+    for (const core::SchemeSpec &s :
+         {naive, mru, core::SchemeSpec::paperPartial(4)}) {
+        meters.push_back(s.makeMeter());
+        hier.addObserver(meters.back().get());
+    }
+    trace::MemRef r;
+    for (auto _ : state) {
+        if (!gen.next(r))
+            gen.reset();
+        hier.access(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_HierarchyWithMeters);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#include "support.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace bench {
+
+void
+addCommonFlags(ArgParser &parser)
+{
+    parser.addFlag("segments", "23",
+                   "ATUM-like sub-traces to simulate (23 = the "
+                   "paper's full concatenated trace)");
+    parser.addFlag("seed", "0",
+                   "trace generator seed (0 = built-in default)");
+    parser.addFlag("output", "text",
+                   "table format: text, csv or markdown");
+}
+
+CommonArgs
+readCommonFlags(const ArgParser &parser)
+{
+    CommonArgs args;
+    args.segments = static_cast<unsigned>(parser.getUint("segments"));
+    fatalIf(args.segments == 0, "--segments must be positive");
+    args.seed = parser.getUint("seed");
+    std::string fmt = parser.getString("output");
+    if (fmt == "text") {
+        args.format = TextTable::Format::Text;
+    } else if (fmt == "csv") {
+        args.format = TextTable::Format::Csv;
+    } else if (fmt == "markdown" || fmt == "md") {
+        args.format = TextTable::Format::Markdown;
+    } else {
+        fatal("unknown --output format '" + fmt + "'");
+    }
+    return args;
+}
+
+trace::AtumLikeConfig
+traceConfig(const CommonArgs &args)
+{
+    trace::AtumLikeConfig cfg;
+    cfg.segments = args.segments;
+    if (args.seed != 0)
+        cfg.seed = args.seed;
+    return cfg;
+}
+
+} // namespace bench
+} // namespace assoc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses: common command-line
+ * flags (trace length, seed, output format) on top of the library's
+ * experiment runner (sim/runner.h).
+ *
+ * Every bench binary regenerates one table or figure of the paper;
+ * see DESIGN.md section 5 for the experiment index.
+ */
+
+#ifndef ASSOC_BENCH_SUPPORT_H
+#define ASSOC_BENCH_SUPPORT_H
+
+#include "sim/runner.h"
+#include "trace/atum_like.h"
+#include "util/argparse.h"
+#include "util/table.h"
+
+namespace assoc {
+namespace bench {
+
+// The runner API, re-exported under the bench namespace.
+using sim::cacheName;
+using sim::RunOutput;
+using sim::RunSpec;
+using sim::runTrace;
+using sim::Table4Config;
+using sim::table4Configs;
+
+/** Flags shared by every bench binary. */
+struct CommonArgs
+{
+    unsigned segments = 23;     ///< ATUM-like sub-traces to run
+    std::uint64_t seed = 0;     ///< 0 = the generator's default
+    TextTable::Format format = TextTable::Format::Text;
+};
+
+/** Register the shared flags on @p parser. */
+void addCommonFlags(ArgParser &parser);
+
+/** Extract the shared flags after parsing. */
+CommonArgs readCommonFlags(const ArgParser &parser);
+
+/** Trace configuration implied by the shared flags. */
+trace::AtumLikeConfig traceConfig(const CommonArgs &args);
+
+} // namespace bench
+} // namespace assoc
+
+#endif // ASSOC_BENCH_SUPPORT_H

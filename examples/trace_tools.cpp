@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace utility: generate, convert, and inspect trace files.
+ *
+ * Subcommands (first positional argument):
+ *   generate <out>   write the ATUM-like trace to a file
+ *                    (.din = ASCII Dinero, anything else = binary)
+ *   convert <in> <out>  convert between the two formats
+ *   stats <in>       print reference mix / footprint statistics
+ *                    (--per-segment for one row per sub-trace)
+ *   simulate <in>    run the file through the paper's default
+ *                    hierarchy and print miss ratios
+ *
+ *   $ ./trace_tools generate /tmp/atum.bin --segments=2
+ *   $ ./trace_tools convert /tmp/atum.bin /tmp/atum.din
+ *   $ ./trace_tools stats /tmp/atum.din --per-segment
+ *   $ ./trace_tools simulate /tmp/atum.bin
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "sim/runner.h"
+#include "trace/atum_like.h"
+#include "trace/bin_io.h"
+#include "trace/din_io.h"
+#include "trace/trace_stats.h"
+#include "util/argparse.h"
+#include "util/table.h"
+
+using namespace assoc;
+using namespace assoc::trace;
+
+namespace {
+
+bool
+isDin(const std::string &path)
+{
+    return path.size() >= 4 &&
+           path.compare(path.size() - 4, 4, ".din") == 0;
+}
+
+std::unique_ptr<TraceSource>
+openTrace(const std::string &path)
+{
+    if (isDin(path))
+        return std::make_unique<DinTraceSource>(path);
+    return std::make_unique<BinTraceSource>(path);
+}
+
+void
+writeTrace(TraceSource &src, const std::string &path)
+{
+    if (isDin(path))
+        writeDin(src, path);
+    else
+        writeBin(src, path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser parser("trace_tools",
+                     "generate / convert / inspect trace files");
+    parser.addFlag("segments", "2", "segments when generating");
+    parser.addFlag("seed", "0", "generator seed (0 = default)");
+    parser.addFlag("block", "32", "footprint block size for stats");
+    parser.addSwitch("per-segment",
+                     "stats: one row per flush-delimited segment");
+    if (!parser.parse(argc, argv))
+        return 0;
+    try {
+        const auto &pos = parser.positional();
+        fatalIf(pos.empty(),
+                "usage: trace_tools generate|convert|stats <files>");
+        const std::string &cmd = pos[0];
+
+        if (cmd == "generate") {
+            fatalIf(pos.size() != 2,
+                    "usage: trace_tools generate <out>");
+            AtumLikeConfig cfg;
+            cfg.segments =
+                static_cast<unsigned>(parser.getUint("segments"));
+            if (parser.getUint("seed") != 0)
+                cfg.seed = parser.getUint("seed");
+            AtumLikeGenerator gen(cfg);
+            writeTrace(gen, pos[1]);
+            std::printf("wrote %llu references to %s\n",
+                        static_cast<unsigned long long>(
+                            gen.totalRefs()),
+                        pos[1].c_str());
+        } else if (cmd == "convert") {
+            fatalIf(pos.size() != 3,
+                    "usage: trace_tools convert <in> <out>");
+            auto in = openTrace(pos[1]);
+            writeTrace(*in, pos[2]);
+            std::printf("converted %s -> %s\n", pos[1].c_str(),
+                        pos[2].c_str());
+        } else if (cmd == "stats") {
+            fatalIf(pos.size() != 2,
+                    "usage: trace_tools stats <in>");
+            auto in = openTrace(pos[1]);
+            unsigned block =
+                static_cast<unsigned>(parser.getUint("block"));
+            if (parser.getBool("per-segment")) {
+                std::vector<TraceStats> segs =
+                    collectSegmentStats(*in, block);
+                TextTable t;
+                t.setHeader({"Segment", "Refs", "Read%", "Write%",
+                             "Ifetch%", "Footprint(KB)"});
+                for (std::size_t i = 0; i < segs.size(); ++i) {
+                    const TraceStats &s = segs[i];
+                    t.addRow(
+                        {std::to_string(i),
+                         TextTable::num(s.refs),
+                         TextTable::num(100 * s.readFraction(), 1),
+                         TextTable::num(100 * s.writeFraction(), 1),
+                         TextTable::num(100 * s.ifetchFraction(), 1),
+                         TextTable::num(s.footprintBytes() / 1024)});
+                }
+                t.print(std::cout);
+            } else {
+                TraceStats stats = collectStats(*in, block);
+                stats.print(std::cout);
+            }
+        } else if (cmd == "simulate") {
+            fatalIf(pos.size() != 2,
+                    "usage: trace_tools simulate <in>");
+            auto in = openTrace(pos[1]);
+            sim::RunSpec spec; // the paper's Figure 3 hierarchy
+            core::SchemeSpec naive, mru;
+            naive.kind = core::SchemeKind::Naive;
+            mru.kind = core::SchemeKind::Mru;
+            spec.schemes = {naive, mru,
+                            core::SchemeSpec::paperPartial(
+                                spec.hier.l2.assoc())};
+            sim::RunOutput out = sim::runTrace(*in, spec);
+            std::printf("L1 %s  L2 %s\n",
+                        spec.hier.l1.name().c_str(),
+                        spec.hier.l2.name().c_str());
+            std::printf("L1 miss ratio %.4f | local %.4f | global "
+                        "%.4f | wb fraction %.4f\n\n",
+                        out.stats.l1MissRatio(),
+                        out.stats.localMissRatio(),
+                        out.stats.globalMissRatio(),
+                        out.stats.writeBackFraction());
+            TextTable t;
+            t.setHeader({"Scheme", "Hits", "Misses", "Total"});
+            for (std::size_t i = 0; i < out.names.size(); ++i) {
+                t.addRow(
+                    {out.names[i],
+                     TextTable::num(out.probes[i].read_in_hits.mean(),
+                                    2),
+                     TextTable::num(
+                         out.probes[i].read_in_misses.mean(), 2),
+                     TextTable::num(out.probes[i].totalMean(), 2)});
+            }
+            t.print(std::cout);
+        } else {
+            fatal("unknown subcommand '" + cmd + "'");
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hash-rehash shadow cache: the alternative footnote 2 of the paper
+ * points at ("Agarwal's hash-rehash cache [Agar87] can be superior
+ * to MRU in this 2-way case").
+ *
+ * A hash-rehash cache is a direct-mapped array probed twice: first
+ * at the primary index, then — on a primary miss — at a *rehash*
+ * index (here: the primary index with its top bit flipped). A
+ * rehash hit swaps the two blocks so the winner sits at its primary
+ * index next time; a miss fills the primary slot and demotes its
+ * previous occupant to the rehash slot. Costs: 1 probe for a
+ * primary hit, 2 for a rehash hit, 2 for a miss — plus the block
+ * swaps, which this model counts.
+ *
+ * Unlike the LookupStrategy observers, hash-rehash is a different
+ * *organization* with its own miss ratio, so it runs as a shadow
+ * cache fed by the level-two request stream: attach it as an
+ * L2Observer and it simulates the alternative level two on exactly
+ * the same requests. Compare against a 2-way set-associative cache
+ * of the same capacity under SwapMRU (bench_ablation).
+ */
+
+#ifndef ASSOC_CORE_HASH_REHASH_H
+#define ASSOC_CORE_HASH_REHASH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/hierarchy.h"
+#include "util/stats.h"
+
+namespace assoc {
+namespace core {
+
+/** Shadow hash-rehash cache driven by level-two requests. */
+class HashRehashShadow : public mem::L2Observer
+{
+  public:
+    /**
+     * @param frames total block frames (power of two); use the
+     *        level-two frame count for an equal-capacity
+     *        comparison.
+     */
+    explicit HashRehashShadow(std::uint32_t frames);
+
+    void observe(const mem::L2AccessView &view) override;
+    void onFlush() override;
+
+    // --- results ---
+    /** Mean probes over read-ins that hit this shadow cache. */
+    const MeanAccum &hitProbes() const { return hit_probes_; }
+    /** Mean probes over read-ins that miss. */
+    const MeanAccum &missProbes() const { return miss_probes_; }
+    /** Shadow-cache hit ratio over read-ins. */
+    const RatioAccum &hits() const { return hits_; }
+    /** Rehash-hit fraction of all hits (each costs a swap). */
+    double rehashFraction() const;
+    /** Total block swaps performed (rehash promotions + miss
+     *  demotions). */
+    std::uint64_t swaps() const { return swaps_; }
+    /** Mean probes over all read-ins. */
+    double totalProbes() const;
+
+  private:
+    std::uint32_t primaryIndex(mem::BlockAddr block) const;
+    std::uint32_t rehashIndex(std::uint32_t primary) const;
+
+    struct Frame
+    {
+        mem::BlockAddr block = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t frames_;
+    unsigned index_bits_;
+    std::vector<Frame> array_;
+
+    MeanAccum hit_probes_;
+    MeanAccum miss_probes_;
+    RatioAccum hits_;
+    std::uint64_t rehash_hits_ = 0;
+    std::uint64_t swaps_ = 0;
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_HASH_REHASH_H

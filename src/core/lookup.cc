@@ -1,0 +1,39 @@
+#include "core/lookup.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+LookupResult
+TraditionalLookup::lookup(const LookupInput &in) const
+{
+    LookupResult res;
+    res.probes = 1;
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            break;
+        }
+    }
+    return res;
+}
+
+LookupResult
+NaiveLookup::lookup(const LookupInput &in) const
+{
+    LookupResult res;
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        ++res.probes;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+    return res; // miss: all a tags were examined
+}
+
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The lookup-strategy interface: how a set-associative cache
+ * implementation searches the stored tags of one set, and what it
+ * costs in *probes* (tag-memory read + compare, the paper's cost
+ * unit).
+ *
+ * A strategy is a pure function of the set's pre-access state: it
+ * declares hit/miss itself from t-bit tag compares (as the hardware
+ * would), so tag-width truncation effects are faithfully modeled.
+ */
+
+#ifndef ASSOC_CORE_LOOKUP_H
+#define ASSOC_CORE_LOOKUP_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace assoc {
+namespace core {
+
+/** Pre-access snapshot of one set, with t-bit sliced tags. */
+struct LookupInput
+{
+    unsigned assoc = 0;                     ///< number of ways
+    const std::uint32_t *stored_tags = nullptr; ///< t-bit tag per way
+    const std::uint8_t *valid = nullptr;        ///< 0/1 per way
+    /** Way indices from most- to least-recently used. */
+    const std::uint8_t *mru_order = nullptr;
+    std::uint32_t incoming_tag = 0;         ///< t-bit incoming tag
+};
+
+/** What a lookup concluded and what it cost. */
+struct LookupResult
+{
+    bool hit = false;
+    int way = -1;        ///< matching way (valid when hit)
+    unsigned probes = 0; ///< tag-memory probes consumed
+};
+
+/** Abstract search strategy over one set. */
+class LookupStrategy
+{
+  public:
+    virtual ~LookupStrategy() = default;
+
+    /** Search the set; count probes. */
+    virtual LookupResult lookup(const LookupInput &in) const = 0;
+
+    /** Display name ("Traditional", "Naive", "MRU", "Partial"). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * The traditional implementation (Figure 1a): all a tags are read
+ * and compared in parallel — always exactly one probe.
+ */
+class TraditionalLookup : public LookupStrategy
+{
+  public:
+    LookupResult lookup(const LookupInput &in) const override;
+    std::string name() const override { return "Traditional"; }
+};
+
+/**
+ * The naive serial implementation (Figure 1b): scan stored tags in
+ * physical way order until a match or exhaustion.
+ */
+class NaiveLookup : public LookupStrategy
+{
+  public:
+    LookupResult lookup(const LookupInput &in) const override;
+    std::string name() const override { return "Naive"; }
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_LOOKUP_H

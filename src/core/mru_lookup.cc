@@ -1,0 +1,60 @@
+#include "core/mru_lookup.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+std::string
+MruLookup::name() const
+{
+    if (list_len_ == 0)
+        return "MRU";
+    return "MRU-" + std::to_string(list_len_);
+}
+
+LookupResult
+MruLookup::lookup(const LookupInput &in) const
+{
+    panicIf(in.assoc > 64, "MruLookup supports associativity <= 64");
+    LookupResult res;
+    // One probe-equivalent to read the MRU ordering information
+    // before any tag can be examined (Section 2.1).
+    res.probes = 1;
+
+    unsigned list_len = list_len_ == 0 ? in.assoc
+                                       : std::min(list_len_, in.assoc);
+
+    // Track which ways the list portion already examined. assoc is
+    // <= 255 so a small bitmap suffices.
+    std::uint64_t searched = 0;
+
+    for (unsigned i = 0; i < list_len; ++i) {
+        unsigned w = in.mru_order[i];
+        ++res.probes;
+        searched |= std::uint64_t{1} << w;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+
+    // Remaining ways in arbitrary order (ascending way index).
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        if (searched & (std::uint64_t{1} << w))
+            continue;
+        ++res.probes;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+    return res; // miss: 1 + a probes in total
+}
+
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The MRU serial lookup (Section 2.1, Figure 2a): read the per-set
+ * recency list (one probe), then scan stored tags from most- to
+ * least-recently used.
+ *
+ * With a *reduced* list of L < a entries (Figure 5), only the L
+ * most-recent positions are known; the remaining ways are scanned
+ * afterwards in an arbitrary (here: ascending way-index) order.
+ */
+
+#ifndef ASSOC_CORE_MRU_LOOKUP_H
+#define ASSOC_CORE_MRU_LOOKUP_H
+
+#include "core/lookup.h"
+
+namespace assoc {
+namespace core {
+
+class MruLookup : public LookupStrategy
+{
+  public:
+    /**
+     * @param list_len entries in the MRU list; 0 means a full list
+     *        (as long as the associativity).
+     */
+    explicit MruLookup(unsigned list_len = 0) : list_len_(list_len) {}
+
+    LookupResult lookup(const LookupInput &in) const override;
+
+    std::string name() const override;
+
+    unsigned listLen() const { return list_len_; }
+
+  private:
+    unsigned list_len_;
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_MRU_LOOKUP_H

@@ -1,0 +1,70 @@
+#include "core/partial_lookup.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+PartialLookup::PartialLookup(const PartialConfig &cfg)
+    : cfg_(cfg),
+      xform_(TagTransform::make(cfg.transform, cfg.tag_bits,
+                                cfg.field_bits))
+{
+    fatalIf(cfg_.subsets == 0, "partial compare needs >= 1 subset");
+}
+
+std::string
+PartialLookup::name() const
+{
+    std::string n = "Partial(k=" + std::to_string(cfg_.field_bits) +
+                    ",s=" + std::to_string(cfg_.subsets) + "," +
+                    xform_->name() + ")";
+    return n;
+}
+
+LookupResult
+PartialLookup::lookup(const LookupInput &in) const
+{
+    const unsigned a = in.assoc;
+    const unsigned s = cfg_.subsets;
+    fatalIf(s > a || a % s != 0,
+            "subset count must divide the associativity");
+    const unsigned g = a / s; // ways per subset
+    fatalIf(g * cfg_.field_bits > cfg_.tag_bits,
+            "k * (a/s) exceeds the tag width " +
+                std::to_string(cfg_.tag_bits));
+
+    LookupResult res;
+
+    for (unsigned sub = 0; sub < s; ++sub) {
+        // Step 1: one probe partially compares all g ways of this
+        // subset, each through its own k-bit collection.
+        ++res.probes;
+
+        // Collect partial matches, then step 2: full compares in
+        // collection order.
+        for (unsigned l = 0; l < g; ++l) {
+            unsigned w = sub * g + l;
+            if (!in.valid[w])
+                continue;
+            std::uint32_t stored = xform_->apply(in.stored_tags[w], l);
+            std::uint32_t incoming = xform_->apply(in.incoming_tag, l);
+            // g*k <= t guarantees l < nfields, so collection l
+            // always reads a complete field.
+            if (xform_->field(stored, l) != xform_->field(incoming, l))
+                continue; // filtered out by the partial compare
+
+            // Step 2 probe: full-width compare of this way.
+            ++res.probes;
+            if (stored == incoming) {
+                res.hit = true;
+                res.way = static_cast<int>(w);
+                return res;
+            }
+        }
+    }
+    return res; // miss: s step-1 probes + one per false match
+}
+
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,128 @@
+#include "core/probe_meter.h"
+
+#include "core/tagbits.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+double
+ProbeStats::hitsMean() const
+{
+    MeanAccum m = read_in_hits;
+    m.merge(write_backs);
+    return m.mean();
+}
+
+double
+ProbeStats::readInMean() const
+{
+    MeanAccum m = read_in_hits;
+    m.merge(read_in_misses);
+    return m.mean();
+}
+
+double
+ProbeStats::totalMean() const
+{
+    MeanAccum m = read_in_hits;
+    m.merge(read_in_misses);
+    m.merge(write_backs);
+    return m.mean();
+}
+
+void
+ProbeStats::reset()
+{
+    read_in_hits.reset();
+    read_in_misses.reset();
+    write_backs.reset();
+    alias_hits = 0;
+    alias_wrong_way = 0;
+}
+
+ProbeMeter::ProbeMeter(std::unique_ptr<LookupStrategy> strategy,
+                       const MeterConfig &cfg)
+    : strategy_(std::move(strategy)), cfg_(cfg)
+{
+    panicIf(!strategy_, "ProbeMeter: null strategy");
+}
+
+void
+ProbeMeter::observe(const mem::L2AccessView &view)
+{
+    const mem::WriteBackCache &cache = *view.cache;
+    const unsigned a = cache.geom().assoc();
+
+    if (view.type == mem::L2ReqType::WriteBack && cfg_.wb_optimization) {
+        // The level-one cache knows the way: zero probes; counted
+        // as a hit reference in the averages (Table 4 caption).
+        stats_.write_backs.record(0.0);
+        return;
+    }
+
+    tags_.resize(a);
+    valid_.resize(a);
+    for (unsigned w = 0; w < a; ++w) {
+        const mem::Line &l = cache.line(view.set, static_cast<int>(w));
+        valid_[w] = l.valid ? 1 : 0;
+        tags_[w] = sliceTag(cache.geom().fullTagOf(l.block),
+                            cfg_.tag_bits);
+    }
+
+    LookupInput in;
+    in.assoc = a;
+    in.stored_tags = tags_.data();
+    in.valid = valid_.data();
+    in.mru_order = cache.mruOrder(view.set).data();
+    in.incoming_tag = sliceTag(view.full_tag, cfg_.tag_bits);
+
+    LookupResult res = strategy_->lookup(in);
+
+    // Cross-check against the simulator's full-tag ground truth.
+    bool true_hit = view.hit_way >= 0;
+    if (res.hit && !true_hit)
+        ++stats_.alias_hits;
+    else if (res.hit && res.way != view.hit_way)
+        ++stats_.alias_wrong_way;
+    panicIf(true_hit && !res.hit,
+            "scheme missed a block the simulator holds");
+
+    double probes = static_cast<double>(res.probes);
+    if (view.type == mem::L2ReqType::WriteBack) {
+        stats_.write_backs.record(probes);
+    } else if (true_hit) {
+        stats_.read_in_hits.record(probes);
+    } else {
+        stats_.read_in_misses.record(probes);
+    }
+}
+
+MruDistanceMeter::MruDistanceMeter(unsigned assoc)
+    : hist_(assoc + 1)
+{
+}
+
+void
+MruDistanceMeter::observe(const mem::L2AccessView &view)
+{
+    if (view.type != mem::L2ReqType::ReadIn || view.hit_way < 0)
+        return;
+    const auto &order = view.cache->mruOrder(view.set);
+    for (unsigned i = 0; i < order.size(); ++i) {
+        if (order[i] == static_cast<std::uint8_t>(view.hit_way)) {
+            hist_.record(i + 1); // distance is 1-based
+            return;
+        }
+    }
+    panic("hit way missing from the recency order");
+}
+
+double
+MruDistanceMeter::f(unsigned i) const
+{
+    return hist_.fraction(i);
+}
+
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Probe meters: observers that price every level-two access under
+ * one lookup strategy while a single simulation runs.
+ *
+ * Accounting follows the paper exactly:
+ *  - With the write-back optimization (the default from Figure 3
+ *    on), write-backs cost zero probes for every scheme, but they
+ *    are still counted as (hit) references in the averages.
+ *  - The "hits" aggregate therefore covers read-in hits plus
+ *    write-backs; "total" additionally covers read-in misses
+ *    (Table 4's columns).
+ *  - Hit/miss *categories* come from the simulator's full-tag ground
+ *    truth; tag-width truncation can, in principle, make a scheme
+ *    declare a false hit (an alias) — counted separately.
+ */
+
+#ifndef ASSOC_CORE_PROBE_METER_H
+#define ASSOC_CORE_PROBE_METER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lookup.h"
+#include "mem/hierarchy.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace assoc {
+namespace core {
+
+/** Shared meter settings. */
+struct MeterConfig
+{
+    /** Stored tag width t (probe costs are computed on t-bit tags). */
+    unsigned tag_bits = 16;
+    /** Model the write-back optimization (zero-probe write-backs). */
+    bool wb_optimization = true;
+};
+
+/** Aggregated probe statistics for one strategy. */
+struct ProbeStats
+{
+    MeanAccum read_in_hits;   ///< probes on read-ins that hit
+    MeanAccum read_in_misses; ///< probes on read-ins that miss
+    MeanAccum write_backs;    ///< probes on write-backs
+
+    std::uint64_t alias_hits = 0; ///< scheme hit where simulator missed
+    std::uint64_t alias_wrong_way = 0; ///< scheme hit a different way
+
+    /** Mean probes over read-in hits + write-backs (Table 4 "Hits"). */
+    double hitsMean() const;
+
+    /** Mean probes over read-ins only (Figures 4-6 use the hit part). */
+    double readInMean() const;
+
+    /** Mean probes over everything (Table 4 "Total"). */
+    double totalMean() const;
+
+    void reset();
+};
+
+/**
+ * One strategy attached to the hierarchy. Not owned by the
+ * hierarchy; keep it alive for the duration of the run.
+ */
+class ProbeMeter : public mem::L2Observer
+{
+  public:
+    ProbeMeter(std::unique_ptr<LookupStrategy> strategy,
+               const MeterConfig &cfg);
+
+    void observe(const mem::L2AccessView &view) override;
+
+    const ProbeStats &stats() const { return stats_; }
+    ProbeStats &stats() { return stats_; }
+    const LookupStrategy &strategy() const { return *strategy_; }
+    const MeterConfig &config() const { return cfg_; }
+    std::string name() const { return strategy_->name(); }
+
+  private:
+    std::unique_ptr<LookupStrategy> strategy_;
+    MeterConfig cfg_;
+    ProbeStats stats_;
+
+    // Scratch buffers reused across observations.
+    mutable std::vector<std::uint32_t> tags_;
+    mutable std::vector<std::uint8_t> valid_;
+};
+
+/**
+ * Records the MRU-distance distribution f_i of read-in hits
+ * (Figure 5, right graph): distance 1 = the hit was to the
+ * most-recently-used way of its set.
+ */
+class MruDistanceMeter : public mem::L2Observer
+{
+  public:
+    explicit MruDistanceMeter(unsigned assoc);
+
+    void observe(const mem::L2AccessView &view) override;
+
+    /** Distribution over distances; bucket i holds distance i
+     *  (bucket 0 unused). */
+    const Histogram &distances() const { return hist_; }
+
+    /** f_i: probability a read-in hit is at MRU distance @p i
+     *  (1-based), conditioned on hitting. */
+    double f(unsigned i) const;
+
+  private:
+    Histogram hist_;
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_PROBE_METER_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Named scheme descriptors: a convenience layer that turns a scheme
+ * name + parameters into a LookupStrategy / ProbeMeter, shared by
+ * the examples and benchmark harnesses.
+ */
+
+#ifndef ASSOC_CORE_SCHEME_H
+#define ASSOC_CORE_SCHEME_H
+
+#include <memory>
+#include <string>
+
+#include "core/lookup.h"
+#include "core/probe_meter.h"
+#include "core/transform.h"
+
+namespace assoc {
+namespace core {
+
+/** The four implementation approaches of the paper. */
+enum class SchemeKind {
+    Traditional,
+    Naive,
+    Mru,
+    Partial,
+};
+
+/** Parse "traditional" / "naive" / "mru" / "partial". */
+SchemeKind schemeKindFromString(const std::string &s);
+
+/** Printable name. */
+const char *schemeKindName(SchemeKind kind);
+
+/** Full description of one scheme instance. */
+struct SchemeSpec
+{
+    SchemeKind kind = SchemeKind::Traditional;
+
+    /** MRU: list length (0 = full list). */
+    unsigned mru_list_len = 0;
+
+    /** Partial: field width k, subset count s, tag transform. */
+    unsigned partial_k = 4;
+    unsigned partial_subsets = 1;
+    TransformKind transform = TransformKind::XorLow;
+
+    /** Stored tag width t. */
+    unsigned tag_bits = 16;
+
+    /**
+     * The paper's default partial configuration for associativity
+     * @p a: the fewest subsets giving at least @p min_k-bit partial
+     * compares, with k using the whole tag width (1, 2, 4 subsets
+     * and k = 4 for 4, 8, 16-way with 16-bit tags; k = 8 for 4-way
+     * with 32-bit tags).
+     */
+    static SchemeSpec paperPartial(unsigned a, unsigned tag_bits = 16,
+                                   unsigned min_k = 4);
+
+    /** Build the strategy this spec describes. */
+    std::unique_ptr<LookupStrategy> makeStrategy() const;
+
+    /** Build a meter around the strategy. */
+    std::unique_ptr<ProbeMeter>
+    makeMeter(bool wb_optimization = true) const;
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_SCHEME_H

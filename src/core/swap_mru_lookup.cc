@@ -1,0 +1,33 @@
+#include "core/swap_mru_lookup.h"
+
+namespace assoc {
+namespace core {
+
+LookupResult
+SwapMruLookup::lookup(const LookupInput &in) const
+{
+    // The physical frames hold blocks in MRU order, so scanning
+    // frame 0, 1, ... is exactly scanning the recency order. We
+    // price it by walking the simulator's recency order directly
+    // (the simulator does not physically swap).
+    LookupResult res;
+    for (unsigned i = 0; i < in.assoc; ++i) {
+        unsigned w = in.mru_order[i];
+        ++res.probes;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            // Restoring MRU order moves the i blocks in front of
+            // the hit down one frame each.
+            swaps_ += i;
+            return res;
+        }
+    }
+    // Miss: the incoming block becomes MRU; every surviving block
+    // shifts down one frame.
+    swaps_ += in.assoc - 1;
+    return res;
+}
+
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The *swapping* MRU implementation sketched in Section 2.1.
+ *
+ * Instead of storing an MRU list, the cache physically keeps the
+ * most-recently-used block in frame 0, the second most-recent in
+ * frame 1, and so on, swapping blocks (tags and data) after each
+ * access. Lookup then scans frames in physical order — no list
+ * read is needed, saving the MRU scheme's extra probe:
+ *
+ *   hit at MRU distance d  ->  d probes       (list MRU: 1 + d)
+ *   miss                   ->  a probes       (list MRU: 1 + a)
+ *
+ * The catch the paper points out: tags and data must be swapped
+ * between consecutive accesses, which is "not a viable
+ * implementation option for most set-associative caches" beyond
+ * 2-way. This class prices the lookups and *counts the swaps* so
+ * the viability argument can be quantified (see bench_ablation).
+ */
+
+#ifndef ASSOC_CORE_SWAP_MRU_LOOKUP_H
+#define ASSOC_CORE_SWAP_MRU_LOOKUP_H
+
+#include "core/lookup.h"
+
+namespace assoc {
+namespace core {
+
+class SwapMruLookup : public LookupStrategy
+{
+  public:
+    SwapMruLookup() = default;
+
+    LookupResult lookup(const LookupInput &in) const override;
+
+    std::string name() const override { return "SwapMRU"; }
+
+    /**
+     * Block moves the swap scheme would have performed to restore
+     * MRU order after the accesses priced so far. A hit at MRU
+     * distance d (or a fill) rotates d blocks down by one frame:
+     * d moves. Mutable running total (the strategy interface is
+     * const).
+     */
+    std::uint64_t swaps() const { return swaps_; }
+
+  private:
+    mutable std::uint64_t swaps_ = 0;
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_SWAP_MRU_LOOKUP_H

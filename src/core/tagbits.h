@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tag-width slicing.
+ *
+ * The paper prices lookups assuming a fixed tag-memory width t
+ * (16 bits in most of the study, 32 in Figure 6) independent of how
+ * many tag bits the address arithmetic actually produces. We keep
+ * the simulator's hit/miss ground truth on full tags and slice to
+ * t bits only where probe costs are computed, exactly as the paper
+ * does.
+ */
+
+#ifndef ASSOC_CORE_TAGBITS_H
+#define ASSOC_CORE_TAGBITS_H
+
+#include <cstdint>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+/** Slice a full tag down to @p t bits (the stored tag width). */
+inline std::uint32_t
+sliceTag(std::uint32_t full_tag, unsigned t)
+{
+    panicIf(t == 0 || t > 32, "tag width must be in [1, 32]");
+    return static_cast<std::uint32_t>(full_tag & maskBits(t));
+}
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_TAGBITS_H

@@ -1,0 +1,161 @@
+#include "core/transform.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+TransformKind
+transformKindFromString(const std::string &s)
+{
+    if (s == "none")
+        return TransformKind::None;
+    if (s == "xor")
+        return TransformKind::XorLow;
+    if (s == "improved" || s == "new")
+        return TransformKind::Improved;
+    if (s == "swap")
+        return TransformKind::Swap;
+    fatal("unknown transform '" + s +
+          "' (expected none|xor|improved|swap)");
+}
+
+const char *
+transformKindName(TransformKind kind)
+{
+    switch (kind) {
+      case TransformKind::None:
+        return "none";
+      case TransformKind::XorLow:
+        return "xor";
+      case TransformKind::Improved:
+        return "improved";
+      case TransformKind::Swap:
+        return "swap";
+    }
+    return "unknown";
+}
+
+TagTransform::TagTransform(unsigned t, unsigned k) : t_(t), k_(k)
+{
+    fatalIf(t == 0 || t > 32, "tag width must be in [1, 32]");
+    fatalIf(k == 0 || k > t, "field width must be in [1, t]");
+    nfields_ = t / k;
+}
+
+std::uint32_t
+TagTransform::field(std::uint32_t tag, unsigned f) const
+{
+    panicIf(f >= nfields_, "field index out of range");
+    return static_cast<std::uint32_t>((tag >> (f * k_)) & maskBits(k_));
+}
+
+std::unique_ptr<TagTransform>
+TagTransform::make(TransformKind kind, unsigned t, unsigned k)
+{
+    switch (kind) {
+      case TransformKind::None:
+        return std::make_unique<NoTransform>(t, k);
+      case TransformKind::XorLow:
+        return std::make_unique<XorLowTransform>(t, k);
+      case TransformKind::Improved:
+        return std::make_unique<ImprovedTransform>(t, k);
+      case TransformKind::Swap:
+        return std::make_unique<SwapTransform>(t, k);
+    }
+    panic("bad TransformKind");
+}
+
+std::uint32_t
+NoTransform::apply(std::uint32_t tag, unsigned) const
+{
+    return tag;
+}
+
+std::uint32_t
+NoTransform::invert(std::uint32_t tag, unsigned) const
+{
+    return tag;
+}
+
+std::uint32_t
+XorLowTransform::apply(std::uint32_t tag, unsigned) const
+{
+    std::uint32_t f0 = tag & static_cast<std::uint32_t>(maskBits(k_));
+    std::uint32_t out = tag;
+    for (unsigned f = 1; f < nfields_; ++f)
+        out ^= f0 << (f * k_);
+    return out;
+}
+
+std::uint32_t
+XorLowTransform::invert(std::uint32_t tag, unsigned slot) const
+{
+    // Field 0 is stored unmodified, so applying the same XOR again
+    // recovers the original: the transform is its own inverse.
+    return apply(tag, slot);
+}
+
+std::uint32_t
+ImprovedTransform::apply(std::uint32_t tag, unsigned) const
+{
+    if (nfields_ < 2)
+        return tag;
+    std::uint32_t f0 = field(tag, 0);
+    std::uint32_t f1 = field(tag, 1);
+    std::uint32_t out = tag;
+    out ^= f0 << k_; // field 1 ^= field 0
+    std::uint32_t mix = f0 ^ f1;
+    for (unsigned f = 2; f < nfields_; ++f)
+        out ^= mix << (f * k_);
+    return out;
+}
+
+std::uint32_t
+ImprovedTransform::invert(std::uint32_t tag, unsigned) const
+{
+    if (nfields_ < 2)
+        return tag;
+    std::uint32_t o0 = field(tag, 0);
+    std::uint32_t o1 = field(tag, 1);
+    std::uint32_t out = tag;
+    out ^= o0 << k_; // recover original field 1 = o1 ^ o0
+    // Original field0 ^ field1 = o0 ^ (o1 ^ o0) = o1.
+    for (unsigned f = 2; f < nfields_; ++f)
+        out ^= o1 << (f * k_);
+    return out;
+}
+
+std::uint32_t
+SwapTransform::apply(std::uint32_t tag, unsigned slot) const
+{
+    if (nfields_ < 2)
+        return tag;
+    unsigned rot = slot % nfields_;
+    std::uint32_t out = tag & ~static_cast<std::uint32_t>(
+        maskBits(nfields_ * k_));
+    for (unsigned f = 0; f < nfields_; ++f) {
+        unsigned src = (f + nfields_ - rot) % nfields_;
+        out |= field(tag, src) << (f * k_);
+    }
+    return out;
+}
+
+std::uint32_t
+SwapTransform::invert(std::uint32_t tag, unsigned slot) const
+{
+    if (nfields_ < 2)
+        return tag;
+    unsigned rot = slot % nfields_;
+    std::uint32_t out = tag & ~static_cast<std::uint32_t>(
+        maskBits(nfields_ * k_));
+    for (unsigned f = 0; f < nfields_; ++f) {
+        unsigned src = (f + rot) % nfields_;
+        out |= field(tag, src) << (f * k_);
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tag transformations for the partial-compare scheme (Section 2.2
+ * and Figure 6 of the paper).
+ *
+ * A k-bit partial compare only filters well when every k-bit field
+ * of the stored tags is close to uniformly distributed. High-order
+ * virtual-address bits are not, so tags are hashed before storage
+ * with an invertible GF(2)-linear transformation:
+ *
+ *  - None: store tags unmodified (the paper's worst case).
+ *  - XorLow ("XOR"): exclusive-or the low-order k bits into every
+ *    higher k-bit field. Self-inverse.
+ *  - Improved ("New"): pass field 0; field1 ^= field0; every higher
+ *    field ^= field0 ^ field1. Lower-triangular with unit diagonal,
+ *    hence invertible (its inverse costs the same gates but is not
+ *    itself).
+ *  - Swap: rotate the k-bit fields per way so the (random) low-order
+ *    bits always land in the field the partial compare examines.
+ *    Good filtering, but costlier wiring (the paper notes this).
+ *
+ * All transforms are bijections on t-bit tags (per way slot for
+ * Swap), so full-tag equality is preserved: step-2 full compares of
+ * transformed tags decide hits exactly.
+ */
+
+#ifndef ASSOC_CORE_TRANSFORM_H
+#define ASSOC_CORE_TRANSFORM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace assoc {
+namespace core {
+
+/** Which transformation to use (CLI / config friendly). */
+enum class TransformKind {
+    None,
+    XorLow,
+    Improved,
+    Swap,
+};
+
+/** Parse "none" / "xor" / "improved" / "swap". */
+TransformKind transformKindFromString(const std::string &s);
+
+/** Printable name. */
+const char *transformKindName(TransformKind kind);
+
+/**
+ * An invertible transformation of t-bit tags, structured as
+ * nfields = floor(t/k) fields of k bits (field 0 = low order);
+ * the t - nfields*k leftover high bits pass through unchanged.
+ */
+class TagTransform
+{
+  public:
+    /**
+     * @param t stored tag width in bits (1..32).
+     * @param k partial-compare field width in bits (1..t).
+     */
+    TagTransform(unsigned t, unsigned k);
+    virtual ~TagTransform() = default;
+
+    /**
+     * Transform @p tag for storage.
+     * @param slot the tag-memory collection this way's partial
+     *        compare reads (only the Swap transform uses it).
+     */
+    virtual std::uint32_t apply(std::uint32_t tag,
+                                unsigned slot = 0) const = 0;
+
+    /** Recover the original tag (for writing back a block). */
+    virtual std::uint32_t invert(std::uint32_t tag,
+                                 unsigned slot = 0) const = 0;
+
+    /** Short name for tables ("none", "xor", "improved", "swap"). */
+    virtual std::string name() const = 0;
+
+    unsigned tagBits() const { return t_; }
+    unsigned fieldBits() const { return k_; }
+    unsigned fields() const { return nfields_; }
+
+    /** Extract field @p f of @p tag. */
+    std::uint32_t field(std::uint32_t tag, unsigned f) const;
+
+    /** Factory for a transform of the given kind. */
+    static std::unique_ptr<TagTransform> make(TransformKind kind,
+                                              unsigned t, unsigned k);
+
+  protected:
+    unsigned t_;
+    unsigned k_;
+    unsigned nfields_;
+};
+
+/** Identity transform. */
+class NoTransform : public TagTransform
+{
+  public:
+    using TagTransform::TagTransform;
+    std::uint32_t apply(std::uint32_t tag,
+                        unsigned slot = 0) const override;
+    std::uint32_t invert(std::uint32_t tag,
+                         unsigned slot = 0) const override;
+    std::string name() const override { return "none"; }
+};
+
+/** The paper's simple self-inverse transform. */
+class XorLowTransform : public TagTransform
+{
+  public:
+    using TagTransform::TagTransform;
+    std::uint32_t apply(std::uint32_t tag,
+                        unsigned slot = 0) const override;
+    std::uint32_t invert(std::uint32_t tag,
+                         unsigned slot = 0) const override;
+    std::string name() const override { return "xor"; }
+};
+
+/** The paper's improved lower-triangular transform. */
+class ImprovedTransform : public TagTransform
+{
+  public:
+    using TagTransform::TagTransform;
+    std::uint32_t apply(std::uint32_t tag,
+                        unsigned slot = 0) const override;
+    std::uint32_t invert(std::uint32_t tag,
+                         unsigned slot = 0) const override;
+    std::string name() const override { return "improved"; }
+};
+
+/** Per-way field rotation ("bit swapping" in the paper). */
+class SwapTransform : public TagTransform
+{
+  public:
+    using TagTransform::TagTransform;
+    std::uint32_t apply(std::uint32_t tag, unsigned slot) const override;
+    std::uint32_t invert(std::uint32_t tag, unsigned slot) const override;
+    std::string name() const override { return "swap"; }
+};
+
+} // namespace core
+} // namespace assoc
+
+#endif // ASSOC_CORE_TRANSFORM_H

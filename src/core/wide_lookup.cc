@@ -1,0 +1,98 @@
+#include "core/wide_lookup.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+
+WideNaiveLookup::WideNaiveLookup(unsigned width) : width_(width)
+{
+    fatalIf(width_ == 0, "tag-memory width must be positive");
+}
+
+std::string
+WideNaiveLookup::name() const
+{
+    return "WideNaive-" + std::to_string(width_);
+}
+
+LookupResult
+WideNaiveLookup::lookup(const LookupInput &in) const
+{
+    LookupResult res;
+    for (unsigned base = 0; base < in.assoc; base += width_) {
+        ++res.probes; // one probe compares this group of b tags
+        unsigned end = std::min(base + width_, in.assoc);
+        for (unsigned w = base; w < end; ++w) {
+            if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+                res.hit = true;
+                res.way = static_cast<int>(w);
+                return res;
+            }
+        }
+    }
+    return res;
+}
+
+WideMruLookup::WideMruLookup(unsigned width) : width_(width)
+{
+    fatalIf(width_ == 0, "tag-memory width must be positive");
+}
+
+std::string
+WideMruLookup::name() const
+{
+    return "WideMRU-" + std::to_string(width_);
+}
+
+LookupResult
+WideMruLookup::lookup(const LookupInput &in) const
+{
+    LookupResult res;
+    res.probes = 1; // the MRU list read
+    for (unsigned base = 0; base < in.assoc; base += width_) {
+        ++res.probes;
+        unsigned end = std::min(base + width_, in.assoc);
+        for (unsigned i = base; i < end; ++i) {
+            unsigned w = in.mru_order[i];
+            if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+                res.hit = true;
+                res.way = static_cast<int>(w);
+                return res;
+            }
+        }
+    }
+    return res;
+}
+
+namespace analytic {
+
+double
+wideNaiveHit(unsigned a, unsigned b)
+{
+    fatalIf(a == 0 || b == 0, "bad wide-naive geometry");
+    // Hit way uniform over a positions; group g covers positions
+    // [g*b, (g+1)*b). E[probes] = E[g] + 1.
+    unsigned groups = (a + b - 1) / b;
+    double sum = 0.0;
+    for (unsigned g = 0; g < groups; ++g) {
+        unsigned in_group =
+            std::min(b, a - g * b); // positions in this group
+        sum += static_cast<double>(in_group) * (g + 1);
+    }
+    return sum / a;
+}
+
+double
+wideNaiveMiss(unsigned a, unsigned b)
+{
+    fatalIf(a == 0 || b == 0, "bad wide-naive geometry");
+    return static_cast<double>((a + b - 1) / b);
+}
+
+} // namespace analytic
+
+} // namespace core
+} // namespace assoc

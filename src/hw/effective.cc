@@ -1,0 +1,30 @@
+#include "hw/effective.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace hw {
+
+EffectiveResult
+effectiveAccess(const ImplSpec &impl, const EffectiveInputs &in,
+                const SystemTimings &sys)
+{
+    fatalIf(in.l1_miss_ratio < 0.0 || in.l1_miss_ratio > 1.0,
+            "level-one miss ratio out of [0, 1]");
+    fatalIf(in.l2_miss_ratio < 0.0 || in.l2_miss_ratio > 1.0,
+            "level-two miss ratio out of [0, 1]");
+
+    EffectiveResult res;
+    res.l2_hit_ns = impl.accessNs(in.extra_hit_probes);
+    res.l2_miss_ns =
+        impl.accessNs(in.extra_miss_probes) + sys.memory_ns;
+    res.l2_request_ns =
+        res.l2_hit_ns * (1.0 - in.l2_miss_ratio) +
+        res.l2_miss_ns * in.l2_miss_ratio;
+    res.per_ref_ns =
+        sys.l1_hit_ns + in.l1_miss_ratio * res.l2_request_ns;
+    return res;
+}
+
+} // namespace hw
+} // namespace assoc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Effective access time: the trade the paper's introduction poses.
+ *
+ * "For wider associativity to be preferred, the added delay for
+ * these additional probes must be more than offset by the time
+ * saved servicing fewer misses." This module composes the three
+ * ingredients the rest of the library produces —
+ *
+ *   1. the tag-path timing of an implementation (Table 2 model),
+ *   2. its measured probe counts (ProbeMeter),
+ *   3. the hierarchy's miss ratios,
+ *
+ * — into an average time per level-two request and per processor
+ * reference, so the direct-mapped-vs-cheap-associative crossover
+ * can be located as the miss penalty grows (bench_crossover).
+ */
+
+#ifndef ASSOC_HW_EFFECTIVE_H
+#define ASSOC_HW_EFFECTIVE_H
+
+#include "hw/impl_model.h"
+
+namespace assoc {
+namespace hw {
+
+/** System-level timing parameters around the level-two cache. */
+struct SystemTimings
+{
+    /** Level-one hit time (processor-side), ns. */
+    double l1_hit_ns = 40.0;
+    /** Main-memory service time for a level-two miss, ns. This is
+     *  the knob that decides the crossover: multiprocessor
+     *  interconnects make it large. */
+    double memory_ns = 600.0;
+};
+
+/** Measured inputs of one (implementation, configuration) pair. */
+struct EffectiveInputs
+{
+    /** Mean *extra* serial probes on a level-two hit (x or y in
+     *  Table 2; 0 for single-probe implementations). */
+    double extra_hit_probes = 0.0;
+    /** Mean extra serial probes on a level-two miss. */
+    double extra_miss_probes = 0.0;
+    /** Level-one miss ratio (fraction of processor refs). */
+    double l1_miss_ratio = 0.0;
+    /** Level-two local miss ratio over read-ins. */
+    double l2_miss_ratio = 0.0;
+};
+
+/** Composed results. */
+struct EffectiveResult
+{
+    double l2_hit_ns = 0.0;  ///< mean time to service an L2 hit
+    double l2_miss_ns = 0.0; ///< ... an L2 miss (includes memory)
+    double l2_request_ns = 0.0; ///< mean over the L2 request mix
+    /** Mean time per processor reference. */
+    double per_ref_ns = 0.0;
+};
+
+/**
+ * Compose the effective access time of @p impl under @p in and
+ * @p sys.
+ */
+EffectiveResult effectiveAccess(const ImplSpec &impl,
+                                const EffectiveInputs &in,
+                                const SystemTimings &sys);
+
+} // namespace hw
+} // namespace assoc
+
+#endif // ASSOC_HW_EFFECTIVE_H

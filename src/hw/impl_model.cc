@@ -1,0 +1,187 @@
+#include "hw/impl_model.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace hw {
+
+const char *
+ramTechName(RamTech tech)
+{
+    return tech == RamTech::Dram ? "DRAM" : "SRAM";
+}
+
+const char *
+implKindName(ImplKind kind)
+{
+    switch (kind) {
+      case ImplKind::DirectMapped:
+        return "Direct-Mapped";
+      case ImplKind::Traditional:
+        return "Traditional";
+      case ImplKind::Mru:
+        return "MRU";
+      case ImplKind::Partial:
+        return "Partial";
+    }
+    return "unknown";
+}
+
+double
+ImplSpec::accessNs(double probes) const
+{
+    return access_base_ns + access_per_probe_ns * probes;
+}
+
+double
+ImplSpec::cycleNs(double probes, double update_prob) const
+{
+    return cycle_base_ns + cycle_per_probe_ns * probes +
+           cycle_per_update_ns * update_prob;
+}
+
+namespace {
+
+std::string
+affine(double base, double slope, const char *var)
+{
+    char buf[64];
+    if (slope == 0.0) {
+        std::snprintf(buf, sizeof(buf), "%g", base);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%g+%g%s", base, slope, var);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+ImplSpec::accessExpr() const
+{
+    const char *var = kind == ImplKind::Mru ? "x" : "y";
+    return affine(access_base_ns, access_per_probe_ns, var);
+}
+
+std::string
+ImplSpec::cycleExpr() const
+{
+    if (kind == ImplKind::Mru && cycle_per_update_ns != 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g+%g(x+u)", cycle_base_ns,
+                      cycle_per_probe_ns);
+        return buf;
+    }
+    const char *var = kind == ImplKind::Mru ? "x" : "y";
+    return affine(cycle_base_ns, cycle_per_probe_ns, var);
+}
+
+Table2Catalog::Table2Catalog()
+{
+    // --- Dynamic RAM designs (Table 2, left half). ---
+    RamChip dram_1mx8{"1Mx8", RamTech::Dram, 100, 190, 35, 35};
+    RamChip dram_1mx8_nopage{"1Mx8", RamTech::Dram, 100, 190, 0, 0};
+    RamChip dram_256kx8{"256Kx8", RamTech::Dram, 80, 160, 0, 0};
+
+    ImplSpec dm_dram;
+    dm_dram.kind = ImplKind::DirectMapped;
+    dm_dram.chip = dram_1mx8_nopage;
+    dm_dram.access_base_ns = 136;
+    dm_dram.cycle_base_ns = 230;
+    dm_dram.packages = 18;
+
+    ImplSpec trad_dram;
+    trad_dram.kind = ImplKind::Traditional;
+    trad_dram.chip = dram_256kx8;
+    trad_dram.access_base_ns = 132;
+    trad_dram.cycle_base_ns = 190;
+    trad_dram.packages = 42;
+
+    // Serial implementations exploit page-mode DRAM: probes after
+    // the first to the same set cost only the page-mode cycle.
+    ImplSpec mru_dram;
+    mru_dram.kind = ImplKind::Mru;
+    mru_dram.chip = dram_1mx8;
+    mru_dram.access_base_ns = 150;
+    mru_dram.access_per_probe_ns = 50;
+    mru_dram.cycle_base_ns = 250;
+    mru_dram.cycle_per_probe_ns = 50;
+    mru_dram.cycle_per_update_ns = 50;
+    mru_dram.packages = 22;
+
+    ImplSpec part_dram;
+    part_dram.kind = ImplKind::Partial;
+    part_dram.chip = dram_1mx8;
+    part_dram.access_base_ns = 150;
+    part_dram.access_per_probe_ns = 50;
+    part_dram.cycle_base_ns = 250;
+    part_dram.cycle_per_probe_ns = 50;
+    part_dram.packages = 21;
+
+    dram_ = {dm_dram, trad_dram, mru_dram, part_dram};
+
+    // --- Static RAM designs (Table 2, right half). ---
+    RamChip sram_1mx4{"1Mx4", RamTech::Sram, 40, 40, 0, 0};
+    RamChip sram_256k{"256Kx(16,8)", RamTech::Sram, 40, 40, 0, 0};
+
+    ImplSpec dm_sram;
+    dm_sram.kind = ImplKind::DirectMapped;
+    dm_sram.chip = sram_1mx4;
+    dm_sram.access_base_ns = 61;
+    dm_sram.cycle_base_ns = 85;
+    dm_sram.packages = 20;
+
+    ImplSpec trad_sram;
+    trad_sram.kind = ImplKind::Traditional;
+    trad_sram.chip = sram_256k;
+    trad_sram.access_base_ns = 84;
+    trad_sram.cycle_base_ns = 100;
+    trad_sram.packages = 37;
+
+    ImplSpec mru_sram;
+    mru_sram.kind = ImplKind::Mru;
+    mru_sram.chip = sram_1mx4;
+    mru_sram.access_base_ns = 65;
+    mru_sram.access_per_probe_ns = 55;
+    mru_sram.cycle_base_ns = 75;
+    mru_sram.cycle_per_probe_ns = 55;
+    mru_sram.cycle_per_update_ns = 55;
+    mru_sram.packages = 25;
+
+    ImplSpec part_sram;
+    part_sram.kind = ImplKind::Partial;
+    part_sram.chip = sram_1mx4;
+    part_sram.access_base_ns = 65;
+    part_sram.access_per_probe_ns = 55;
+    part_sram.cycle_base_ns = 75;
+    part_sram.cycle_per_probe_ns = 55;
+    part_sram.packages = 24;
+
+    sram_ = {dm_sram, trad_sram, mru_sram, part_sram};
+}
+
+const ImplSpec &
+Table2Catalog::get(ImplKind kind, RamTech tech) const
+{
+    for (const ImplSpec &spec : all(tech))
+        if (spec.kind == kind)
+            return spec;
+    panic("design missing from the Table 2 catalog");
+}
+
+const std::vector<ImplSpec> &
+Table2Catalog::all(RamTech tech) const
+{
+    return tech == RamTech::Dram ? dram_ : sram_;
+}
+
+double
+effectiveAccessNs(const ImplSpec &spec, double mean_extra_probes)
+{
+    return spec.accessNs(mean_extra_probes);
+}
+
+} // namespace hw
+} // namespace assoc

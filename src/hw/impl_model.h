@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Table 2's implementation cost model.
+ *
+ * For each of the four tag-path implementations (direct-mapped,
+ * traditional a-way, MRU and partial compare) in each technology
+ * (DRAM / SRAM), the model records the chip used, the package count
+ * and affine timing expressions:
+ *
+ *      access(n) = access_base + access_per_probe * n
+ *      cycle(n)  = cycle_base  + cycle_per_probe  * n
+ *
+ * where n is the implementation's probe variable: "x" for MRU (the
+ * expected probes after reading the MRU list), "y" for partial
+ * (step-2 probes), and 0 for the single-probe implementations.
+ * The MRU cycle expression additionally pays per MRU-list update
+ * ("u", the probability the ordering information changed).
+ *
+ * Combining these expressions with probe counts measured by the
+ * simulator yields effective tag-path access times: the missing
+ * piece that lets the cost/performance trade of Section 2 be
+ * evaluated end-to-end.
+ */
+
+#ifndef ASSOC_HW_IMPL_MODEL_H
+#define ASSOC_HW_IMPL_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "hw/ram_spec.h"
+
+namespace assoc {
+namespace hw {
+
+/** The four tag-path implementations of Table 2. */
+enum class ImplKind {
+    DirectMapped,
+    Traditional,
+    Mru,
+    Partial,
+};
+
+/** Printable implementation name. */
+const char *implKindName(ImplKind kind);
+
+/** One column of Table 2. */
+struct ImplSpec
+{
+    ImplKind kind = ImplKind::DirectMapped;
+    RamChip chip;
+
+    double access_base_ns = 0.0;
+    double access_per_probe_ns = 0.0;
+    double cycle_base_ns = 0.0;
+    double cycle_per_probe_ns = 0.0;
+    /** Extra cycle cost per MRU-list update (MRU only). */
+    double cycle_per_update_ns = 0.0;
+
+    int packages = 0;
+
+    /**
+     * Access time for @p probes extra serial probes (x or y; 0 for
+     * the single-probe implementations).
+     */
+    double accessNs(double probes = 0.0) const;
+
+    /**
+     * Cycle time for @p probes extra serial probes and an MRU-list
+     * update probability @p update_prob.
+     */
+    double cycleNs(double probes = 0.0, double update_prob = 0.0) const;
+
+    /** The paper's symbolic rendering, e.g. "150+50x". */
+    std::string accessExpr() const;
+    std::string cycleExpr() const;
+};
+
+/**
+ * The catalog: the eight designs of Table 2 (4 implementations x
+ * 2 technologies) for a 4-way set-associative cache holding one
+ * million 24-bit tags.
+ */
+class Table2Catalog
+{
+  public:
+    Table2Catalog();
+
+    /** Fetch one design. */
+    const ImplSpec &get(ImplKind kind, RamTech tech) const;
+
+    /** All designs in Table 2 column order per technology. */
+    const std::vector<ImplSpec> &all(RamTech tech) const;
+
+  private:
+    std::vector<ImplSpec> dram_;
+    std::vector<ImplSpec> sram_;
+};
+
+/**
+ * Derived metric: mean tag-path access time given measured probe
+ * statistics. @p mean_extra_probes is the measured mean of the
+ * implementation's probe variable (x or y).
+ */
+double effectiveAccessNs(const ImplSpec &spec, double mean_extra_probes);
+
+} // namespace hw
+} // namespace assoc
+
+#endif // ASSOC_HW_IMPL_MODEL_H

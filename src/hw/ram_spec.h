@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory-chip catalog for the Table 2 trial implementations.
+ *
+ * The paper designs the tag memory and comparison logic for a cache
+ * holding one million 24-bit tags out of late-1980s DRAM or SRAM
+ * chips in hybrid packages; these are the chip parameters it quotes
+ * (Table 2, "Memory Packages" section).
+ */
+
+#ifndef ASSOC_HW_RAM_SPEC_H
+#define ASSOC_HW_RAM_SPEC_H
+
+#include <string>
+
+namespace assoc {
+namespace hw {
+
+/** RAM technology. */
+enum class RamTech { Dram, Sram };
+
+/** One memory package type. */
+struct RamChip
+{
+    std::string organization; ///< e.g. "1Mx8", "256Kx(16,8)"
+    RamTech tech = RamTech::Dram;
+
+    double access_ns = 0.0;       ///< basic access time
+    double cycle_ns = 0.0;        ///< basic cycle time
+    double page_access_ns = 0.0;  ///< page-mode access (0 = n/a)
+    double page_cycle_ns = 0.0;   ///< page-mode cycle (0 = n/a)
+
+    bool hasPageMode() const { return page_access_ns > 0.0; }
+};
+
+/** Printable technology name. */
+const char *ramTechName(RamTech tech);
+
+} // namespace hw
+} // namespace assoc
+
+#endif // ASSOC_HW_RAM_SPEC_H

@@ -1,0 +1,236 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace mem {
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::Lru:
+        return "LRU";
+      case ReplPolicy::Fifo:
+        return "FIFO";
+      case ReplPolicy::Random:
+        return "Random";
+      case ReplPolicy::TreePlru:
+        return "TreePLRU";
+    }
+    return "unknown";
+}
+
+WriteBackCache::WriteBackCache(const CacheGeometry &geom,
+                               ReplPolicy policy, std::uint64_t seed)
+    : geom_(geom), policy_(policy), rng_(seed, 0xbadc0de),
+      lines_(static_cast<std::size_t>(geom.sets()) * geom.assoc()),
+      mru_(geom.sets()), fifo_(geom.sets()), plru_(geom.sets(), 0)
+{
+    fatalIf(geom_.assoc() > 255, "associativity above 255 unsupported");
+    fatalIf(policy_ == ReplPolicy::TreePlru && geom_.assoc() > 64,
+            "tree PLRU supports associativity up to 64");
+    for (std::uint32_t set = 0; set < geom_.sets(); ++set) {
+        mru_[set].resize(geom_.assoc());
+        fifo_[set].resize(geom_.assoc());
+        resetOrder(set);
+    }
+}
+
+void
+WriteBackCache::resetOrder(std::uint32_t set)
+{
+    // After reset the recency state is arbitrary; rotate it by the
+    // set index so that cold-cache fills are not correlated with
+    // physical way order across sets (a real cache's power-on LRU
+    // state has no such correlation, and the serial schemes' scan
+    // costs would otherwise be biased).
+    auto &order = mru_[set];
+    std::uint32_t a = geom_.assoc();
+    for (std::uint32_t i = 0; i < a; ++i)
+        order[i] = static_cast<std::uint8_t>((i + set) % a);
+    fifo_[set] = order;
+}
+
+int
+WriteBackCache::findWay(BlockAddr b) const
+{
+    std::uint32_t set = geom_.setOf(b);
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        const Line &l = lines_[index(set, static_cast<int>(w))];
+        if (l.valid && l.block == b)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+WriteBackCache::makeMru(std::uint32_t set, int way)
+{
+    auto &order = mru_[set];
+    auto it = std::find(order.begin(), order.end(),
+                        static_cast<std::uint8_t>(way));
+    panicIf(it == order.end(), "way missing from recency order");
+    order.erase(it);
+    order.insert(order.begin(), static_cast<std::uint8_t>(way));
+}
+
+void
+WriteBackCache::plruTouch(std::uint32_t set, int way)
+{
+    // Point every tree node on the path to @p way at the *other*
+    // subtree, protecting the touched leaf.
+    std::uint64_t &bits = plru_[set];
+    unsigned levels = log2i(geom_.assoc());
+    unsigned node = 1;
+    for (unsigned l = levels; l > 0; --l) {
+        bool right = (static_cast<unsigned>(way) >> (l - 1)) & 1;
+        if (right)
+            bits &= ~(std::uint64_t{1} << node);
+        else
+            bits |= std::uint64_t{1} << node;
+        node = 2 * node + (right ? 1 : 0);
+    }
+}
+
+int
+WriteBackCache::plruVictim(std::uint32_t set) const
+{
+    // Follow the direction bits from the root (bit set = go right).
+    std::uint64_t bits = plru_[set];
+    unsigned levels = log2i(geom_.assoc());
+    unsigned node = 1, way = 0;
+    for (unsigned l = 0; l < levels; ++l) {
+        bool right = (bits >> node) & 1;
+        way = (way << 1) | (right ? 1u : 0u);
+        node = 2 * node + (right ? 1 : 0);
+    }
+    return static_cast<int>(way);
+}
+
+void
+WriteBackCache::touch(std::uint32_t set, int way)
+{
+    panicIf(way < 0 || static_cast<std::uint32_t>(way) >= geom_.assoc(),
+            "touch: bad way");
+    makeMru(set, way);
+    if (policy_ == ReplPolicy::TreePlru && geom_.assoc() > 1)
+        plruTouch(set, way);
+}
+
+void
+WriteBackCache::setDirty(std::uint32_t set, int way)
+{
+    Line &l = lines_[index(set, way)];
+    panicIf(!l.valid, "setDirty on an invalid line");
+    l.dirty = true;
+}
+
+int
+WriteBackCache::victimWay(std::uint32_t set) const
+{
+    // Invalid frames always occupy a suffix of the recency order
+    // (they are pushed to the LRU end on flush and invalidation and
+    // only leave it by being filled), so the back of the order is
+    // an empty frame whenever one exists (a miss can fill any empty
+    // block frame of the set), under every policy.
+    int back = static_cast<int>(mru_[set].back());
+    if (!lines_[index(set, back)].valid)
+        return back;
+    switch (policy_) {
+      case ReplPolicy::Lru:
+        return back;
+      case ReplPolicy::Fifo:
+        return static_cast<int>(fifo_[set].back());
+      case ReplPolicy::Random:
+        return static_cast<int>(rng_.below(geom_.assoc()));
+      case ReplPolicy::TreePlru:
+        return geom_.assoc() == 1 ? 0 : plruVictim(set);
+    }
+    panic("bad replacement policy");
+}
+
+FillResult
+WriteBackCache::fill(BlockAddr b, bool dirty)
+{
+    panicIf(findWay(b) >= 0, "fill: block already present");
+    std::uint32_t set = geom_.setOf(b);
+    FillResult res;
+    res.way = victimWay(set);
+
+    Line &l = lines_[index(set, res.way)];
+    if (l.valid) {
+        res.evicted = true;
+        res.victim_block = l.block;
+        res.victim_dirty = l.dirty;
+        ++evictions_;
+        if (l.dirty)
+            ++dirty_evictions_;
+    }
+    l.block = b;
+    l.valid = true;
+    l.dirty = dirty;
+    ++fills_;
+    makeMru(set, res.way);
+
+    // Fill-age bookkeeping (drives the Fifo policy; cheap enough to
+    // maintain unconditionally).
+    auto &ages = fifo_[set];
+    auto it = std::find(ages.begin(), ages.end(),
+                        static_cast<std::uint8_t>(res.way));
+    panicIf(it == ages.end(), "way missing from fill-age order");
+    ages.erase(it);
+    ages.insert(ages.begin(), static_cast<std::uint8_t>(res.way));
+    if (policy_ == ReplPolicy::TreePlru && geom_.assoc() > 1)
+        plruTouch(set, res.way);
+    return res;
+}
+
+bool
+WriteBackCache::invalidate(BlockAddr b)
+{
+    int way = findWay(b);
+    if (way < 0)
+        return false;
+    std::uint32_t set = geom_.setOf(b);
+    Line &l = lines_[index(set, way)];
+    bool was_dirty = l.dirty;
+    l.valid = false;
+    l.dirty = false;
+    // Demote the invalidated way to the LRU end so empty frames are
+    // reused first.
+    auto &order = mru_[set];
+    auto it = std::find(order.begin(), order.end(),
+                        static_cast<std::uint8_t>(way));
+    order.erase(it);
+    order.push_back(static_cast<std::uint8_t>(way));
+    return was_dirty;
+}
+
+void
+WriteBackCache::flush()
+{
+    for (auto &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+    for (std::uint32_t set = 0; set < geom_.sets(); ++set)
+        resetOrder(set);
+    std::fill(plru_.begin(), plru_.end(), 0);
+}
+
+unsigned
+WriteBackCache::validCount(std::uint32_t set) const
+{
+    unsigned n = 0;
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
+        if (lines_[index(set, static_cast<int>(w))].valid)
+            ++n;
+    return n;
+}
+
+} // namespace mem
+} // namespace assoc

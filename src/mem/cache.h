@@ -1,0 +1,181 @@
+/**
+ * @file
+ * A generic a-way set-associative write-back cache model with true
+ * LRU replacement.
+ *
+ * This models cache *state* only (tags, valid/dirty bits, per-set
+ * recency order). Lookup cost (probes) is priced separately by the
+ * observers in src/core, which read this state before each access
+ * commits — that separation lets one simulation pass price every
+ * lookup scheme of the paper on an identical reference stream.
+ */
+
+#ifndef ASSOC_MEM_CACHE_H
+#define ASSOC_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/geometry.h"
+#include "util/rng.h"
+
+namespace assoc {
+namespace mem {
+
+/** One cache line (tag state only; data is not modeled). */
+struct Line
+{
+    BlockAddr block = 0; ///< block address stored here
+    bool valid = false;
+    bool dirty = false;
+};
+
+/** Result of allocating a block into a set. */
+struct FillResult
+{
+    int way = -1;               ///< frame the block landed in
+    bool evicted = false;       ///< a valid victim was displaced
+    BlockAddr victim_block = 0; ///< victim's block address
+    bool victim_dirty = false;  ///< victim needed writing back
+};
+
+/**
+ * Replacement policy. The paper assumes LRU ("the least-recently-
+ * used entry in a set is replaced") and notes that any policy
+ * other than random needs extra per-set memory — which the MRU
+ * scheme can share. Fifo and Random are provided for ablations;
+ * the recency order used by the lookup-cost observers is
+ * maintained regardless of the victim-selection policy.
+ */
+enum class ReplPolicy : std::uint8_t {
+    Lru,    ///< true LRU (the paper's configuration)
+    Fifo,   ///< replace the oldest-filled line
+    Random, ///< replace a pseudo-random line (no extra memory)
+    /**
+     * Tree pseudo-LRU: a - 1 bits per set instead of the full LRU
+     * list. The practical middle ground — if a design chooses it
+     * over true LRU, the MRU scheme loses its free search list
+     * (Section 2.1's cost argument in reverse).
+     */
+    TreePlru,
+};
+
+/** Printable policy name. */
+const char *replPolicyName(ReplPolicy policy);
+
+/**
+ * The cache. Blocks never migrate between ways after they are
+ * filled (a property the paper's write-back optimization relies
+ * on: the level-one cache can remember which level-two way holds
+ * each of its blocks).
+ */
+class WriteBackCache
+{
+  public:
+    /**
+     * @param geom shape of the cache.
+     * @param policy victim selection (default: the paper's LRU).
+     * @param seed RNG seed for the Random policy.
+     */
+    explicit WriteBackCache(const CacheGeometry &geom,
+                            ReplPolicy policy = ReplPolicy::Lru,
+                            std::uint64_t seed = 0x5eed);
+
+    const CacheGeometry &geom() const { return geom_; }
+
+    /** The victim-selection policy in use. */
+    ReplPolicy policy() const { return policy_; }
+
+    /**
+     * Pure lookup: which way holds block @p b?
+     * @return way index, or -1 on miss. No state changes.
+     */
+    int findWay(BlockAddr b) const;
+
+    /** Promote (set, way) to most recently used. */
+    void touch(std::uint32_t set, int way);
+
+    /** Mark (set, way) dirty (a write hit or write-back arrival). */
+    void setDirty(std::uint32_t set, int way);
+
+    /**
+     * Allocate block @p b, evicting the least-recently-used line of
+     * its set if the set is full. The new line becomes MRU.
+     * @param dirty initial dirty state of the new line.
+     * @pre findWay(b) < 0 (the block must not already be present).
+     */
+    FillResult fill(BlockAddr b, bool dirty);
+
+    /**
+     * The way that fill() would victimize for @p set right now
+     * (an invalid way if one exists, else the LRU way).
+     */
+    int victimWay(std::uint32_t set) const;
+
+    /**
+     * Drop block @p b if present.
+     * @return true when the invalidated line was valid and dirty.
+     */
+    bool invalidate(BlockAddr b);
+
+    /** Invalidate every line and reset recency state. */
+    void flush();
+
+    /** Read one line (for observers and tests). */
+    const Line &
+    line(std::uint32_t set, int way) const
+    {
+        return lines_[index(set, way)];
+    }
+
+    /**
+     * Recency order of @p set: way indices from most- to least-
+     * recently used. Invalid ways occupy the tail.
+     */
+    const std::vector<std::uint8_t> &
+    mruOrder(std::uint32_t set) const
+    {
+        return mru_[set];
+    }
+
+    /** Number of valid lines in @p set. */
+    unsigned validCount(std::uint32_t set) const;
+
+    // --- lifetime counters ---
+    std::uint64_t fills() const { return fills_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t dirtyEvictions() const { return dirty_evictions_; }
+
+  private:
+    std::size_t
+    index(std::uint32_t set, int way) const
+    {
+        return static_cast<std::size_t>(set) * geom_.assoc() +
+               static_cast<std::size_t>(way);
+    }
+
+    void makeMru(std::uint32_t set, int way);
+    void resetOrder(std::uint32_t set);
+
+    void plruTouch(std::uint32_t set, int way);
+    int plruVictim(std::uint32_t set) const;
+
+    CacheGeometry geom_;
+    ReplPolicy policy_;
+    mutable Pcg32 rng_; ///< Random-policy victim draws
+    std::vector<Line> lines_;
+    std::vector<std::vector<std::uint8_t>> mru_;
+    /** Fill-age order per set (front = youngest), Fifo policy. */
+    std::vector<std::vector<std::uint8_t>> fifo_;
+    /** Tree-PLRU direction bits, one word per set (TreePlru). */
+    std::vector<std::uint64_t> plru_;
+
+    std::uint64_t fills_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t dirty_evictions_ = 0;
+};
+
+} // namespace mem
+} // namespace assoc
+
+#endif // ASSOC_MEM_CACHE_H

@@ -1,0 +1,52 @@
+#include "mem/coherency.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace mem {
+
+CoherencyTraffic::CoherencyTraffic(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed, 0x51deCa11)
+{
+    fatalIf(rate < 0.0 || rate > 1.0,
+            "invalidation rate must be in [0, 1]");
+}
+
+void
+CoherencyTraffic::step(TwoLevelHierarchy &hier)
+{
+    if (rate_ == 0.0 || !rng_.chance(rate_))
+        return;
+    // Choose a random frame; if it holds a block, invalidate that
+    // block. Remote writes hit *resident* shared data more often
+    // than not, so retry a few times before giving up.
+    const WriteBackCache &l2 = hier.l2();
+    const CacheGeometry &geom = l2.geom();
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        std::uint32_t set = rng_.below(geom.sets());
+        std::uint32_t way = rng_.below(geom.assoc());
+        const Line &line = l2.line(set, static_cast<int>(way));
+        if (!line.valid)
+            continue;
+        bool hit = hier.remoteInvalidate(line.block);
+        panicIf(!hit, "resident block failed to invalidate");
+        ++invalidations_;
+        return;
+    }
+    ++misses_;
+}
+
+double
+l2ValidFraction(const TwoLevelHierarchy &hier)
+{
+    const WriteBackCache &l2 = hier.l2();
+    const CacheGeometry &geom = l2.geom();
+    std::uint64_t valid = 0;
+    for (std::uint32_t set = 0; set < geom.sets(); ++set)
+        valid += l2.validCount(set);
+    return static_cast<double>(valid) /
+           (static_cast<double>(geom.sets()) * geom.assoc());
+}
+
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Coherency-invalidation traffic model.
+ *
+ * Footnote 1 of the paper: "a miss to a set-associative cache can
+ * fill any empty block frame in the set, whereas a miss to a
+ * direct-mapped cache can fill only a single frame. Increasing
+ * associativity increases the chance that an invalidated block
+ * frame will be quickly used again" — the paper's preliminary-model
+ * claim that associativity improves cache utilization under
+ * frequent coherency invalidations.
+ *
+ * The paper's traces are uniprocessor, so we model the *remote*
+ * side of a multiprocessor synthetically: a Bernoulli process that
+ * invalidates a random resident level-two block every processor
+ * reference with a configurable probability (remote writes hitting
+ * shared data). bench_coherency measures average level-two
+ * occupancy and miss ratio versus associativity and invalidation
+ * rate, testing the footnote's claim.
+ */
+
+#ifndef ASSOC_MEM_COHERENCY_H
+#define ASSOC_MEM_COHERENCY_H
+
+#include <cstdint>
+
+#include "mem/hierarchy.h"
+#include "util/rng.h"
+
+namespace assoc {
+namespace mem {
+
+/** Synthetic remote-invalidation source. */
+class CoherencyTraffic
+{
+  public:
+    /**
+     * @param rate probability of one remote invalidation per
+     *        processor reference.
+     * @param seed RNG seed (independent of the trace).
+     */
+    CoherencyTraffic(double rate, std::uint64_t seed = 0xC0137E11);
+
+    /**
+     * Advance one processor reference: possibly invalidate a random
+     * resident block of @p hier's level two (and its level-one
+     * copies, as a real invalidation would).
+     */
+    void step(TwoLevelHierarchy &hier);
+
+    /** Invalidations actually performed (resident victim found). */
+    std::uint64_t invalidations() const { return invalidations_; }
+
+    /** Attempts that found no valid block in the chosen set. */
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    double rate_;
+    Pcg32 rng_;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Fraction of level-two frames currently valid (cache occupancy /
+ * utilization; 1 - this is the footnote's "empty block frames").
+ */
+double l2ValidFraction(const TwoLevelHierarchy &hier);
+
+} // namespace mem
+} // namespace assoc
+
+#endif // ASSOC_MEM_COHERENCY_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cache geometry: size / block size / associativity and the address
+ * arithmetic they imply.
+ */
+
+#ifndef ASSOC_MEM_GEOMETRY_H
+#define ASSOC_MEM_GEOMETRY_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/memref.h"
+#include "util/bitops.h"
+
+namespace assoc {
+namespace mem {
+
+using trace::Addr;
+
+/** Block addresses are byte addresses shifted right by the block
+ *  offset width. */
+using BlockAddr = std::uint32_t;
+
+/**
+ * Geometry of one cache level. All three parameters must be powers
+ * of two and size must be divisible by block * assoc.
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes.
+     * @param block_bytes block (line) size in bytes.
+     * @param assoc associativity (1 = direct mapped).
+     */
+    CacheGeometry(std::uint32_t size_bytes, std::uint32_t block_bytes,
+                  std::uint32_t assoc);
+
+    std::uint32_t sizeBytes() const { return size_; }
+    std::uint32_t blockBytes() const { return block_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t sets() const { return sets_; }
+
+    unsigned offsetBits() const { return offset_bits_; }
+    unsigned indexBits() const { return index_bits_; }
+
+    /** Block address containing byte address @p a. */
+    BlockAddr
+    blockAddrOf(Addr a) const
+    {
+        return a >> offset_bits_;
+    }
+
+    /** Set index of block @p b. */
+    std::uint32_t
+    setOf(BlockAddr b) const
+    {
+        return b & maskBits(index_bits_);
+    }
+
+    /** Full (untruncated) tag of block @p b. */
+    std::uint32_t
+    fullTagOf(BlockAddr b) const
+    {
+        return b >> index_bits_;
+    }
+
+    /** Reconstruct a block address from tag and set. */
+    BlockAddr
+    blockAddrFrom(std::uint32_t full_tag, std::uint32_t set) const
+    {
+        return (full_tag << index_bits_) | set;
+    }
+
+    /** First byte address of block @p b. */
+    Addr
+    byteAddrOf(BlockAddr b) const
+    {
+        return b << offset_bits_;
+    }
+
+    /** Number of full-tag bits for 32-bit byte addresses. */
+    unsigned
+    fullTagBits() const
+    {
+        return 32 - offset_bits_ - index_bits_;
+    }
+
+    /** Short name like "256K-32" (paper notation), with
+     *  associativity when it is not 1. */
+    std::string name() const;
+
+    bool
+    operator==(const CacheGeometry &o) const
+    {
+        return size_ == o.size_ && block_ == o.block_ &&
+               assoc_ == o.assoc_;
+    }
+
+  private:
+    std::uint32_t size_;
+    std::uint32_t block_;
+    std::uint32_t assoc_;
+    std::uint32_t sets_;
+    unsigned offset_bits_;
+    unsigned index_bits_;
+};
+
+} // namespace mem
+} // namespace assoc
+
+#endif // ASSOC_MEM_GEOMETRY_H

@@ -1,0 +1,312 @@
+#include "mem/hierarchy.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace mem {
+
+double
+HierarchyStats::l1MissRatio() const
+{
+    return proc_refs == 0 ? 0.0
+                          : static_cast<double>(l1_misses) / proc_refs;
+}
+
+double
+HierarchyStats::globalMissRatio() const
+{
+    return proc_refs == 0 ? 0.0
+                          : static_cast<double>(read_in_misses) /
+                                proc_refs;
+}
+
+double
+HierarchyStats::localMissRatio() const
+{
+    std::uint64_t reqs = read_ins + write_backs;
+    return reqs == 0 ? 0.0
+                     : static_cast<double>(read_in_misses +
+                                           write_back_misses) /
+                           reqs;
+}
+
+double
+HierarchyStats::writeBackFraction() const
+{
+    std::uint64_t reqs = read_ins + write_backs;
+    return reqs == 0 ? 0.0 : static_cast<double>(write_backs) / reqs;
+}
+
+double
+HierarchyStats::hintAccuracy() const
+{
+    std::uint64_t n = hint_correct + hint_wrong;
+    return n == 0 ? 0.0 : static_cast<double>(hint_correct) / n;
+}
+
+TwoLevelHierarchy::TwoLevelHierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2, cfg.l2_replacement),
+      way_hint_(static_cast<std::size_t>(cfg.l1.sets()) *
+                    cfg.l1.assoc(),
+                -1)
+{
+    fatalIf(cfg_.l1.blockBytes() > cfg_.l2.blockBytes(),
+            "level-one block size exceeds level-two block size");
+}
+
+void
+TwoLevelHierarchy::addObserver(L2Observer *obs)
+{
+    panicIf(obs == nullptr, "null observer");
+    observers_.push_back(obs);
+}
+
+void
+TwoLevelHierarchy::setMemorySide(MemorySide *mem)
+{
+    panicIf(mem == nullptr, "null memory side");
+    mem_side_ = mem;
+}
+
+void
+TwoLevelHierarchy::notify(const L2AccessView &view)
+{
+    for (L2Observer *obs : observers_)
+        obs->observe(view);
+}
+
+int
+TwoLevelHierarchy::l2ReadIn(BlockAddr l2_block)
+{
+    ++stats_.read_ins;
+    int way = l2_.findWay(l2_block);
+
+    L2AccessView view;
+    view.type = L2ReqType::ReadIn;
+    view.set = cfg_.l2.setOf(l2_block);
+    view.block = l2_block;
+    view.full_tag = cfg_.l2.fullTagOf(l2_block);
+    view.cache = &l2_;
+    view.hit_way = way;
+    view.hint_way = -1;
+    notify(view);
+
+    if (way >= 0) {
+        ++stats_.read_in_hits;
+        l2_.touch(view.set, way);
+        return way;
+    }
+    ++stats_.read_in_misses;
+    // Fetch from the memory side; the line arrives clean. The
+    // read-in precedes the victim write-back, mirroring the L1-L2
+    // protocol.
+    if (mem_side_)
+        mem_side_->fetch(l2_block);
+    FillResult fr = l2_.fill(l2_block, false);
+    if (cfg_.enforce_inclusion && fr.evicted)
+        enforceInclusion(fr.victim_block);
+    if (fr.evicted && fr.victim_dirty && mem_side_)
+        mem_side_->writeBack(fr.victim_block);
+    return fr.way;
+}
+
+void
+TwoLevelHierarchy::enforceInclusion(BlockAddr evicted_l2_block)
+{
+    // Every level-one line inside the evicted level-two block must
+    // leave the level one as well [Baer88].
+    std::uint32_t ratio = cfg_.l2.blockBytes() / cfg_.l1.blockBytes();
+    trace::Addr base = cfg_.l2.byteAddrOf(evicted_l2_block);
+    for (std::uint32_t i = 0; i < ratio; ++i) {
+        BlockAddr l1_block =
+            cfg_.l1.blockAddrOf(base + i * cfg_.l1.blockBytes());
+        std::uint32_t set = cfg_.l1.setOf(l1_block);
+        int way = l1_.findWay(l1_block);
+        if (way < 0)
+            continue;
+        ++stats_.inclusion_invalidations;
+        if (l1_.line(set, way).dirty) {
+            // The dirty words travel to memory with the level-two
+            // victim (not modeled beyond counting).
+            ++stats_.inclusion_dirty_invalidations;
+        }
+        l1_.invalidate(l1_block);
+        way_hint_[static_cast<std::size_t>(set) * cfg_.l1.assoc() +
+                  way] = -1;
+    }
+}
+
+void
+TwoLevelHierarchy::l2WriteBack(BlockAddr l2_block, int hint_way)
+{
+    ++stats_.write_backs;
+    int way = l2_.findWay(l2_block);
+
+    L2AccessView view;
+    view.type = L2ReqType::WriteBack;
+    view.set = cfg_.l2.setOf(l2_block);
+    view.block = l2_block;
+    view.full_tag = cfg_.l2.fullTagOf(l2_block);
+    view.cache = &l2_;
+    view.hit_way = way;
+    view.hint_way = hint_way;
+    notify(view);
+
+    if (hint_way >= 0) {
+        if (way == hint_way)
+            ++stats_.hint_correct;
+        else
+            ++stats_.hint_wrong;
+    }
+
+    if (way >= 0) {
+        ++stats_.write_back_hits;
+        l2_.setDirty(view.set, way);
+        l2_.touch(view.set, way);
+        return;
+    }
+    // The block was replaced in the level two while still live in
+    // the level one: an inclusion violation.
+    ++stats_.write_back_misses;
+    if (cfg_.allocate_on_wb_miss) {
+        if (mem_side_)
+            mem_side_->fetch(l2_block); // write-allocate
+        FillResult fr = l2_.fill(l2_block, true);
+        if (cfg_.enforce_inclusion && fr.evicted)
+            enforceInclusion(fr.victim_block);
+        if (fr.evicted && fr.victim_dirty && mem_side_)
+            mem_side_->writeBack(fr.victim_block);
+    } else if (mem_side_) {
+        // Without allocation the dirty data goes straight through.
+        mem_side_->writeBack(l2_block);
+    }
+}
+
+void
+TwoLevelHierarchy::access(const trace::MemRef &ref)
+{
+    if (ref.isFlush()) {
+        flushAll();
+        ++stats_.flushes;
+        return;
+    }
+
+    ++stats_.proc_refs;
+    BlockAddr l1_block = cfg_.l1.blockAddrOf(ref.addr);
+    std::uint32_t l1_set = cfg_.l1.setOf(l1_block);
+    int l1_way = l1_.findWay(l1_block);
+
+    if (l1_way >= 0) {
+        ++stats_.l1_hits;
+        l1_.touch(l1_set, l1_way);
+        if (ref.isWrite()) {
+            if (cfg_.write_policy == L1WritePolicy::WriteBack) {
+                l1_.setDirty(l1_set, l1_way);
+            } else {
+                // Write-through: the store goes straight to the
+                // level two, guided by the way hint.
+                int hint =
+                    way_hint_[static_cast<std::size_t>(l1_set) *
+                                  cfg_.l1.assoc() +
+                              l1_way];
+                l2WriteBack(cfg_.l2.blockAddrOf(ref.addr), hint);
+            }
+        }
+        return;
+    }
+
+    ++stats_.l1_misses;
+
+    // Read-in first: the missing block is obtained before the
+    // write-back of the displaced dirty block is issued (Table 3).
+    BlockAddr l2_block = cfg_.l2.blockAddrOf(ref.addr);
+    int l2_way = l2ReadIn(l2_block);
+
+    // Identify the victim line after the read-in (whose inclusion
+    // invalidations may have emptied level-one frames) but before
+    // filling, capturing its dirty state, address and level-two
+    // way hint.
+    int victim_way = l1_.victimWay(l1_set);
+    const Line &victim = l1_.line(l1_set, victim_way);
+    bool victim_needs_wb = victim.valid && victim.dirty;
+    BlockAddr victim_l2_block = 0;
+    int victim_hint = -1;
+    if (victim_needs_wb) {
+        trace::Addr victim_byte = cfg_.l1.byteAddrOf(victim.block);
+        victim_l2_block = cfg_.l2.blockAddrOf(victim_byte);
+        victim_hint =
+            way_hint_[static_cast<std::size_t>(l1_set) *
+                          cfg_.l1.assoc() +
+                      victim_way];
+    }
+
+    bool fill_dirty = ref.isWrite() &&
+                      cfg_.write_policy == L1WritePolicy::WriteBack;
+    FillResult fr = l1_.fill(l1_block, fill_dirty);
+    panicIf(fr.way != victim_way, "level-one victim way changed");
+    way_hint_[static_cast<std::size_t>(l1_set) * cfg_.l1.assoc() +
+              fr.way] = static_cast<std::int16_t>(l2_way);
+
+    // Then the write-back of the displaced dirty block (write-back
+    // policy only; write-through lines are never dirty).
+    if (victim_needs_wb)
+        l2WriteBack(victim_l2_block, victim_hint);
+
+    // A write-through store that missed the level one still goes to
+    // the level two after the read-in.
+    if (ref.isWrite() &&
+        cfg_.write_policy == L1WritePolicy::WriteThrough)
+        l2WriteBack(l2_block, l2_way);
+}
+
+void
+TwoLevelHierarchy::run(trace::TraceSource &src)
+{
+    trace::MemRef r;
+    src.reset();
+    while (src.next(r))
+        access(r);
+}
+
+bool
+TwoLevelHierarchy::remoteInvalidate(BlockAddr l2_block)
+{
+    int way = l2_.findWay(l2_block);
+    if (way < 0)
+        return false;
+    ++stats_.coherency_invalidations;
+    l2_.invalidate(l2_block);
+    // The invalidation propagates to the level one (as coherency
+    // protocols require of an inclusive hierarchy; and without
+    // inclusion, stale level-one copies must still die).
+    std::uint32_t ratio = cfg_.l2.blockBytes() / cfg_.l1.blockBytes();
+    trace::Addr base = cfg_.l2.byteAddrOf(l2_block);
+    for (std::uint32_t i = 0; i < ratio; ++i) {
+        BlockAddr l1_block =
+            cfg_.l1.blockAddrOf(base + i * cfg_.l1.blockBytes());
+        std::uint32_t set = cfg_.l1.setOf(l1_block);
+        int l1_way = l1_.findWay(l1_block);
+        if (l1_way < 0)
+            continue;
+        l1_.invalidate(l1_block);
+        way_hint_[static_cast<std::size_t>(set) * cfg_.l1.assoc() +
+                  l1_way] = -1;
+    }
+    return true;
+}
+
+void
+TwoLevelHierarchy::flushAll()
+{
+    l1_.flush();
+    l2_.flush();
+    std::fill(way_hint_.begin(), way_hint_.end(),
+              static_cast<std::int16_t>(-1));
+    for (L2Observer *obs : observers_)
+        obs->onFlush();
+    if (mem_side_)
+        mem_side_->onFlush();
+}
+
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,113 @@
+#include "mem/third_level.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace mem {
+
+double
+ThirdLevelStats::localMissRatio() const
+{
+    std::uint64_t reqs = read_ins + write_backs;
+    return reqs == 0 ? 0.0
+                     : static_cast<double>(read_in_misses +
+                                           write_back_misses) /
+                           reqs;
+}
+
+double
+ThirdLevelStats::writeBackFraction() const
+{
+    std::uint64_t reqs = read_ins + write_backs;
+    return reqs == 0 ? 0.0 : static_cast<double>(write_backs) / reqs;
+}
+
+ThirdLevelCache::ThirdLevelCache(const CacheGeometry &l3,
+                                 const CacheGeometry &l2,
+                                 ReplPolicy policy)
+    : l2_geom_(l2), l3_(l3, policy)
+{
+    fatalIf(l2.blockBytes() > l3.blockBytes(),
+            "level-two block size exceeds level-three block size");
+}
+
+void
+ThirdLevelCache::addObserver(L2Observer *obs)
+{
+    panicIf(obs == nullptr, "null observer");
+    observers_.push_back(obs);
+}
+
+BlockAddr
+ThirdLevelCache::l3BlockOf(BlockAddr l2_block) const
+{
+    return l3_.geom().blockAddrOf(l2_geom_.byteAddrOf(l2_block));
+}
+
+void
+ThirdLevelCache::notify(const L2AccessView &view)
+{
+    for (L2Observer *obs : observers_)
+        obs->observe(view);
+}
+
+void
+ThirdLevelCache::access(BlockAddr l3_block, L2ReqType type)
+{
+    int way = l3_.findWay(l3_block);
+
+    L2AccessView view;
+    view.type = type;
+    view.set = l3_.geom().setOf(l3_block);
+    view.block = l3_block;
+    view.full_tag = l3_.geom().fullTagOf(l3_block);
+    view.cache = &l3_;
+    view.hit_way = way;
+    view.hint_way = -1;
+    notify(view);
+
+    if (type == L2ReqType::ReadIn) {
+        ++stats_.read_ins;
+        if (way >= 0) {
+            ++stats_.read_in_hits;
+            l3_.touch(view.set, way);
+        } else {
+            ++stats_.read_in_misses;
+            // Fetch from memory; dirty victims go to memory.
+            l3_.fill(l3_block, false);
+        }
+    } else {
+        ++stats_.write_backs;
+        if (way >= 0) {
+            ++stats_.write_back_hits;
+            l3_.setDirty(view.set, way);
+            l3_.touch(view.set, way);
+        } else {
+            ++stats_.write_back_misses;
+            l3_.fill(l3_block, true);
+        }
+    }
+}
+
+void
+ThirdLevelCache::fetch(BlockAddr l2_block)
+{
+    access(l3BlockOf(l2_block), L2ReqType::ReadIn);
+}
+
+void
+ThirdLevelCache::writeBack(BlockAddr l2_block)
+{
+    access(l3BlockOf(l2_block), L2ReqType::WriteBack);
+}
+
+void
+ThirdLevelCache::onFlush()
+{
+    l3_.flush();
+    for (L2Observer *obs : observers_)
+        obs->onFlush();
+}
+
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,188 @@
+#include "sim/config_parse.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/mru_lookup.h"
+#include "core/swap_mru_lookup.h"
+#include "core/wide_lookup.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace sim {
+
+namespace {
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::uint32_t
+parseUnsigned(const std::string &text, const std::string &what)
+{
+    fatalIf(text.empty(), what + ": empty number");
+    std::uint64_t v = 0;
+    for (char c : text) {
+        fatalIf(!std::isdigit(static_cast<unsigned char>(c)),
+                what + ": '" + text + "' is not a number");
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        fatalIf(v > 0xffffffffull, what + ": '" + text +
+                "' is out of range");
+    }
+    return static_cast<std::uint32_t>(v);
+}
+
+} // namespace
+
+std::uint32_t
+parseSize(const std::string &text)
+{
+    fatalIf(text.empty(), "empty size");
+    std::string body = text;
+    std::uint32_t scale = 1;
+    char last = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(body.back())));
+    if (last == 'K') {
+        scale = 1024;
+        body.pop_back();
+    } else if (last == 'M') {
+        scale = 1024 * 1024;
+        body.pop_back();
+    }
+    std::uint32_t n = parseUnsigned(body, "size");
+    fatalIf(n > 0xffffffffu / scale, "size '" + text +
+            "' is out of range");
+    return n * scale;
+}
+
+mem::CacheGeometry
+parseCacheSpec(const std::string &spec)
+{
+    // SIZE-BLOCK[:ASSOC]
+    auto colon = split(spec, ':');
+    fatalIf(colon.empty() || colon.size() > 2,
+            "bad cache spec '" + spec + "' (want SIZE-BLOCK[:ASSOC])");
+    std::uint32_t assoc =
+        colon.size() == 2 ? parseUnsigned(colon[1], "associativity")
+                          : 1;
+    auto dash = split(colon[0], '-');
+    fatalIf(dash.size() != 2,
+            "bad cache spec '" + spec + "' (want SIZE-BLOCK[:ASSOC])");
+    return mem::CacheGeometry(parseSize(dash[0]),
+                              parseUnsigned(dash[1], "block size"),
+                              assoc);
+}
+
+std::unique_ptr<core::LookupStrategy>
+ParsedScheme::makeStrategy() const
+{
+    switch (extra) {
+      case Extra::SwapMru:
+        return std::make_unique<core::SwapMruLookup>();
+      case Extra::WideNaive:
+        return std::make_unique<core::WideNaiveLookup>(extra_width);
+      case Extra::WideMru:
+        return std::make_unique<core::WideMruLookup>(extra_width);
+      case Extra::None:
+        break;
+    }
+    return spec.makeStrategy();
+}
+
+std::vector<ParsedScheme>
+parseSchemeList(const std::string &list, unsigned assoc,
+                unsigned tag_bits)
+{
+    std::vector<ParsedScheme> out;
+    for (const std::string &token : split(list, ',')) {
+        if (token.empty())
+            continue;
+        // Options inside a token use ';' (e.g. partial:k=4;s=2) so
+        // ',' stays the list separator.
+        ParsedScheme parsed;
+        parsed.text = token;
+        parsed.spec.tag_bits = tag_bits;
+
+        auto parts = split(token, ':');
+        const std::string &name = parts[0];
+        if (name == "traditional") {
+            parsed.spec.kind = core::SchemeKind::Traditional;
+        } else if (name == "naive") {
+            parsed.spec.kind = core::SchemeKind::Naive;
+        } else if (name == "mru") {
+            parsed.spec.kind = core::SchemeKind::Mru;
+            if (parts.size() == 2)
+                parsed.spec.mru_list_len =
+                    parseUnsigned(parts[1], "MRU list length");
+        } else if (name == "swapmru") {
+            parsed.extra = ParsedScheme::Extra::SwapMru;
+        } else if (name == "widenaive" || name == "widemru") {
+            fatalIf(parts.size() != 2,
+                    name + " needs a width, e.g. " + name + ":2");
+            parsed.extra = name == "widenaive"
+                               ? ParsedScheme::Extra::WideNaive
+                               : ParsedScheme::Extra::WideMru;
+            parsed.extra_width =
+                parseUnsigned(parts[1], "tag-memory width");
+        } else if (name == "partial") {
+            parsed.spec =
+                core::SchemeSpec::paperPartial(assoc, tag_bits);
+            if (parts.size() == 2) {
+                for (const std::string &opt : split(parts[1], ';')) {
+                    auto kv = split(opt, '=');
+                    fatalIf(kv.size() != 2,
+                            "bad partial option '" + opt + "'");
+                    if (kv[0] == "k") {
+                        parsed.spec.partial_k =
+                            parseUnsigned(kv[1], "k");
+                    } else if (kv[0] == "s") {
+                        parsed.spec.partial_subsets =
+                            parseUnsigned(kv[1], "subsets");
+                    } else if (kv[0] == "tr") {
+                        parsed.spec.transform =
+                            core::transformKindFromString(kv[1]);
+                    } else {
+                        fatal("unknown partial option '" + kv[0] +
+                              "' (k, s or tr)");
+                    }
+                }
+            }
+        } else {
+            fatal("unknown scheme '" + name +
+                  "' (traditional|naive|mru[:len]|swapmru|"
+                  "widenaive:<b>|widemru:<b>|partial[:opts])");
+        }
+        out.push_back(std::move(parsed));
+    }
+    fatalIf(out.empty(), "empty scheme list");
+    return out;
+}
+
+mem::ReplPolicy
+parseReplPolicy(const std::string &text)
+{
+    if (text == "lru")
+        return mem::ReplPolicy::Lru;
+    if (text == "fifo")
+        return mem::ReplPolicy::Fifo;
+    if (text == "random")
+        return mem::ReplPolicy::Random;
+    fatal("unknown replacement policy '" + text +
+          "' (lru|fifo|random)");
+}
+
+} // namespace sim
+} // namespace assoc

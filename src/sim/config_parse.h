@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Textual configuration parsing for command-line drivers.
+ *
+ * Cache specs use the paper's notation, optionally extended with an
+ * associativity: "16K-16" (direct-mapped), "256K-32:4" (4-way),
+ * "1M-64:8". Sizes accept K/M suffixes or plain byte counts.
+ *
+ * Scheme specs are comma-separated lists of:
+ *   traditional | naive | mru | mru:<len> | swapmru |
+ *   widenaive:<b> | widemru:<b> |
+ *   partial | partial:k=<k>,s=<s>,tr=<none|xor|improved|swap>
+ * ("partial" alone uses the paper's rule for the current
+ * associativity and tag width).
+ */
+
+#ifndef ASSOC_SIM_CONFIG_PARSE_H
+#define ASSOC_SIM_CONFIG_PARSE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lookup.h"
+#include "core/scheme.h"
+#include "mem/cache.h"
+#include "mem/geometry.h"
+
+namespace assoc {
+namespace sim {
+
+/** Parse "256K-32:4" into a CacheGeometry; fatal() on bad input. */
+mem::CacheGeometry parseCacheSpec(const std::string &spec);
+
+/** Parse a byte size with optional K/M suffix ("256K", "1M"). */
+std::uint32_t parseSize(const std::string &text);
+
+/** One parsed scheme entry. */
+struct ParsedScheme
+{
+    std::string text;       ///< the original token
+    core::SchemeSpec spec;  ///< ready-to-use scheme description
+    /** Set for the strategies SchemeSpec cannot express
+     *  (swapmru / widenaive / widemru): build via makeStrategy. */
+    enum class Extra { None, SwapMru, WideNaive, WideMru } extra =
+        Extra::None;
+    unsigned extra_width = 1; ///< b for the wide variants
+
+    /** Build the lookup strategy this entry describes. */
+    std::unique_ptr<core::LookupStrategy> makeStrategy() const;
+};
+
+/**
+ * Parse a comma-separated scheme list.
+ * @param assoc level-two associativity (for "partial").
+ * @param tag_bits stored tag width (propagated to every entry).
+ */
+std::vector<ParsedScheme> parseSchemeList(const std::string &list,
+                                          unsigned assoc,
+                                          unsigned tag_bits);
+
+/** Parse "lru" / "fifo" / "random". */
+mem::ReplPolicy parseReplPolicy(const std::string &text);
+
+} // namespace sim
+} // namespace assoc
+
+#endif // ASSOC_SIM_CONFIG_PARSE_H

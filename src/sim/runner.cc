@@ -1,0 +1,88 @@
+#include "sim/runner.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace sim {
+
+RunOutput
+runTrace(trace::TraceSource &src, const RunSpec &spec)
+{
+    mem::TwoLevelHierarchy hier(spec.hier);
+
+    std::vector<std::unique_ptr<core::ProbeMeter>> meters;
+    meters.reserve(spec.schemes.size());
+    for (const core::SchemeSpec &scheme : spec.schemes) {
+        meters.push_back(scheme.makeMeter(spec.wb_optimization));
+        hier.addObserver(meters.back().get());
+    }
+
+    std::unique_ptr<core::MruDistanceMeter> dist;
+    if (spec.with_distances) {
+        dist = std::make_unique<core::MruDistanceMeter>(
+            spec.hier.l2.assoc());
+        hier.addObserver(dist.get());
+    }
+
+    RunOutput out;
+
+    if (spec.coherency_rate == 0.0 &&
+        spec.occupancy_sample_period == 0) {
+        // Fast path: plain streaming.
+        hier.run(src);
+    } else {
+        mem::CoherencyTraffic remote(spec.coherency_rate);
+        trace::MemRef r;
+        src.reset();
+        std::uint64_t n = 0;
+        double occ_sum = 0.0;
+        std::uint64_t occ_samples = 0;
+        while (src.next(r)) {
+            hier.access(r);
+            if (spec.coherency_rate > 0.0)
+                remote.step(hier);
+            ++n;
+            if (spec.occupancy_sample_period != 0 &&
+                n % spec.occupancy_sample_period == 0) {
+                occ_sum += mem::l2ValidFraction(hier);
+                ++occ_samples;
+            }
+        }
+        if (occ_samples != 0)
+            out.mean_occupancy = occ_sum / occ_samples;
+        out.coherency_invalidations = remote.invalidations();
+    }
+
+    out.stats = hier.stats();
+    for (const auto &meter : meters) {
+        out.names.push_back(meter->name());
+        out.probes.push_back(meter->stats());
+    }
+    if (dist) {
+        out.f.assign(spec.hier.l2.assoc() + 1, 0.0);
+        for (unsigned i = 1; i <= spec.hier.l2.assoc(); ++i)
+            out.f[i] = dist->f(i);
+    }
+    return out;
+}
+
+std::string
+cacheName(std::uint32_t bytes, std::uint32_t block)
+{
+    return std::to_string(bytes / 1024) + "K-" + std::to_string(block);
+}
+
+const std::vector<Table4Config> &
+table4Configs()
+{
+    static const std::vector<Table4Config> configs = {
+        {16384, 16, 262144, 32}, {16384, 16, 262144, 16},
+        {16384, 32, 262144, 32}, {4096, 16, 262144, 64},
+        {4096, 16, 262144, 32},  {4096, 16, 262144, 16},
+        {4096, 16, 65536, 32},   {4096, 16, 65536, 16},
+    };
+    return configs;
+}
+
+} // namespace sim
+} // namespace assoc

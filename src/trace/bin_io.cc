@@ -1,0 +1,129 @@
+#include "trace/bin_io.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'S', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 6;
+
+void
+putU32(char *p, std::uint32_t v)
+{
+    p[0] = static_cast<char>(v & 0xff);
+    p[1] = static_cast<char>((v >> 8) & 0xff);
+    p[2] = static_cast<char>((v >> 16) & 0xff);
+    p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1]))
+            << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2]))
+            << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]))
+            << 24);
+}
+
+} // namespace
+
+std::uint64_t
+writeBin(TraceSource &src, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open '" + path + "' for writing");
+
+    // Header with a zero count placeholder; patched at the end.
+    std::array<char, kHeaderBytes> header{};
+    std::memcpy(header.data(), kMagic, 4);
+    putU32(header.data() + 4, kVersion);
+    out.write(header.data(), header.size());
+
+    std::uint64_t n = 0;
+    MemRef r;
+    src.reset();
+    std::array<char, kRecordBytes> rec{};
+    while (src.next(r)) {
+        putU32(rec.data(), r.addr);
+        rec[4] = static_cast<char>(r.type);
+        rec[5] = static_cast<char>(r.pid);
+        out.write(rec.data(), rec.size());
+        ++n;
+    }
+
+    putU32(header.data() + 8, static_cast<std::uint32_t>(n & 0xffffffffu));
+    putU32(header.data() + 12, static_cast<std::uint32_t>(n >> 32));
+    out.seekp(0);
+    out.write(header.data(), header.size());
+    fatalIf(!out.good(), "error writing '" + path + "'");
+    return n;
+}
+
+BinTraceSource::BinTraceSource(const std::string &path) : path_(path)
+{
+    in_.open(path_, std::ios::binary);
+    fatalIf(!in_, "cannot open binary trace '" + path_ + "'");
+    readHeader();
+}
+
+void
+BinTraceSource::readHeader()
+{
+    std::array<char, kHeaderBytes> header{};
+    in_.read(header.data(), header.size());
+    fatalIf(in_.gcount() != static_cast<std::streamsize>(kHeaderBytes),
+            "'" + path_ + "' is too short to be a binary trace");
+    fatalIf(std::memcmp(header.data(), kMagic, 4) != 0,
+            "'" + path_ + "' has a bad magic number");
+    std::uint32_t version = getU32(header.data() + 4);
+    fatalIf(version != kVersion, "'" + path_ + "' has version " +
+            std::to_string(version) + "; expected " +
+            std::to_string(kVersion));
+    count_ = static_cast<std::uint64_t>(getU32(header.data() + 8)) |
+             (static_cast<std::uint64_t>(getU32(header.data() + 12))
+              << 32);
+    pos_ = 0;
+}
+
+bool
+BinTraceSource::next(MemRef &ref)
+{
+    if (pos_ >= count_)
+        return false;
+    std::array<char, kRecordBytes> rec{};
+    in_.read(rec.data(), rec.size());
+    fatalIf(in_.gcount() != static_cast<std::streamsize>(kRecordBytes),
+            "'" + path_ + "' is truncated (header claims " +
+            std::to_string(count_) + " records)");
+    ref.addr = getU32(rec.data());
+    std::uint8_t t = static_cast<std::uint8_t>(rec[4]);
+    fatalIf(t > static_cast<std::uint8_t>(RefType::Flush),
+            "'" + path_ + "': bad record type " + std::to_string(t));
+    ref.type = static_cast<RefType>(t);
+    ref.pid = static_cast<std::uint8_t>(rec[5]);
+    ++pos_;
+    return true;
+}
+
+void
+BinTraceSource::reset()
+{
+    in_.clear();
+    in_.seekg(kHeaderBytes);
+    pos_ = 0;
+    fatalIf(!in_.good(), "cannot rewind binary trace '" + path_ + "'");
+}
+
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Packed binary trace format: compact (6 bytes/reference) and fast.
+ *
+ * Layout: 16-byte header (magic "ASTR", u32 version, u64 count),
+ * then count records of {u32 addr (little endian), u8 type, u8 pid}.
+ */
+
+#ifndef ASSOC_TRACE_BIN_IO_H
+#define ASSOC_TRACE_BIN_IO_H
+
+#include <fstream>
+#include <string>
+
+#include "trace/trace_source.h"
+
+namespace assoc {
+namespace trace {
+
+/** Write all references of @p src to @p path in binary format.
+ *  @return number of references written. */
+std::uint64_t writeBin(TraceSource &src, const std::string &path);
+
+/** Streaming reader for binary trace files. */
+class BinTraceSource : public TraceSource
+{
+  public:
+    /** Open @p path; calls fatal() on bad magic/version. */
+    explicit BinTraceSource(const std::string &path);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+
+    /** Number of references in the file (from the header). */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    void readHeader();
+
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace trace
+} // namespace assoc
+
+#endif // ASSOC_TRACE_BIN_IO_H

@@ -1,0 +1,117 @@
+#include "trace/din_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+
+namespace {
+
+int
+labelOf(RefType t)
+{
+    switch (t) {
+      case RefType::Read:
+        return 0;
+      case RefType::Write:
+        return 1;
+      case RefType::Ifetch:
+        return 2;
+      case RefType::Flush:
+        return 4;
+    }
+    return 0;
+}
+
+RefType
+typeOf(int label, const std::string &path, std::uint64_t line)
+{
+    switch (label) {
+      case 0:
+        return RefType::Read;
+      case 1:
+        return RefType::Write;
+      case 2:
+        return RefType::Ifetch;
+      case 4:
+        return RefType::Flush;
+      default:
+        fatal(path + ":" + std::to_string(line) +
+              ": unknown din label " + std::to_string(label));
+    }
+}
+
+} // namespace
+
+void
+writeDin(TraceSource &src, const std::string &path)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open '" + path + "' for writing");
+    out << "# din trace (label addr-hex pid)\n";
+    MemRef r;
+    src.reset();
+    while (src.next(r)) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%d %x %u\n", labelOf(r.type),
+                      r.addr, static_cast<unsigned>(r.pid));
+        out << buf;
+    }
+    fatalIf(!out.good(), "error writing '" + path + "'");
+}
+
+DinTraceSource::DinTraceSource(const std::string &path) : path_(path)
+{
+    in_.open(path_);
+    fatalIf(!in_, "cannot open din trace '" + path_ + "'");
+}
+
+bool
+DinTraceSource::next(MemRef &ref)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream iss(line);
+        int label = -1;
+        std::string addr_hex;
+        unsigned pid = 0;
+        iss >> label >> addr_hex;
+        fatalIf(iss.fail(), path_ + ":" + std::to_string(line_) +
+                ": malformed din line '" + line + "'");
+        iss >> pid; // optional third column
+        std::uint64_t addr = 0;
+        try {
+            std::size_t pos = 0;
+            addr = std::stoull(addr_hex, &pos, 16);
+            fatalIf(pos != addr_hex.size(), path_ + ":" +
+                    std::to_string(line_) + ": bad address '" +
+                    addr_hex + "'");
+        } catch (const std::logic_error &) {
+            fatal(path_ + ":" + std::to_string(line_) +
+                  ": bad address '" + addr_hex + "'");
+        }
+        ref.addr = static_cast<Addr>(addr);
+        ref.type = typeOf(label, path_, line_);
+        ref.pid = static_cast<std::uint8_t>(pid);
+        return true;
+    }
+    return false;
+}
+
+void
+DinTraceSource::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    line_ = 0;
+    fatalIf(!in_.good(), "cannot rewind din trace '" + path_ + "'");
+}
+
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dinero ("din") ASCII trace format reader/writer.
+ *
+ * The classic format is one reference per line: "<label> <hex-addr>"
+ * with label 0 = data read, 1 = data write, 2 = instruction fetch.
+ * We additionally use label 4 for a cache-flush marker (Dinero III
+ * reserved 3 for its own purposes) and allow an optional third
+ * column carrying the process id. Lines starting with '#' are
+ * comments.
+ */
+
+#ifndef ASSOC_TRACE_DIN_IO_H
+#define ASSOC_TRACE_DIN_IO_H
+
+#include <fstream>
+#include <string>
+
+#include "trace/trace_source.h"
+
+namespace assoc {
+namespace trace {
+
+/** Write all references of @p src to @p path in din format. */
+void writeDin(TraceSource &src, const std::string &path);
+
+/** Streaming reader for din trace files. */
+class DinTraceSource : public TraceSource
+{
+  public:
+    /** Open @p path; calls fatal() when unreadable. */
+    explicit DinTraceSource(const std::string &path);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+
+  private:
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t line_ = 0;
+};
+
+} // namespace trace
+} // namespace assoc
+
+#endif // ASSOC_TRACE_DIN_IO_H

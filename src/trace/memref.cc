@@ -1,0 +1,23 @@
+#include "trace/memref.h"
+
+namespace assoc {
+namespace trace {
+
+const char *
+refTypeName(RefType t)
+{
+    switch (t) {
+      case RefType::Read:
+        return "read";
+      case RefType::Write:
+        return "write";
+      case RefType::Ifetch:
+        return "ifetch";
+      case RefType::Flush:
+        return "flush";
+    }
+    return "unknown";
+}
+
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,80 @@
+#include "trace/sampling.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+
+WindowSampledSource::WindowSampledSource(TraceSource &inner,
+                                         std::uint64_t on_refs,
+                                         std::uint64_t off_refs)
+    : inner_(inner), on_refs_(on_refs), off_refs_(off_refs)
+{
+    fatalIf(on_refs_ == 0, "window sampling needs a non-empty "
+                           "on-window");
+}
+
+bool
+WindowSampledSource::next(MemRef &ref)
+{
+    const std::uint64_t period = on_refs_ + off_refs_;
+    while (inner_.next(ref)) {
+        // Flush markers do not advance the window position and
+        // always pass: cold-start boundaries must survive sampling.
+        if (ref.isFlush())
+            return true;
+        bool in_window = pos_ % period < on_refs_;
+        ++pos_;
+        if (in_window)
+            return true;
+    }
+    return false;
+}
+
+void
+WindowSampledSource::reset()
+{
+    inner_.reset();
+    pos_ = 0;
+}
+
+SetSampledSource::SetSampledSource(TraceSource &inner,
+                                   std::uint32_t block_bytes,
+                                   std::uint32_t sets,
+                                   std::uint32_t first_set,
+                                   std::uint32_t set_count)
+    : inner_(inner), first_set_(first_set), set_count_(set_count)
+{
+    fatalIf(!isPow2(block_bytes), "block size must be a power of two");
+    fatalIf(!isPow2(sets), "set count must be a power of two");
+    offset_bits_ = log2i(block_bytes);
+    set_mask_ = sets - 1;
+    fatalIf(set_count_ == 0, "set sampling needs at least one set");
+    fatalIf(first_set_ >= sets || set_count_ > sets - first_set_,
+            "sampled set range exceeds the geometry");
+}
+
+bool
+SetSampledSource::next(MemRef &ref)
+{
+    while (inner_.next(ref)) {
+        ++consumed_;
+        if (ref.isFlush())
+            return true;
+        std::uint32_t set = (ref.addr >> offset_bits_) & set_mask_;
+        if (set >= first_set_ && set < first_set_ + set_count_)
+            return true;
+    }
+    return false;
+}
+
+void
+SetSampledSource::reset()
+{
+    inner_.reset();
+    consumed_ = 0;
+}
+
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,128 @@
+#include "trace/synthetic.h"
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+
+SequentialScan::SequentialScan(Addr base, std::uint32_t step,
+                               std::uint64_t count, RefType type)
+    : base_(base), step_(step), count_(count), type_(type)
+{
+    fatalIf(step_ == 0, "SequentialScan: zero step");
+}
+
+bool
+SequentialScan::next(MemRef &ref)
+{
+    if (pos_ >= count_)
+        return false;
+    ref.addr = base_ + static_cast<Addr>(pos_ * step_);
+    ref.type = type_;
+    ref.pid = 0;
+    ++pos_;
+    return true;
+}
+
+void
+SequentialScan::reset()
+{
+    pos_ = 0;
+}
+
+LoopTrace::LoopTrace(Addr base, std::uint32_t block_bytes,
+                     std::uint32_t blocks, std::uint64_t count)
+    : base_(base), block_bytes_(block_bytes), blocks_(blocks),
+      count_(count)
+{
+    fatalIf(block_bytes_ == 0, "LoopTrace: zero block size");
+    fatalIf(blocks_ == 0, "LoopTrace: empty working set");
+}
+
+bool
+LoopTrace::next(MemRef &ref)
+{
+    if (pos_ >= count_)
+        return false;
+    std::uint32_t idx = static_cast<std::uint32_t>(pos_ % blocks_);
+    ref.addr = base_ + idx * block_bytes_;
+    ref.type = RefType::Read;
+    ref.pid = 0;
+    ++pos_;
+    return true;
+}
+
+void
+LoopTrace::reset()
+{
+    pos_ = 0;
+}
+
+UniformRandomTrace::UniformRandomTrace(Addr base,
+                                       std::uint32_t block_bytes,
+                                       std::uint32_t blocks,
+                                       std::uint64_t count,
+                                       std::uint64_t seed,
+                                       double write_fraction)
+    : base_(base), block_bytes_(block_bytes), blocks_(blocks),
+      count_(count), seed_(seed), write_fraction_(write_fraction),
+      rng_(seed)
+{
+    fatalIf(block_bytes_ == 0, "UniformRandomTrace: zero block size");
+    fatalIf(blocks_ == 0, "UniformRandomTrace: empty region");
+    fatalIf(write_fraction_ < 0.0 || write_fraction_ > 1.0,
+            "UniformRandomTrace: write fraction out of [0, 1]");
+}
+
+bool
+UniformRandomTrace::next(MemRef &ref)
+{
+    if (pos_ >= count_)
+        return false;
+    ref.addr = base_ + rng_.below(blocks_) * block_bytes_;
+    ref.type = (write_fraction_ > 0.0 && rng_.chance(write_fraction_))
+                   ? RefType::Write
+                   : RefType::Read;
+    ref.pid = 0;
+    ++pos_;
+    return true;
+}
+
+void
+UniformRandomTrace::reset()
+{
+    rng_.reseed(seed_);
+    pos_ = 0;
+}
+
+StrideTrace::StrideTrace(Addr base, std::uint32_t stride,
+                         std::uint64_t refs_per_pass,
+                         std::uint32_t passes)
+    : base_(base), stride_(stride), refs_per_pass_(refs_per_pass),
+      passes_(passes)
+{
+    fatalIf(stride_ == 0, "StrideTrace: zero stride");
+    fatalIf(refs_per_pass_ == 0, "StrideTrace: empty pass");
+}
+
+bool
+StrideTrace::next(MemRef &ref)
+{
+    if (pos_ >= refs_per_pass_ * passes_)
+        return false;
+    std::uint64_t in_pass = pos_ % refs_per_pass_;
+    ref.addr = base_ + static_cast<Addr>(in_pass * stride_);
+    ref.type = RefType::Read;
+    ref.pid = 0;
+    ++pos_;
+    return true;
+}
+
+void
+StrideTrace::reset()
+{
+    pos_ = 0;
+}
+
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Streaming trace-source interface and a simple in-memory source.
+ *
+ * Traces are streamed rather than materialized: an 8-million
+ * reference trace replayed over dozens of cache configurations
+ * would otherwise dominate memory. Sources are resettable so every
+ * configuration replays the byte-identical stream.
+ */
+
+#ifndef ASSOC_TRACE_TRACE_SOURCE_H
+#define ASSOC_TRACE_TRACE_SOURCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/memref.h"
+
+namespace assoc {
+namespace trace {
+
+/** Abstract resettable stream of memory references. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @param ref output record, valid only when true is returned.
+     * @return false at end of trace.
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Rewind to the beginning; the same stream replays. */
+    virtual void reset() = 0;
+};
+
+/** Trace source over an in-memory vector (tests, small traces). */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    VectorTraceSource() = default;
+    explicit VectorTraceSource(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {}
+
+    /** Append one reference (before streaming). */
+    void push(const MemRef &r) { refs_.push_back(r); }
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos_ >= refs_.size())
+            return false;
+        ref = refs_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    /** Total number of stored references. */
+    std::size_t size() const { return refs_.size(); }
+
+    /** Access to the underlying records. */
+    const std::vector<MemRef> &refs() const { return refs_; }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Wrap a source, truncating it after @p limit references.
+ * Useful for quick runs of the full ATUM-like trace.
+ */
+class LimitedTraceSource : public TraceSource
+{
+  public:
+    LimitedTraceSource(TraceSource &inner, std::uint64_t limit)
+        : inner_(inner), limit_(limit)
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (count_ >= limit_)
+            return false;
+        if (!inner_.next(ref))
+            return false;
+        ++count_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_.reset();
+        count_ = 0;
+    }
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t limit_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace trace
+} // namespace assoc
+
+#endif // ASSOC_TRACE_TRACE_SOURCE_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-bucket and sparse histograms for distribution statistics
+ * (e.g. the MRU-distance distribution f_i of Figure 5).
+ */
+
+#ifndef ASSOC_UTIL_HISTOGRAM_H
+#define ASSOC_UTIL_HISTOGRAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace assoc {
+
+/**
+ * Histogram over small non-negative integers with an overflow
+ * bucket. Bucket i counts samples equal to i; samples >= size go to
+ * the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param size number of exact buckets. */
+    explicit Histogram(std::size_t size = 0) : buckets_(size, 0) {}
+
+    /** Record one sample of value @p v. */
+    void
+    record(std::uint64_t v)
+    {
+        ++total_;
+        sum_ += v;
+        if (v < buckets_.size())
+            ++buckets_[v];
+        else
+            ++overflow_;
+    }
+
+    /** Number of exact buckets. */
+    std::size_t size() const { return buckets_.size(); }
+
+    /** Count in bucket @p i. */
+    std::uint64_t count(std::size_t i) const { return buckets_.at(i); }
+
+    /** Count of samples >= size(). */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Total number of recorded samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket @p i (0 when empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        std::uint64_t c = buckets_.at(i);
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(c) /
+                                 static_cast<double>(total_);
+    }
+
+    /** Mean of all recorded samples (0 when empty). */
+    double
+    mean() const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(total_);
+    }
+
+    /** Reset all counts (bucket count is preserved). */
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        overflow_ = 0;
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_HISTOGRAM_H

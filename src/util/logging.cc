@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace assoc {
+
+namespace {
+std::atomic<bool> quiet_flag{false};
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (!quiet_flag.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quiet_flag.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace assoc

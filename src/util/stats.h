@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scalar statistics accumulators: running means and ratios.
+ */
+
+#ifndef ASSOC_UTIL_STATS_H
+#define ASSOC_UTIL_STATS_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace assoc {
+
+/**
+ * Running mean and variance of a stream of doubles. Sums of squares
+ * are kept alongside the plain sum (probe counts are small, so this
+ * is numerically safe) to make merging accumulators trivial.
+ */
+class MeanAccum
+{
+  public:
+    /** Record one sample. */
+    void
+    record(double v)
+    {
+        sum_ += v;
+        sumsq_ += v * v;
+        ++n_;
+    }
+
+    /** Record @p v with integer weight @p w. */
+    void
+    record(double v, std::uint64_t w)
+    {
+        sum_ += v * static_cast<double>(w);
+        sumsq_ += v * v * static_cast<double>(w);
+        n_ += w;
+    }
+
+    /** Number of samples. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Mean (0 when empty). */
+    double
+    mean() const
+    {
+        return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+    }
+
+    /** Population variance (0 when empty). */
+    double
+    variance() const
+    {
+        if (n_ == 0)
+            return 0.0;
+        double m = mean();
+        double v = sumsq_ / static_cast<double>(n_) - m * m;
+        return v < 0.0 ? 0.0 : v; // clamp rounding noise
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Reset to empty. */
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        sumsq_ = 0.0;
+        n_ = 0;
+    }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const MeanAccum &other)
+    {
+        sum_ += other.sum_;
+        sumsq_ += other.sumsq_;
+        n_ += other.n_;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/** A hits-out-of-tries ratio counter. */
+class RatioAccum
+{
+  public:
+    /** Record one trial with outcome @p hit. */
+    void
+    record(bool hit)
+    {
+        ++tries_;
+        if (hit)
+            ++hits_;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return tries_ - hits_; }
+    std::uint64_t tries() const { return tries_; }
+
+    /** hits / tries (0 when empty). */
+    double
+    ratio() const
+    {
+        return tries_ == 0 ? 0.0
+                           : static_cast<double>(hits_) /
+                                 static_cast<double>(tries_);
+    }
+
+    /** Reset to empty. */
+    void
+    reset()
+    {
+        hits_ = 0;
+        tries_ = 0;
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t tries_ = 0;
+};
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_STATS_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal text-table writer used by the benchmark harnesses to print
+ * paper-style tables (aligned text, CSV, or Markdown).
+ */
+
+#ifndef ASSOC_UTIL_TABLE_H
+#define ASSOC_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace assoc {
+
+/**
+ * A simple row/column table. Cells are strings; helpers format
+ * doubles with a fixed precision. Render as aligned text (default),
+ * CSV or Markdown.
+ */
+class TextTable
+{
+  public:
+    enum class Format { Text, Csv, Markdown };
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator (Text format only). */
+    void addRule();
+
+    /** Format a double with @p prec digits after the decimal point. */
+    static std::string num(double v, int prec = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render to a stream. */
+    void print(std::ostream &os, Format fmt = Format::Text) const;
+
+    /** Render to a string. */
+    std::string toString(Format fmt = Format::Text) const;
+
+    /** Number of data rows (excluding header and rules). */
+    std::size_t rowCount() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_TABLE_H

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+namespace analytic {
+namespace {
+
+// Table 1 of the paper, verbatim.
+
+TEST(Analytic, TraditionalIsAlwaysOneProbe)
+{
+    EXPECT_DOUBLE_EQ(traditionalHit(), 1.0);
+    EXPECT_DOUBLE_EQ(traditionalMiss(), 1.0);
+}
+
+TEST(Analytic, NaiveTable1Row)
+{
+    // a = 4: hit 2.5, miss 4.
+    EXPECT_DOUBLE_EQ(naiveHit(4), 2.5);
+    EXPECT_DOUBLE_EQ(naiveMiss(4), 4.0);
+    EXPECT_DOUBLE_EQ(naiveHit(1), 1.0);
+    EXPECT_DOUBLE_EQ(naiveHit(16), 8.5);
+}
+
+TEST(Analytic, MruTable1Row)
+{
+    // a = 4, miss = 1 + a = 5.
+    EXPECT_DOUBLE_EQ(mruMiss(4), 5.0);
+    // Hit is 1 + sum i*f_i: bounded by [2, a+1].
+    std::vector<double> best{0.0, 1.0, 0.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(mruHit(best), 2.0);
+    std::vector<double> worst{0.0, 0.0, 0.0, 0.0, 1.0};
+    EXPECT_DOUBLE_EQ(mruHit(worst), 5.0);
+    std::vector<double> uniform{0.0, 0.25, 0.25, 0.25, 0.25};
+    EXPECT_DOUBLE_EQ(mruHit(uniform), 3.5);
+}
+
+TEST(Analytic, PartialTable1RowSingleSubset)
+{
+    // a = 4, k = 4: hit 2 + 3/32 = 2.09375, miss 1 + 4/16 = 1.25.
+    EXPECT_NEAR(partialHit(4, 4, 1), 2.09, 0.005);
+    EXPECT_DOUBLE_EQ(partialMiss(4, 4, 1), 1.25);
+}
+
+TEST(Analytic, PartialTable1RowEightWayNoSubsets)
+{
+    // a = 8, k = 2, s = 1: hit 2 + 7/8 = 2.875 ~ 2.88, miss 3.0.
+    EXPECT_NEAR(partialHit(8, 2, 1), 2.88, 0.005);
+    EXPECT_DOUBLE_EQ(partialMiss(8, 2, 1), 3.0);
+}
+
+TEST(Analytic, PartialTable1RowEightWayTwoSubsets)
+{
+    // a = 8, k = 4, s = 2: hit 2.72, miss 2.5.
+    EXPECT_NEAR(partialHit(8, 4, 2), 2.72, 0.005);
+    EXPECT_DOUBLE_EQ(partialMiss(8, 4, 2), 2.5);
+}
+
+TEST(Analytic, PartialCollapsesAtFullSubsets)
+{
+    // s = a degenerates to the naive scan: each subset is one tag,
+    // k = t. Miss = a (+ ~0 false matches), hit ~ (a+1)/2 + 1...
+    // With k = 16 the false-match terms vanish.
+    EXPECT_NEAR(partialMiss(4, 16, 4), 4.0, 1e-4);
+    // (s+1)/2 + 1 = 3.5: one extra probe versus naive's 2.5 since
+    // each subset probe is followed by the full compare of its tag.
+    EXPECT_NEAR(partialHit(4, 16, 4), 3.5, 1e-3);
+}
+
+TEST(Analytic, ReducedMruCollapsesToFullList)
+{
+    std::vector<double> f{0.0, 0.5, 0.25, 0.15, 0.10};
+    EXPECT_DOUBLE_EQ(mruReducedHit(f, 0), mruHit(f));
+    EXPECT_DOUBLE_EQ(mruReducedHit(f, 4), mruHit(f));
+    EXPECT_DOUBLE_EQ(mruReducedHit(f, 9), mruHit(f));
+}
+
+TEST(Analytic, ReducedMruHandComputation)
+{
+    // a = 4, L = 2: in-list mass 0.75 at distances 1, 2; beyond
+    // mass 0.25 costs 2 + (4 - 2 + 1)/2 = 3.5 probes after the
+    // list read.
+    std::vector<double> f{0.0, 0.5, 0.25, 0.15, 0.10};
+    double expect = 1.0 + (1 * 0.5 + 2 * 0.25) + 0.25 * 3.5;
+    EXPECT_DOUBLE_EQ(mruReducedHit(f, 2), expect);
+}
+
+TEST(Analytic, ShorterListsNeverBeatLongerOnes)
+{
+    std::vector<double> f{0.0, 0.4, 0.3, 0.15, 0.08, 0.04,
+                          0.02, 0.007, 0.003};
+    double prev = mruReducedHit(f, 1);
+    for (unsigned len = 2; len <= 8; ++len) {
+        double cur = mruReducedHit(f, len);
+        EXPECT_LE(cur, prev + 1e-12) << "len=" << len;
+        prev = cur;
+    }
+}
+
+TEST(Analytic, ReducedMruValidation)
+{
+    EXPECT_THROW(mruReducedHit({0.0}, 1), FatalError);
+}
+
+TEST(Analytic, CombinedWeighting)
+{
+    EXPECT_DOUBLE_EQ(combined(2.0, 4.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(combined(2.0, 4.0, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(combined(2.0, 4.0, 0.25), 2.5);
+    EXPECT_THROW(combined(1, 1, -0.1), FatalError);
+    EXPECT_THROW(combined(1, 1, 1.1), FatalError);
+}
+
+TEST(Analytic, KOptMatchesSection2)
+{
+    // k_opt = log2(t) - 1/2: 3.5 for t = 16, 4.5 for t = 32.
+    EXPECT_DOUBLE_EQ(kOpt(16), 3.5);
+    EXPECT_DOUBLE_EQ(kOpt(32), 4.5);
+}
+
+TEST(Analytic, PartialWidth)
+{
+    EXPECT_EQ(partialWidth(4, 16, 1), 4u);
+    EXPECT_EQ(partialWidth(8, 16, 1), 2u);
+    EXPECT_EQ(partialWidth(8, 16, 2), 4u);
+    EXPECT_EQ(partialWidth(16, 16, 4), 4u);
+    EXPECT_EQ(partialWidth(16, 32, 2), 4u);
+    EXPECT_EQ(partialWidth(4, 32, 1), 8u);
+    // s = a gives k = t.
+    EXPECT_EQ(partialWidth(4, 16, 4), 16u);
+}
+
+TEST(Analytic, ChooseSubsetsPrefersFourBitCompares)
+{
+    // Section 2.2 answer (3): with 16-32 bit tags, pick the subset
+    // count giving at least 4-bit partial compares.
+    EXPECT_EQ(chooseSubsets(4, 16), 1u);
+    EXPECT_EQ(chooseSubsets(8, 16), 2u);
+    EXPECT_EQ(chooseSubsets(16, 16), 4u);
+    EXPECT_EQ(chooseSubsets(8, 32), 1u);
+    EXPECT_EQ(chooseSubsets(16, 32), 2u);
+}
+
+TEST(Analytic, ChooseSubsetsTable1Example)
+{
+    // Table 1 remarks that going from 1 to 2 subsets improves the
+    // 8-way 16-bit-tag configuration.
+    double one = combined(partialHit(8, 2, 1), partialMiss(8, 2, 1),
+                          0.2);
+    double two = combined(partialHit(8, 4, 2), partialMiss(8, 4, 2),
+                          0.2);
+    EXPECT_LT(two, one);
+}
+
+TEST(Analytic, ChooseSubsetsReactsToMissRatio)
+{
+    // More subsets always help misses (fewer false matches), so a
+    // very high miss ratio can only shift the optimum toward more
+    // subsets, never fewer.
+    for (unsigned a : {4u, 8u, 16u}) {
+        EXPECT_GE(chooseSubsets(a, 16, 0.9), chooseSubsets(a, 16, 0.0));
+    }
+}
+
+TEST(Analytic, ValidationErrors)
+{
+    EXPECT_THROW(naiveHit(0), FatalError);
+    EXPECT_THROW(partialHit(8, 0, 1), FatalError);
+    EXPECT_THROW(partialHit(8, 4, 3), FatalError);
+    EXPECT_THROW(partialMiss(8, 33, 1), FatalError);
+    EXPECT_THROW(partialWidth(8, 16, 5), FatalError);
+    EXPECT_THROW(kOpt(0), FatalError);
+    EXPECT_THROW(chooseSubsets(6, 16), FatalError);
+}
+
+/** Probes grow linearly in associativity for the serial schemes. */
+TEST(Analytic, SerialSchemesScaleLinearly)
+{
+    for (unsigned a = 2; a <= 64; a *= 2) {
+        EXPECT_DOUBLE_EQ(naiveHit(2 * a) - naiveHit(a), a / 2.0);
+        EXPECT_DOUBLE_EQ(naiveMiss(2 * a) - naiveMiss(a), a);
+        EXPECT_DOUBLE_EQ(mruMiss(2 * a) - mruMiss(a), a);
+    }
+}
+
+} // namespace
+} // namespace analytic
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/hash_rehash.h"
+#include "mem/hierarchy.h"
+#include "trace/atum_like.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace core {
+namespace {
+
+using mem::CacheGeometry;
+using mem::HierarchyConfig;
+using mem::TwoLevelHierarchy;
+using trace::MemRef;
+using trace::RefType;
+
+/**
+ * Drive the shadow directly with crafted views. Uses a hierarchy
+ * whose L2 block size matches the L1 so every L1 miss becomes a
+ * distinct read-in.
+ */
+struct Harness
+{
+    // L1: 64B (4 frames); L2: 512B/16B 1-way: 32 frames.
+    HierarchyConfig cfg{CacheGeometry(64, 16, 1),
+                        CacheGeometry(512, 16, 1), true};
+    TwoLevelHierarchy hier{cfg};
+    HashRehashShadow shadow{32};
+
+    Harness() { hier.addObserver(&shadow); }
+
+    void
+    read(trace::Addr a)
+    {
+        hier.access({a, RefType::Read, 0});
+    }
+};
+
+TEST(HashRehash, FirstTouchMissesWithTwoProbes)
+{
+    Harness h;
+    h.read(0x100);
+    EXPECT_EQ(h.shadow.hits().tries(), 1u);
+    EXPECT_EQ(h.shadow.hits().hits(), 0u);
+    EXPECT_DOUBLE_EQ(h.shadow.missProbes().mean(), 2.0);
+}
+
+TEST(HashRehash, PrimaryHitCostsOneProbe)
+{
+    Harness h;
+    h.read(0x100);
+    h.read(0x200); // evicts 0x100 from the tiny L1, not the shadow
+    h.read(0x100); // L1 miss -> read-in -> shadow primary hit
+    EXPECT_EQ(h.shadow.hits().hits(), 1u);
+    EXPECT_DOUBLE_EQ(h.shadow.hitProbes().mean(), 1.0);
+}
+
+TEST(HashRehash, ConflictDemotesToRehashSlot)
+{
+    Harness h;
+    // Blocks with equal primary index: 32 frames, index bits 0-4 of
+    // the block address. L2 blocks 16B: addr 0x000 -> block 0,
+    // addr 0x2000 -> block 0x200: index 0 too (0x200 & 31 = 0).
+    h.read(0x0000);
+    h.read(0x2000); // conflict: 0x0000 demoted to rehash slot
+    EXPECT_EQ(h.shadow.swaps(), 1u);
+    // Next touch of 0x0000 is a rehash hit (2 probes) + promotion.
+    h.read(0x0000);
+    EXPECT_EQ(h.shadow.hits().hits(), 1u);
+    EXPECT_DOUBLE_EQ(h.shadow.hitProbes().mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.shadow.rehashFraction(), 1.0);
+    EXPECT_EQ(h.shadow.swaps(), 2u);
+    // And the promotion makes the following touch a primary hit.
+    h.read(0x0040); // displaces 0x0000 from the L1 (same L1 set,
+                    // different shadow index)
+    h.read(0x0000);
+    EXPECT_DOUBLE_EQ(h.shadow.hitProbes().mean(), (2.0 + 1.0) / 2);
+}
+
+TEST(HashRehash, HoldsTwoConflictingBlocksLikeTwoWay)
+{
+    Harness h;
+    // Alternate touches of two primary-conflicting blocks: after
+    // the initial misses, hash-rehash keeps both resident (one in
+    // the rehash slot), like a 2-way set.
+    h.read(0x0000);
+    h.read(0x2000);
+    for (int i = 0; i < 6; ++i) {
+        h.read(i % 2 == 0 ? 0x0000 : 0x2000);
+    }
+    // 2 cold misses, everything after hits.
+    EXPECT_EQ(h.shadow.hits().misses(), 2u);
+    EXPECT_EQ(h.shadow.hits().hits(), 6u);
+}
+
+TEST(HashRehash, RehashSlotConflictEvicts)
+{
+    Harness h;
+    // Three blocks sharing a primary index exceed the two slots.
+    h.read(0x0000);
+    h.read(0x2000); // demotes 0x0000
+    h.read(0x4000); // demotes 0x2000, evicting 0x0000 from rehash
+    h.read(0x0000); // gone: miss again
+    EXPECT_EQ(h.shadow.hits().misses(), 4u);
+}
+
+TEST(HashRehash, FlushEmptiesTheArray)
+{
+    Harness h;
+    h.read(0x100);
+    h.hier.access(MemRef::flush());
+    h.read(0x100);
+    EXPECT_EQ(h.shadow.hits().hits(), 0u);
+    EXPECT_EQ(h.shadow.hits().misses(), 2u);
+}
+
+TEST(HashRehash, WriteBacksAreIgnored)
+{
+    Harness h;
+    h.hier.access({0x100, RefType::Write, 0});
+    h.read(0x200); // same L1 set (64B cache): write-back issued
+    ASSERT_GT(h.hier.stats().write_backs, 0u);
+    // Shadow saw only the two read-ins.
+    EXPECT_EQ(h.shadow.hits().tries(), 2u);
+}
+
+TEST(HashRehash, RejectsBadFrameCounts)
+{
+    EXPECT_THROW(HashRehashShadow(0), FatalError);
+    EXPECT_THROW(HashRehashShadow(1), FatalError);
+    EXPECT_THROW(HashRehashShadow(48), FatalError);
+}
+
+TEST(HashRehash, CompetitiveWithTwoWayOnRealTrace)
+{
+    // Footnote 2's claim, loosely: hash-rehash lands in the same
+    // performance zone as a 2-way cache of equal capacity, with
+    // most hits at one probe.
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 2;
+    tcfg.refs_per_segment = 80000;
+    trace::AtumLikeGenerator gen(tcfg);
+
+    HierarchyConfig cfg{CacheGeometry(16384, 16, 1),
+                        CacheGeometry(262144, 32, 2), true};
+    TwoLevelHierarchy hier(cfg);
+    HashRehashShadow shadow(262144 / 32);
+    hier.addObserver(&shadow);
+    hier.run(gen);
+
+    double ri = static_cast<double>(hier.stats().read_ins);
+    double two_way_hr = hier.stats().read_in_hits / ri;
+    double hr = shadow.hits().ratio();
+    // Within a few points of the true 2-way hit ratio.
+    EXPECT_NEAR(hr, two_way_hr, 0.06);
+    // Mostly primary hits -> mean hit probes well under 2.
+    EXPECT_LT(shadow.hitProbes().mean(), 1.5);
+    EXPECT_DOUBLE_EQ(shadow.missProbes().mean(), 2.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mru_lookup.h"
+#include "core/probe_meter.h"
+#include "core/scheme.h"
+#include "mem/hierarchy.h"
+#include "trace/atum_like.h"
+
+namespace assoc {
+namespace core {
+namespace {
+
+using mem::CacheGeometry;
+using mem::HierarchyConfig;
+using mem::TwoLevelHierarchy;
+using trace::MemRef;
+using trace::RefType;
+
+HierarchyConfig
+smallConfig()
+{
+    return HierarchyConfig{CacheGeometry(256, 16, 1),
+                           CacheGeometry(1024, 32, 4), true};
+}
+
+TEST(ProbeStats, AggregatesFollowTable4Definitions)
+{
+    ProbeStats s;
+    s.read_in_hits.record(2.0);
+    s.read_in_hits.record(4.0);
+    s.read_in_misses.record(5.0);
+    s.write_backs.record(0.0);
+    // Hits column: read-in hits + write-backs = (2+4+0)/3.
+    EXPECT_DOUBLE_EQ(s.hitsMean(), 2.0);
+    // Read-ins only: (2+4+5)/3.
+    EXPECT_DOUBLE_EQ(s.readInMean(), 11.0 / 3.0);
+    // Total: (2+4+5+0)/4.
+    EXPECT_DOUBLE_EQ(s.totalMean(), 11.0 / 4.0);
+}
+
+TEST(ProbeStats, ResetClearsEverything)
+{
+    ProbeStats s;
+    s.read_in_hits.record(2.0);
+    s.alias_hits = 3;
+    s.reset();
+    EXPECT_EQ(s.read_in_hits.count(), 0u);
+    EXPECT_EQ(s.alias_hits, 0u);
+}
+
+TEST(ProbeMeter, TraditionalAlwaysOneProbe)
+{
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec spec;
+    spec.kind = SchemeKind::Traditional;
+    auto meter = spec.makeMeter();
+    h.addObserver(meter.get());
+
+    h.access({0x0000, RefType::Read, 0});
+    h.access({0x4000, RefType::Read, 0});
+    h.access({0x0000, RefType::Read, 0}); // L2 hit
+
+    const ProbeStats &s = meter->stats();
+    EXPECT_EQ(s.read_in_misses.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.read_in_misses.mean(), 1.0);
+    EXPECT_EQ(s.read_in_hits.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.read_in_hits.mean(), 1.0);
+}
+
+TEST(ProbeMeter, WriteBackOptimizationZeroProbes)
+{
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec naive;
+    naive.kind = SchemeKind::Naive;
+    auto with_opt = naive.makeMeter(true);
+    auto without_opt = naive.makeMeter(false);
+    h.addObserver(with_opt.get());
+    h.addObserver(without_opt.get());
+
+    h.access({0x0000, RefType::Write, 0});
+    h.access({0x4000, RefType::Read, 0}); // write-back of 0x0000
+
+    EXPECT_EQ(with_opt->stats().write_backs.count(), 1u);
+    EXPECT_DOUBLE_EQ(with_opt->stats().write_backs.mean(), 0.0);
+    EXPECT_EQ(without_opt->stats().write_backs.count(), 1u);
+    EXPECT_GT(without_opt->stats().write_backs.mean(), 0.0);
+}
+
+TEST(ProbeMeter, MruHitAtDistanceOneIsTwoProbes)
+{
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec mru;
+    mru.kind = SchemeKind::Mru;
+    auto meter = mru.makeMeter();
+    h.addObserver(meter.get());
+
+    h.access({0x0000, RefType::Read, 0}); // miss, fills L2
+    h.access({0x4000, RefType::Read, 0}); // conflicts in L1 only
+    h.access({0x0000, RefType::Read, 0}); // L2 hit, but is it MRU?
+    // After the second access, block 0x4000>>5 is MRU in its set
+    // (different L2 block, maybe same set). Keep it simple: the L2
+    // hit to 0x0000 happened with some distance; the meter must
+    // have recorded exactly one read-in hit.
+    EXPECT_EQ(meter->stats().read_in_hits.count(), 1u);
+    // MRU costs at least 2 probes on any hit (list + tag).
+    EXPECT_GE(meter->stats().read_in_hits.mean(), 2.0);
+    // Misses cost exactly 1 + a probes.
+    EXPECT_DOUBLE_EQ(meter->stats().read_in_misses.mean(), 5.0);
+}
+
+TEST(ProbeMeter, NaiveMissCostsAssocProbes)
+{
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec naive;
+    naive.kind = SchemeKind::Naive;
+    auto meter = naive.makeMeter();
+    h.addObserver(meter.get());
+    h.access({0x0000, RefType::Read, 0});
+    EXPECT_DOUBLE_EQ(meter->stats().read_in_misses.mean(), 4.0);
+}
+
+TEST(ProbeMeter, SchemesAgreeWithSimulatorOnLongRun)
+{
+    // Over a realistic stream, no scheme may ever miss a block the
+    // simulator holds (the meter panics), and alias events should
+    // not occur with full-width (16-bit-sufficient) tags.
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 2;
+    tcfg.refs_per_segment = 30000;
+    tcfg.processes = 2;
+    trace::AtumLikeGenerator gen(tcfg);
+
+    TwoLevelHierarchy h(smallConfig());
+    std::vector<std::unique_ptr<ProbeMeter>> meters;
+    for (SchemeKind kind :
+         {SchemeKind::Traditional, SchemeKind::Naive, SchemeKind::Mru,
+          SchemeKind::Partial}) {
+        SchemeSpec spec;
+        spec.kind = kind;
+        spec.tag_bits = 32; // full tags: alias-free
+        if (kind == SchemeKind::Partial)
+            spec = SchemeSpec::paperPartial(4, 32, 4);
+        meters.push_back(spec.makeMeter());
+        h.addObserver(meters.back().get());
+    }
+    h.run(gen);
+
+    const auto &hs = h.stats();
+    for (const auto &m : meters) {
+        const ProbeStats &s = m->stats();
+        EXPECT_EQ(s.read_in_hits.count(), hs.read_in_hits);
+        EXPECT_EQ(s.read_in_misses.count(), hs.read_in_misses);
+        EXPECT_EQ(s.write_backs.count(), hs.write_backs);
+        EXPECT_EQ(s.alias_hits, 0u) << m->name();
+        EXPECT_EQ(s.alias_wrong_way, 0u) << m->name();
+    }
+}
+
+TEST(ProbeMeter, ProbeOrderingInvariants)
+{
+    // Traditional <= Partial(total) and Traditional <= MRU <= Naive
+    // need not hold per access, but clear orderings hold on misses:
+    // Traditional(1) < Partial(s + fm) <= Naive(a) < MRU(a+1).
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 1;
+    tcfg.refs_per_segment = 40000;
+    tcfg.processes = 2;
+    trace::AtumLikeGenerator gen(tcfg);
+
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec trad, naive, mru;
+    trad.kind = SchemeKind::Traditional;
+    naive.kind = SchemeKind::Naive;
+    mru.kind = SchemeKind::Mru;
+    // The tiny test cache has 24 full-tag bits; use 32-bit tags so
+    // no aliasing clouds the exact miss costs below.
+    trad.tag_bits = naive.tag_bits = mru.tag_bits = 32;
+    SchemeSpec partial = SchemeSpec::paperPartial(4, 32, 4);
+    auto m_trad = trad.makeMeter();
+    auto m_naive = naive.makeMeter();
+    auto m_mru = mru.makeMeter();
+    auto m_part = partial.makeMeter();
+    for (auto *m : {m_trad.get(), m_naive.get(), m_mru.get(),
+                    m_part.get()})
+        h.addObserver(m);
+    h.run(gen);
+
+    double t = m_trad->stats().read_in_misses.mean();
+    double p = m_part->stats().read_in_misses.mean();
+    double n = m_naive->stats().read_in_misses.mean();
+    double u = m_mru->stats().read_in_misses.mean();
+    EXPECT_LT(t, p);
+    EXPECT_LT(p, n);
+    EXPECT_LT(n, u);
+    EXPECT_DOUBLE_EQ(n, 4.0);
+    EXPECT_DOUBLE_EQ(u, 5.0);
+}
+
+TEST(MruDistanceMeter, RecordsOnlyReadInHits)
+{
+    TwoLevelHierarchy h(smallConfig());
+    MruDistanceMeter meter(4);
+    h.addObserver(&meter);
+
+    h.access({0x0000, RefType::Read, 0}); // read-in miss
+    EXPECT_EQ(meter.distances().total(), 0u);
+    h.access({0x4000, RefType::Read, 0});
+    h.access({0x0000, RefType::Read, 0}); // read-in hit
+    EXPECT_EQ(meter.distances().total(), 1u);
+}
+
+TEST(MruDistanceMeter, DistanceOneForImmediateReuse)
+{
+    // L1 of one set so every other reference misses L1; L2 keeps
+    // both blocks in the same set.
+    HierarchyConfig cfg{CacheGeometry(16, 16, 1),
+                        CacheGeometry(1024, 32, 4), true};
+    TwoLevelHierarchy h(cfg);
+    MruDistanceMeter meter(4);
+    h.addObserver(&meter);
+
+    h.access({0x0000, RefType::Read, 0});
+    h.access({0x0000 + 1024 * 16, RefType::Read, 0}); // same L2 set
+    h.access({0x0000 + 1024 * 16, RefType::Read, 0}); // L1 hit: quiet
+    h.access({0x0000, RefType::Read, 0}); // L2 hit at distance 2
+    EXPECT_EQ(meter.distances().total(), 1u);
+    EXPECT_EQ(meter.distances().count(2), 1u);
+    EXPECT_DOUBLE_EQ(meter.f(2), 1.0);
+}
+
+TEST(ProbeMeter, TagAliasingIsDetectedAndCounted)
+{
+    // With a deliberately tiny stored-tag width, two different
+    // blocks can carry identical t-bit tags: the scheme declares a
+    // (false) hit where the simulator knows it is a miss. The meter
+    // must count the alias, not crash or misclassify.
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec naive;
+    naive.kind = SchemeKind::Naive;
+    naive.tag_bits = 4;
+    auto meter = naive.makeMeter();
+    h.addObserver(meter.get());
+
+    // L2: 1024B/32B/4-way -> 8 sets, 3 index bits. Full tags 0x10
+    // and 0x20 both slice to 0 at t = 4.
+    h.access({0x1000, RefType::Read, 0}); // tag 0x10, set 0
+    h.access({0x2000, RefType::Read, 0}); // tag 0x20, set 0: alias
+
+    const ProbeStats &s = meter->stats();
+    EXPECT_EQ(s.read_in_misses.count(), 2u);
+    EXPECT_EQ(s.alias_hits, 1u);
+    // The aliased "miss" terminates at the matching frame, never
+    // beyond the full scan.
+    EXPECT_LE(s.read_in_misses.mean(), 4.0);
+}
+
+TEST(ProbeMeter, NoAliasingWithFullWidthTags)
+{
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec naive;
+    naive.kind = SchemeKind::Naive;
+    naive.tag_bits = 32;
+    auto meter = naive.makeMeter();
+    h.addObserver(meter.get());
+    h.access({0x1000, RefType::Read, 0});
+    h.access({0x2000, RefType::Read, 0});
+    EXPECT_EQ(meter->stats().alias_hits, 0u);
+    EXPECT_DOUBLE_EQ(meter->stats().read_in_misses.mean(), 4.0);
+}
+
+TEST(ProbeMeter, MeterNameFollowsStrategy)
+{
+    SchemeSpec spec;
+    spec.kind = SchemeKind::Mru;
+    spec.mru_list_len = 2;
+    EXPECT_EQ(spec.makeMeter()->name(), "MRU-2");
+}
+
+} // namespace
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/transform.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace assoc {
+namespace core {
+namespace {
+
+TEST(TransformKindParsing, AcceptsKnownNames)
+{
+    EXPECT_EQ(transformKindFromString("none"), TransformKind::None);
+    EXPECT_EQ(transformKindFromString("xor"), TransformKind::XorLow);
+    EXPECT_EQ(transformKindFromString("improved"),
+              TransformKind::Improved);
+    EXPECT_EQ(transformKindFromString("new"), TransformKind::Improved);
+    EXPECT_EQ(transformKindFromString("swap"), TransformKind::Swap);
+    EXPECT_THROW(transformKindFromString("bogus"), FatalError);
+}
+
+TEST(TransformKindParsing, NamesRoundTrip)
+{
+    for (TransformKind k :
+         {TransformKind::None, TransformKind::XorLow,
+          TransformKind::Improved, TransformKind::Swap}) {
+        EXPECT_EQ(transformKindFromString(transformKindName(k)), k);
+    }
+}
+
+TEST(TagTransform, FieldExtraction)
+{
+    NoTransform t(16, 4);
+    EXPECT_EQ(t.fields(), 4u);
+    EXPECT_EQ(t.field(0x1234, 0), 0x4u);
+    EXPECT_EQ(t.field(0x1234, 1), 0x3u);
+    EXPECT_EQ(t.field(0x1234, 2), 0x2u);
+    EXPECT_EQ(t.field(0x1234, 3), 0x1u);
+    EXPECT_THROW(t.field(0x1234, 4), PanicError);
+}
+
+TEST(TagTransform, RejectsBadWidths)
+{
+    EXPECT_THROW(NoTransform(0, 1), FatalError);
+    EXPECT_THROW(NoTransform(33, 4), FatalError);
+    EXPECT_THROW(NoTransform(16, 0), FatalError);
+    EXPECT_THROW(NoTransform(16, 17), FatalError);
+}
+
+TEST(XorLowTransform, MatchesHandComputation)
+{
+    XorLowTransform t(16, 4);
+    // tag = 0xABCD: f0=D. Transformed: f1^=D, f2^=D, f3^=D.
+    // 0xA^0xD=7, 0xB^0xD=6, 0xC^0xD=1 -> 0x761D.
+    EXPECT_EQ(t.apply(0xABCD), 0x761Du);
+}
+
+TEST(ImprovedTransform, MatchesHandComputation)
+{
+    ImprovedTransform t(16, 4);
+    // tag = 0xABCD: f0=D, f1=C. out1 = C^D = 1.
+    // mix = f0^f1 = 1. out2 = B^1 = A, out3 = A^1 = B.
+    EXPECT_EQ(t.apply(0xABCD), 0xBA1Du);
+}
+
+TEST(SwapTransform, SlotZeroIsIdentity)
+{
+    SwapTransform t(16, 4);
+    EXPECT_EQ(t.apply(0x1234, 0), 0x1234u);
+}
+
+TEST(SwapTransform, RotatesFieldsIntoSlot)
+{
+    SwapTransform t(16, 4);
+    // The slot's field must receive the original low-order field.
+    for (unsigned slot = 0; slot < 4; ++slot) {
+        std::uint32_t out = t.apply(0x1234, slot);
+        EXPECT_EQ((out >> (slot * 4)) & 0xF, 0x4u)
+            << "slot " << slot;
+    }
+}
+
+struct TransformCase
+{
+    TransformKind kind;
+    unsigned t;
+    unsigned k;
+};
+
+class TransformProperty
+    : public ::testing::TestWithParam<TransformCase>
+{
+};
+
+TEST_P(TransformProperty, InvertRecoversOriginal)
+{
+    const TransformCase &c = GetParam();
+    auto xf = TagTransform::make(c.kind, c.t, c.k);
+    Pcg32 rng(0xfeed);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t tag = rng.next() & static_cast<std::uint32_t>(
+            maskBits(c.t));
+        for (unsigned slot = 0; slot < xf->fields(); ++slot) {
+            std::uint32_t stored = xf->apply(tag, slot);
+            ASSERT_EQ(xf->invert(stored, slot), tag)
+                << xf->name() << " t=" << c.t << " k=" << c.k
+                << " slot=" << slot;
+        }
+    }
+}
+
+TEST_P(TransformProperty, IsInjective)
+{
+    // Distinct tags must transform to distinct stored tags (per
+    // slot), otherwise full compares in step 2 would be wrong.
+    const TransformCase &c = GetParam();
+    auto xf = TagTransform::make(c.kind, c.t, c.k);
+    Pcg32 rng(0xbeef);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t a = rng.next() & static_cast<std::uint32_t>(
+            maskBits(c.t));
+        std::uint32_t b = rng.next() & static_cast<std::uint32_t>(
+            maskBits(c.t));
+        if (a == b)
+            continue;
+        for (unsigned slot = 0; slot < xf->fields(); ++slot)
+            ASSERT_NE(xf->apply(a, slot), xf->apply(b, slot));
+    }
+}
+
+TEST_P(TransformProperty, StaysWithinTagWidth)
+{
+    const TransformCase &c = GetParam();
+    auto xf = TagTransform::make(c.kind, c.t, c.k);
+    Pcg32 rng(0xcafe);
+    std::uint32_t mask =
+        static_cast<std::uint32_t>(maskBits(c.t));
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t tag = rng.next() & mask;
+        for (unsigned slot = 0; slot < xf->fields(); ++slot)
+            ASSERT_EQ(xf->apply(tag, slot) & ~mask, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndWidths, TransformProperty,
+    ::testing::Values(
+        TransformCase{TransformKind::None, 16, 4},
+        TransformCase{TransformKind::XorLow, 16, 4},
+        TransformCase{TransformKind::XorLow, 16, 2},
+        TransformCase{TransformKind::XorLow, 32, 8},
+        TransformCase{TransformKind::XorLow, 17, 4},
+        TransformCase{TransformKind::Improved, 16, 4},
+        TransformCase{TransformKind::Improved, 16, 2},
+        TransformCase{TransformKind::Improved, 32, 8},
+        TransformCase{TransformKind::Improved, 32, 4},
+        TransformCase{TransformKind::Improved, 17, 4},
+        TransformCase{TransformKind::Swap, 16, 4},
+        TransformCase{TransformKind::Swap, 16, 2},
+        TransformCase{TransformKind::Swap, 32, 8},
+        TransformCase{TransformKind::Swap, 17, 4},
+        TransformCase{TransformKind::None, 12, 3}),
+    [](const ::testing::TestParamInfo<TransformCase> &info) {
+        return std::string(transformKindName(info.param.kind)) +
+               "_t" + std::to_string(info.param.t) + "_k" +
+               std::to_string(info.param.k);
+    });
+
+TEST(XorLowTransform, IsItsOwnInverse)
+{
+    XorLowTransform t(16, 4);
+    Pcg32 rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint32_t tag = rng.next() & 0xffff;
+        EXPECT_EQ(t.apply(t.apply(tag)), tag);
+    }
+}
+
+TEST(ImprovedTransform, IsNotItsOwnInverseButInvertible)
+{
+    // The paper notes the improved transform is not self-inverse.
+    ImprovedTransform t(16, 4);
+    bool any_different = false;
+    for (std::uint32_t tag = 0; tag < 4096; ++tag)
+        any_different |= t.apply(t.apply(tag)) != tag;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Transforms, UniformizeSkewedHighBits)
+{
+    // The whole point: tags whose high fields are constant (as with
+    // per-process virtual address prefixes) must spread over many
+    // values of the high fields after transformation.
+    XorLowTransform xorlow(16, 4);
+    ImprovedTransform improved(16, 4);
+    Pcg32 rng(3);
+    std::uint32_t seen_xor = 0, seen_imp = 0; // 16-value bitmaps
+    for (int i = 0; i < 200; ++i) {
+        // High 8 bits constant, low 8 bits random.
+        std::uint32_t tag = 0xAB00 | (rng.next() & 0xff);
+        seen_xor |= 1u << xorlow.field(xorlow.apply(tag), 3);
+        seen_imp |= 1u << improved.field(improved.apply(tag), 3);
+    }
+    EXPECT_GT(popcount(seen_xor), 8u);
+    EXPECT_GT(popcount(seen_imp), 8u);
+    // Without a transform the high field never varies.
+    NoTransform none(16, 4);
+    std::uint32_t seen_none = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::uint32_t tag = 0xAB00 | (rng.next() & 0xff);
+        seen_none |= 1u << none.field(none.apply(tag), 3);
+    }
+    EXPECT_EQ(popcount(seen_none), 1u);
+}
+
+TEST(TagTransform, FactoryProducesRightKinds)
+{
+    EXPECT_EQ(TagTransform::make(TransformKind::None, 16, 4)->name(),
+              "none");
+    EXPECT_EQ(TagTransform::make(TransformKind::XorLow, 16, 4)->name(),
+              "xor");
+    EXPECT_EQ(
+        TagTransform::make(TransformKind::Improved, 16, 4)->name(),
+        "improved");
+    EXPECT_EQ(TagTransform::make(TransformKind::Swap, 16, 4)->name(),
+              "swap");
+}
+
+} // namespace
+} // namespace core
+} // namespace assoc

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "hw/impl_model.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace hw {
+namespace {
+
+// Table 2 of the paper, verbatim.
+
+TEST(Table2Catalog, DramMemoryPackages)
+{
+    Table2Catalog cat;
+    const ImplSpec &dm = cat.get(ImplKind::DirectMapped, RamTech::Dram);
+    EXPECT_EQ(dm.chip.organization, "1Mx8");
+    EXPECT_DOUBLE_EQ(dm.chip.access_ns, 100);
+    EXPECT_DOUBLE_EQ(dm.chip.cycle_ns, 190);
+    EXPECT_FALSE(dm.chip.hasPageMode());
+
+    const ImplSpec &tr = cat.get(ImplKind::Traditional, RamTech::Dram);
+    EXPECT_EQ(tr.chip.organization, "256Kx8");
+    EXPECT_DOUBLE_EQ(tr.chip.access_ns, 80);
+    EXPECT_DOUBLE_EQ(tr.chip.cycle_ns, 160);
+
+    const ImplSpec &mru = cat.get(ImplKind::Mru, RamTech::Dram);
+    EXPECT_TRUE(mru.chip.hasPageMode());
+    EXPECT_DOUBLE_EQ(mru.chip.page_access_ns, 35);
+    EXPECT_DOUBLE_EQ(mru.chip.page_cycle_ns, 35);
+}
+
+TEST(Table2Catalog, DramImplementationNumbers)
+{
+    Table2Catalog cat;
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::DirectMapped, RamTech::Dram).accessNs(), 136);
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::DirectMapped, RamTech::Dram).cycleNs(), 230);
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::Traditional, RamTech::Dram).accessNs(), 132);
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::Traditional, RamTech::Dram).cycleNs(), 190);
+
+    // MRU: 150 + 50x access, 250 + 50(x+u) cycle.
+    const ImplSpec &mru = cat.get(ImplKind::Mru, RamTech::Dram);
+    EXPECT_DOUBLE_EQ(mru.accessNs(1.0), 200);
+    EXPECT_DOUBLE_EQ(mru.accessNs(2.5), 275);
+    EXPECT_DOUBLE_EQ(mru.cycleNs(1.0, 0.5), 325);
+
+    // Partial: 150 + 50y both.
+    const ImplSpec &part = cat.get(ImplKind::Partial, RamTech::Dram);
+    EXPECT_DOUBLE_EQ(part.accessNs(2.0), 250);
+    EXPECT_DOUBLE_EQ(part.cycleNs(2.0), 350);
+}
+
+TEST(Table2Catalog, DramPackageCounts)
+{
+    Table2Catalog cat;
+    EXPECT_EQ(cat.get(ImplKind::DirectMapped, RamTech::Dram).packages,
+              18);
+    EXPECT_EQ(cat.get(ImplKind::Traditional, RamTech::Dram).packages,
+              42);
+    EXPECT_EQ(cat.get(ImplKind::Mru, RamTech::Dram).packages, 22);
+    EXPECT_EQ(cat.get(ImplKind::Partial, RamTech::Dram).packages, 21);
+}
+
+TEST(Table2Catalog, SramImplementationNumbers)
+{
+    Table2Catalog cat;
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::DirectMapped, RamTech::Sram).accessNs(), 61);
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::DirectMapped, RamTech::Sram).cycleNs(), 85);
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::Traditional, RamTech::Sram).accessNs(), 84);
+    EXPECT_DOUBLE_EQ(
+        cat.get(ImplKind::Traditional, RamTech::Sram).cycleNs(), 100);
+
+    const ImplSpec &mru = cat.get(ImplKind::Mru, RamTech::Sram);
+    EXPECT_DOUBLE_EQ(mru.accessNs(1.0), 120); // 65 + 55x
+    EXPECT_DOUBLE_EQ(mru.cycleNs(1.0, 1.0), 185); // 75 + 55(x+u)
+
+    const ImplSpec &part = cat.get(ImplKind::Partial, RamTech::Sram);
+    EXPECT_DOUBLE_EQ(part.accessNs(1.0), 120); // 65 + 55y
+    EXPECT_DOUBLE_EQ(part.cycleNs(1.0), 130);  // 75 + 55y
+}
+
+TEST(Table2Catalog, SramPackageCounts)
+{
+    Table2Catalog cat;
+    EXPECT_EQ(cat.get(ImplKind::DirectMapped, RamTech::Sram).packages,
+              20);
+    EXPECT_EQ(cat.get(ImplKind::Traditional, RamTech::Sram).packages,
+              37);
+    EXPECT_EQ(cat.get(ImplKind::Mru, RamTech::Sram).packages, 25);
+    EXPECT_EQ(cat.get(ImplKind::Partial, RamTech::Sram).packages, 24);
+}
+
+TEST(Table2Catalog, SerialSchemesUseFewerPackagesThanTraditional)
+{
+    // The headline claim: MRU/partial use direct-mapped-like
+    // hardware, roughly half the traditional package count.
+    Table2Catalog cat;
+    for (RamTech tech : {RamTech::Dram, RamTech::Sram}) {
+        int trad = cat.get(ImplKind::Traditional, tech).packages;
+        int mru = cat.get(ImplKind::Mru, tech).packages;
+        int part = cat.get(ImplKind::Partial, tech).packages;
+        int dm = cat.get(ImplKind::DirectMapped, tech).packages;
+        EXPECT_LT(mru, trad);
+        EXPECT_LT(part, trad);
+        EXPECT_LE(dm, part);
+        // "Tag memory cost reduced by 1/3 to 1/2 in our design".
+        EXPECT_LT(static_cast<double>(part) / trad, 0.67);
+    }
+}
+
+TEST(Table2Catalog, SymbolicExpressions)
+{
+    Table2Catalog cat;
+    EXPECT_EQ(cat.get(ImplKind::Mru, RamTech::Dram).accessExpr(),
+              "150+50x");
+    EXPECT_EQ(cat.get(ImplKind::Mru, RamTech::Dram).cycleExpr(),
+              "250+50(x+u)");
+    EXPECT_EQ(cat.get(ImplKind::Partial, RamTech::Dram).accessExpr(),
+              "150+50y");
+    EXPECT_EQ(cat.get(ImplKind::Partial, RamTech::Sram).cycleExpr(),
+              "75+55y");
+    EXPECT_EQ(
+        cat.get(ImplKind::DirectMapped, RamTech::Sram).accessExpr(),
+        "61");
+}
+
+TEST(Table2Catalog, AllReturnsFourDesigns)
+{
+    Table2Catalog cat;
+    EXPECT_EQ(cat.all(RamTech::Dram).size(), 4u);
+    EXPECT_EQ(cat.all(RamTech::Sram).size(), 4u);
+}
+
+TEST(ImplModel, EffectiveAccessComposition)
+{
+    Table2Catalog cat;
+    const ImplSpec &mru = cat.get(ImplKind::Mru, RamTech::Sram);
+    // A measured mean of 1.7 probes after the list read.
+    EXPECT_DOUBLE_EQ(effectiveAccessNs(mru, 1.7), 65 + 55 * 1.7);
+}
+
+TEST(ImplModel, Names)
+{
+    EXPECT_STREQ(implKindName(ImplKind::DirectMapped),
+                 "Direct-Mapped");
+    EXPECT_STREQ(implKindName(ImplKind::Traditional), "Traditional");
+    EXPECT_STREQ(implKindName(ImplKind::Mru), "MRU");
+    EXPECT_STREQ(implKindName(ImplKind::Partial), "Partial");
+    EXPECT_STREQ(ramTechName(RamTech::Dram), "DRAM");
+    EXPECT_STREQ(ramTechName(RamTech::Sram), "SRAM");
+}
+
+} // namespace
+} // namespace hw
+} // namespace assoc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Closed-form validation: on independent uniform references the
+ * whole pipeline (generator -> hierarchy -> meters) must reproduce
+ * exactly derivable statistics. This pins the meters' accounting to
+ * mathematics rather than to other simulator output.
+ *
+ * Setup: 1-frame L1 (16B block), fully-associative 8-frame L2
+ * (one set, 16B blocks), uniform iid references over 64 blocks.
+ * Consequences (derivable by symmetry of LRU under iid uniform):
+ *
+ *  - The previous reference's block is always the L2 MRU block, and
+ *    it is exactly the L1 content, so a read-in is uniform over the
+ *    63 *other* blocks.
+ *  - Read-in hit ratio = 7/63 (7 cached non-MRU blocks).
+ *  - Given a hit, the MRU distance is uniform over {2..8}: f_1 = 0,
+ *    f_2..f_8 = 1/7, so MRU hit probes = 1 + 5 = 6.
+ *  - The hit way is uniform over the 8 physical frames, so naive
+ *    hit probes = 4.5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/probe_meter.h"
+#include "core/scheme.h"
+#include "mem/hierarchy.h"
+#include "trace/synthetic.h"
+
+namespace assoc {
+namespace {
+
+using core::MruDistanceMeter;
+using core::SchemeKind;
+using core::SchemeSpec;
+using mem::CacheGeometry;
+using mem::HierarchyConfig;
+using mem::TwoLevelHierarchy;
+
+struct Fixture
+{
+    HierarchyConfig cfg{CacheGeometry(16, 16, 1),
+                        CacheGeometry(8 * 16, 16, 8), true};
+    TwoLevelHierarchy hier{cfg};
+    std::unique_ptr<core::ProbeMeter> trad, naive, mru;
+    MruDistanceMeter dist{8};
+
+    Fixture()
+    {
+        SchemeSpec t, n, m;
+        t.kind = SchemeKind::Traditional;
+        n.kind = SchemeKind::Naive;
+        m.kind = SchemeKind::Mru;
+        t.tag_bits = n.tag_bits = m.tag_bits = 32;
+        trad = t.makeMeter();
+        naive = n.makeMeter();
+        mru = m.makeMeter();
+        hier.addObserver(trad.get());
+        hier.addObserver(naive.get());
+        hier.addObserver(mru.get());
+        hier.addObserver(&dist);
+    }
+
+    void
+    run(std::uint64_t refs, std::uint64_t seed = 21)
+    {
+        trace::UniformRandomTrace t(0, 16, 64, refs, seed);
+        hier.run(t);
+    }
+};
+
+TEST(ClosedForms, ReadInHitRatioIsSevenSixtyThirds)
+{
+    Fixture f;
+    f.run(400000);
+    double ri = static_cast<double>(f.hier.stats().read_ins);
+    double hr = f.hier.stats().read_in_hits / ri;
+    EXPECT_NEAR(hr, 7.0 / 63.0, 0.005);
+}
+
+TEST(ClosedForms, L1FiltersExactlyConsecutiveRepeats)
+{
+    Fixture f;
+    f.run(400000);
+    // P(L1 hit) = P(same block as previous ref) = 1/64.
+    EXPECT_NEAR(f.hier.stats().l1MissRatio(), 63.0 / 64.0, 0.005);
+}
+
+TEST(ClosedForms, MruDistanceIsUniformOverTwoToEight)
+{
+    Fixture f;
+    f.run(400000);
+    EXPECT_DOUBLE_EQ(f.dist.f(1), 0.0);
+    for (unsigned i = 2; i <= 8; ++i)
+        EXPECT_NEAR(f.dist.f(i), 1.0 / 7.0, 0.02) << "i=" << i;
+}
+
+TEST(ClosedForms, MruHitProbesAreSix)
+{
+    Fixture f;
+    f.run(400000);
+    EXPECT_NEAR(f.mru->stats().read_in_hits.mean(), 6.0, 0.06);
+    EXPECT_DOUBLE_EQ(f.mru->stats().read_in_misses.mean(), 9.0);
+}
+
+TEST(ClosedForms, NaiveHitProbesAreFourPointFive)
+{
+    Fixture f;
+    f.run(400000);
+    EXPECT_NEAR(f.naive->stats().read_in_hits.mean(), 4.5, 0.06);
+    EXPECT_DOUBLE_EQ(f.naive->stats().read_in_misses.mean(), 8.0);
+}
+
+TEST(ClosedForms, TraditionalIsAlwaysOne)
+{
+    Fixture f;
+    f.run(100000);
+    EXPECT_DOUBLE_EQ(f.trad->stats().read_in_hits.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(f.trad->stats().read_in_misses.mean(), 1.0);
+}
+
+TEST(ClosedForms, NoWriteBacksFromAReadOnlyStream)
+{
+    Fixture f;
+    f.run(50000);
+    EXPECT_EQ(f.hier.stats().write_backs, 0u);
+}
+
+} // namespace
+} // namespace assoc

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/partial_lookup.h"
+#include "core/swap_mru_lookup.h"
+#include "core/wide_lookup.h"
+#include "sim/config_parse.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace sim {
+namespace {
+
+TEST(ParseSize, SuffixesAndPlainBytes)
+{
+    EXPECT_EQ(parseSize("4096"), 4096u);
+    EXPECT_EQ(parseSize("16K"), 16384u);
+    EXPECT_EQ(parseSize("16k"), 16384u);
+    EXPECT_EQ(parseSize("1M"), 1048576u);
+    EXPECT_EQ(parseSize("2m"), 2097152u);
+}
+
+TEST(ParseSize, RejectsJunk)
+{
+    EXPECT_THROW(parseSize(""), FatalError);
+    EXPECT_THROW(parseSize("K"), FatalError);
+    EXPECT_THROW(parseSize("12Q"), FatalError);
+    EXPECT_THROW(parseSize("1.5K"), FatalError);
+    EXPECT_THROW(parseSize("999999M"), FatalError);
+}
+
+TEST(ParseCacheSpec, PaperNotation)
+{
+    mem::CacheGeometry g = parseCacheSpec("256K-32:4");
+    EXPECT_EQ(g.sizeBytes(), 262144u);
+    EXPECT_EQ(g.blockBytes(), 32u);
+    EXPECT_EQ(g.assoc(), 4u);
+
+    mem::CacheGeometry dm = parseCacheSpec("16K-16");
+    EXPECT_EQ(dm.assoc(), 1u);
+    EXPECT_EQ(dm.name(), "16K-16");
+}
+
+TEST(ParseCacheSpec, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseCacheSpec("256K"), FatalError);
+    EXPECT_THROW(parseCacheSpec("256K-32:4:2"), FatalError);
+    EXPECT_THROW(parseCacheSpec("256K-32-4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("abc-32"), FatalError);
+    // Geometry validation still applies (non-pow2 associativity).
+    EXPECT_THROW(parseCacheSpec("256K-32:3"), FatalError);
+}
+
+TEST(ParseSchemeList, BasicNames)
+{
+    auto schemes =
+        parseSchemeList("traditional,naive,mru,partial", 4, 16);
+    ASSERT_EQ(schemes.size(), 4u);
+    EXPECT_EQ(schemes[0].spec.kind, core::SchemeKind::Traditional);
+    EXPECT_EQ(schemes[1].spec.kind, core::SchemeKind::Naive);
+    EXPECT_EQ(schemes[2].spec.kind, core::SchemeKind::Mru);
+    EXPECT_EQ(schemes[3].spec.kind, core::SchemeKind::Partial);
+    // "partial" follows the paper rule at a = 4, t = 16.
+    EXPECT_EQ(schemes[3].spec.partial_k, 4u);
+    EXPECT_EQ(schemes[3].spec.partial_subsets, 1u);
+}
+
+TEST(ParseSchemeList, MruListLength)
+{
+    auto schemes = parseSchemeList("mru:2", 8, 16);
+    ASSERT_EQ(schemes.size(), 1u);
+    EXPECT_EQ(schemes[0].spec.mru_list_len, 2u);
+}
+
+TEST(ParseSchemeList, PartialOptions)
+{
+    auto schemes =
+        parseSchemeList("partial:k=2;s=4;tr=improved", 8, 16);
+    ASSERT_EQ(schemes.size(), 1u);
+    EXPECT_EQ(schemes[0].spec.partial_k, 2u);
+    EXPECT_EQ(schemes[0].spec.partial_subsets, 4u);
+    EXPECT_EQ(schemes[0].spec.transform,
+              core::TransformKind::Improved);
+}
+
+TEST(ParseSchemeList, ExtraStrategies)
+{
+    auto schemes =
+        parseSchemeList("swapmru,widenaive:2,widemru:4", 8, 16);
+    ASSERT_EQ(schemes.size(), 3u);
+    EXPECT_NE(dynamic_cast<core::SwapMruLookup *>(
+                  schemes[0].makeStrategy().get()),
+              nullptr);
+    auto wn = schemes[1].makeStrategy();
+    auto *wide = dynamic_cast<core::WideNaiveLookup *>(wn.get());
+    ASSERT_NE(wide, nullptr);
+    EXPECT_EQ(wide->width(), 2u);
+    auto wm = schemes[2].makeStrategy();
+    auto *widem = dynamic_cast<core::WideMruLookup *>(wm.get());
+    ASSERT_NE(widem, nullptr);
+    EXPECT_EQ(widem->width(), 4u);
+}
+
+TEST(ParseSchemeList, TagBitsPropagate)
+{
+    auto schemes = parseSchemeList("partial", 8, 32);
+    EXPECT_EQ(schemes[0].spec.tag_bits, 32u);
+    // 32-bit tags need only one subset at 8-way (Figure 6).
+    EXPECT_EQ(schemes[0].spec.partial_subsets, 1u);
+}
+
+TEST(ParseSchemeList, Rejections)
+{
+    EXPECT_THROW(parseSchemeList("", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("bogus", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("widenaive", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("partial:q=1", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("partial:k", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("mru:x", 4, 16), FatalError);
+}
+
+TEST(ParseReplPolicy, Names)
+{
+    EXPECT_EQ(parseReplPolicy("lru"), mem::ReplPolicy::Lru);
+    EXPECT_EQ(parseReplPolicy("fifo"), mem::ReplPolicy::Fifo);
+    EXPECT_EQ(parseReplPolicy("random"), mem::ReplPolicy::Random);
+    EXPECT_THROW(parseReplPolicy("plru"), FatalError);
+}
+
+} // namespace
+} // namespace sim
+} // namespace assoc

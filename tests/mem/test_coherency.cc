@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "mem/coherency.h"
+#include "trace/atum_like.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace mem {
+namespace {
+
+using trace::MemRef;
+using trace::RefType;
+
+HierarchyConfig
+smallConfig()
+{
+    return HierarchyConfig{CacheGeometry(256, 16, 1),
+                           CacheGeometry(1024, 32, 4), true};
+}
+
+TEST(RemoteInvalidate, DropsL2AndL1Copies)
+{
+    TwoLevelHierarchy h(smallConfig());
+    h.access({0x100, RefType::Read, 0});
+    BlockAddr b = h.config().l2.blockAddrOf(0x100);
+    ASSERT_GE(h.l2().findWay(b), 0);
+
+    EXPECT_TRUE(h.remoteInvalidate(b));
+    EXPECT_EQ(h.l2().findWay(b), -1);
+    // The L1 copy died too: the next touch misses both levels.
+    std::uint64_t misses = h.stats().read_in_misses;
+    h.access({0x100, RefType::Read, 0});
+    EXPECT_EQ(h.stats().read_in_misses, misses + 1);
+    EXPECT_EQ(h.stats().coherency_invalidations, 1u);
+}
+
+TEST(RemoteInvalidate, MissReturnsFalse)
+{
+    TwoLevelHierarchy h(smallConfig());
+    EXPECT_FALSE(h.remoteInvalidate(0x1234));
+    EXPECT_EQ(h.stats().coherency_invalidations, 0u);
+}
+
+TEST(RemoteInvalidate, DirtyL1CopyIsDiscarded)
+{
+    TwoLevelHierarchy h(smallConfig());
+    h.access({0x100, RefType::Write, 0});
+    BlockAddr b = h.config().l2.blockAddrOf(0x100);
+    EXPECT_TRUE(h.remoteInvalidate(b));
+    // No write-back should be issued for the (now stale) line when
+    // its frame is reused.
+    std::uint64_t wbs = h.stats().write_backs;
+    h.access({0x100 + 256, RefType::Read, 0}); // same L1 set
+    EXPECT_EQ(h.stats().write_backs, wbs);
+}
+
+TEST(CoherencyTraffic, ZeroRateDoesNothing)
+{
+    TwoLevelHierarchy h(smallConfig());
+    h.access({0x100, RefType::Read, 0});
+    CoherencyTraffic remote(0.0);
+    for (int i = 0; i < 1000; ++i)
+        remote.step(h);
+    EXPECT_EQ(remote.invalidations(), 0u);
+    EXPECT_EQ(h.stats().coherency_invalidations, 0u);
+}
+
+TEST(CoherencyTraffic, RateOneInvalidatesEveryStepWhenResident)
+{
+    TwoLevelHierarchy h(smallConfig());
+    // Fill a decent fraction of the small L2.
+    for (trace::Addr a = 0; a < 1024; a += 16)
+        h.access({a, RefType::Read, 0});
+    CoherencyTraffic remote(1.0);
+    for (int i = 0; i < 8; ++i)
+        remote.step(h);
+    EXPECT_GT(remote.invalidations(), 0u);
+    EXPECT_EQ(remote.invalidations() + remote.misses(), 8u);
+}
+
+TEST(CoherencyTraffic, RejectsBadRate)
+{
+    EXPECT_THROW(CoherencyTraffic(-0.1), FatalError);
+    EXPECT_THROW(CoherencyTraffic(1.1), FatalError);
+}
+
+TEST(L2ValidFraction, TracksOccupancy)
+{
+    TwoLevelHierarchy h(smallConfig());
+    EXPECT_DOUBLE_EQ(l2ValidFraction(h), 0.0);
+    // 1024B / 32B = 32 frames; fill 8 distinct L2 blocks.
+    for (trace::Addr a = 0; a < 8 * 32; a += 32)
+        h.access({a, RefType::Read, 0});
+    EXPECT_NEAR(l2ValidFraction(h), 8.0 / 32.0, 1e-12);
+    h.flushAll();
+    EXPECT_DOUBLE_EQ(l2ValidFraction(h), 0.0);
+}
+
+TEST(Coherency, AssociativityImprovesOccupancyUnderInvalidations)
+{
+    // Footnote 1's claim, in miniature.
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 1;
+    tcfg.refs_per_segment = 150000;
+
+    auto occupancy = [&](unsigned assoc) {
+        trace::AtumLikeGenerator gen(tcfg);
+        HierarchyConfig cfg{CacheGeometry(16384, 16, 1),
+                            CacheGeometry(262144, 32, assoc), true};
+        TwoLevelHierarchy h(cfg);
+        CoherencyTraffic remote(0.01, 99);
+        trace::MemRef r;
+        double sum = 0.0;
+        std::uint64_t n = 0, samples = 0;
+        while (gen.next(r)) {
+            h.access(r);
+            remote.step(h);
+            if (++n % 10000 == 0) {
+                sum += l2ValidFraction(h);
+                ++samples;
+            }
+        }
+        return sum / samples;
+    };
+    EXPECT_GT(occupancy(8), occupancy(1));
+}
+
+} // namespace
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "mem/geometry.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace mem {
+namespace {
+
+TEST(CacheGeometry, PaperConfigurations)
+{
+    // The level-one caches of Table 3.
+    CacheGeometry l1_4k(4096, 16, 1);
+    EXPECT_EQ(l1_4k.sets(), 256u);
+    EXPECT_EQ(l1_4k.offsetBits(), 4u);
+    EXPECT_EQ(l1_4k.indexBits(), 8u);
+
+    CacheGeometry l1_16k(16384, 32, 1);
+    EXPECT_EQ(l1_16k.sets(), 512u);
+
+    // A level-two cache: 256K-32, 4-way.
+    CacheGeometry l2(256 * 1024, 32, 4);
+    EXPECT_EQ(l2.sets(), 2048u);
+    EXPECT_EQ(l2.offsetBits(), 5u);
+    EXPECT_EQ(l2.indexBits(), 11u);
+    EXPECT_EQ(l2.fullTagBits(), 16u);
+}
+
+TEST(CacheGeometry, AddressRoundTrip)
+{
+    CacheGeometry g(64 * 1024, 16, 4);
+    trace::Addr a = 0xdeadbeef;
+    BlockAddr b = g.blockAddrOf(a);
+    std::uint32_t set = g.setOf(b);
+    std::uint32_t tag = g.fullTagOf(b);
+    EXPECT_EQ(g.blockAddrFrom(tag, set), b);
+    EXPECT_EQ(g.byteAddrOf(b), a & ~trace::Addr{15});
+}
+
+TEST(CacheGeometry, SetIndexCoversAllSets)
+{
+    CacheGeometry g(1024, 16, 2);
+    ASSERT_EQ(g.sets(), 32u);
+    std::vector<bool> seen(g.sets(), false);
+    for (trace::Addr a = 0; a < 1024; a += 16)
+        seen[g.setOf(g.blockAddrOf(a))] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(CacheGeometry, SameBlockSameSet)
+{
+    CacheGeometry g(8192, 32, 4);
+    EXPECT_EQ(g.blockAddrOf(0x1000), g.blockAddrOf(0x101f));
+    EXPECT_NE(g.blockAddrOf(0x1000), g.blockAddrOf(0x1020));
+}
+
+TEST(CacheGeometry, FullyAssociativeAllowed)
+{
+    CacheGeometry g(1024, 64, 16);
+    EXPECT_EQ(g.sets(), 1u);
+    EXPECT_EQ(g.indexBits(), 0u);
+    EXPECT_EQ(g.setOf(g.blockAddrOf(0xabcdef)), 0u);
+}
+
+TEST(CacheGeometry, Names)
+{
+    EXPECT_EQ(CacheGeometry(256 * 1024, 32, 1).name(), "256K-32");
+    EXPECT_EQ(CacheGeometry(256 * 1024, 32, 4).name(),
+              "256K-32 4-way");
+    EXPECT_EQ(CacheGeometry(4096, 16, 1).name(), "4K-16");
+    EXPECT_EQ(CacheGeometry(2 * 1024 * 1024, 64, 8).name(),
+              "2M-64 8-way");
+}
+
+TEST(CacheGeometry, RejectsInvalidShapes)
+{
+    EXPECT_THROW(CacheGeometry(1000, 16, 1), FatalError);  // size
+    EXPECT_THROW(CacheGeometry(1024, 24, 1), FatalError);  // block
+    EXPECT_THROW(CacheGeometry(1024, 16, 3), FatalError);  // assoc
+    EXPECT_THROW(CacheGeometry(1024, 2, 1), FatalError);   // tiny block
+    EXPECT_THROW(CacheGeometry(64, 16, 16), FatalError);   // too small
+}
+
+TEST(CacheGeometry, Equality)
+{
+    EXPECT_TRUE(CacheGeometry(1024, 16, 2) ==
+                CacheGeometry(1024, 16, 2));
+    EXPECT_FALSE(CacheGeometry(1024, 16, 2) ==
+                 CacheGeometry(1024, 16, 4));
+}
+
+} // namespace
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.h"
+#include "trace/atum_like.h"
+
+namespace assoc {
+namespace mem {
+namespace {
+
+using trace::MemRef;
+using trace::RefType;
+
+HierarchyConfig
+inclusiveConfig()
+{
+    // L1 bigger than the L2: inclusion violations are easy to
+    // provoke. L1 4096B/16B (256 sets, index bits 4-11); L2
+    // 1024B/32B 2-way (16 sets, index bits 5-8).
+    HierarchyConfig cfg{CacheGeometry(4096, 16, 1),
+                        CacheGeometry(1024, 32, 2), true};
+    cfg.enforce_inclusion = true;
+    return cfg;
+}
+
+TEST(Inclusion, L2EvictionInvalidatesL1Copies)
+{
+    HierarchyConfig cfg = inclusiveConfig();
+    TwoLevelHierarchy h(cfg);
+    // Three blocks sharing L2 set 0 (same address bits 5-8) in
+    // distinct L1 sets (bits 9-10 differ): the third fill evicts
+    // the 2-way L2 set's LRU line, block 0x0000's.
+    h.access({0x0000, RefType::Read, 0});
+    h.access({0x0200, RefType::Read, 0});
+    h.access({0x0400, RefType::Read, 0});
+    // The L2 evicted block 0x0000's line (LRU). With inclusion
+    // enforcement the L1 copy must be gone.
+    const HierarchyStats &s = h.stats();
+    EXPECT_GE(s.inclusion_invalidations, 1u);
+    // Re-touching 0x0000 misses L1 (it was invalidated).
+    std::uint64_t misses_before = s.l1_misses;
+    h.access({0x0000, RefType::Read, 0});
+    EXPECT_EQ(h.stats().l1_misses, misses_before + 1);
+}
+
+TEST(Inclusion, WriteBacksAlwaysHitWhenEnforced)
+{
+    // With inclusion enforced, a dirty L1 line's L2 copy can never
+    // have been replaced, so write-backs always hit.
+    HierarchyConfig cfg{CacheGeometry(4096, 16, 1),
+                        CacheGeometry(16384, 32, 4), true};
+    cfg.enforce_inclusion = true;
+    TwoLevelHierarchy h(cfg);
+
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 2;
+    tcfg.refs_per_segment = 50000;
+    trace::AtumLikeGenerator gen(tcfg);
+    h.run(gen);
+
+    const HierarchyStats &s = h.stats();
+    EXPECT_GT(s.write_backs, 0u);
+    EXPECT_EQ(s.write_back_misses, 0u);
+    EXPECT_DOUBLE_EQ(s.hintAccuracy(), 1.0);
+    EXPECT_GT(s.inclusion_invalidations, 0u);
+}
+
+TEST(Inclusion, DirtyInvalidationsAreCounted)
+{
+    HierarchyConfig cfg{CacheGeometry(4096, 16, 1),
+                        CacheGeometry(8192, 32, 2), true};
+    cfg.enforce_inclusion = true;
+    TwoLevelHierarchy h(cfg);
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 1;
+    tcfg.refs_per_segment = 50000;
+    trace::AtumLikeGenerator gen(tcfg);
+    h.run(gen);
+    const HierarchyStats &s = h.stats();
+    EXPECT_GT(s.inclusion_invalidations, 0u);
+    EXPECT_GT(s.inclusion_dirty_invalidations, 0u);
+    EXPECT_LE(s.inclusion_dirty_invalidations,
+              s.inclusion_invalidations);
+}
+
+TEST(Inclusion, EffectOnMissRatioIsSmallForPaperConfigs)
+{
+    // The paper extrapolated that maintaining inclusion would have
+    // "a very small effect (in most configurations studied, no
+    // effect)" on the L2 miss ratio for its 64:1 size ratios.
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 3;
+
+    auto run = [&](bool enforce) {
+        trace::AtumLikeGenerator gen(tcfg);
+        HierarchyConfig cfg{CacheGeometry(4096, 16, 1),
+                            CacheGeometry(262144, 32, 4), true};
+        cfg.enforce_inclusion = enforce;
+        TwoLevelHierarchy h(cfg);
+        h.run(gen);
+        return h.stats();
+    };
+    HierarchyStats off = run(false);
+    HierarchyStats on = run(true);
+    EXPECT_NEAR(on.localMissRatio(), off.localMissRatio(), 0.01);
+    EXPECT_NEAR(on.l1MissRatio(), off.l1MissRatio(), 0.005);
+}
+
+TEST(Inclusion, DisabledByDefault)
+{
+    HierarchyConfig cfg{CacheGeometry(512, 16, 1),
+                        CacheGeometry(1024, 32, 2), true};
+    EXPECT_FALSE(cfg.enforce_inclusion);
+    TwoLevelHierarchy h(cfg);
+    h.access({0x0000, RefType::Read, 0});
+    h.access({0x8010, RefType::Read, 0});
+    h.access({0x10020, RefType::Read, 0});
+    EXPECT_EQ(h.stats().inclusion_invalidations, 0u);
+}
+
+TEST(WriteThrough, WritesPropagateImmediately)
+{
+    HierarchyConfig cfg{CacheGeometry(512, 16, 1),
+                        CacheGeometry(2048, 32, 2), true};
+    cfg.write_policy = L1WritePolicy::WriteThrough;
+    TwoLevelHierarchy h(cfg);
+
+    h.access({0x100, RefType::Read, 0});  // read-in, no store
+    EXPECT_EQ(h.stats().write_backs, 0u);
+    h.access({0x104, RefType::Write, 0}); // L1 hit, store to L2
+    EXPECT_EQ(h.stats().write_backs, 1u);
+    EXPECT_EQ(h.stats().write_back_hits, 1u);
+    h.access({0x200, RefType::Write, 0}); // L1 miss: read-in + store
+    EXPECT_EQ(h.stats().write_backs, 2u);
+}
+
+TEST(WriteThrough, LinesNeverDirtySoEvictionsAreSilent)
+{
+    HierarchyConfig cfg{CacheGeometry(256, 16, 1),
+                        CacheGeometry(2048, 32, 2), true};
+    cfg.write_policy = L1WritePolicy::WriteThrough;
+    TwoLevelHierarchy h(cfg);
+
+    h.access({0x0000, RefType::Write, 0});
+    std::uint64_t wb_after_store = h.stats().write_backs;
+    h.access({0x4000, RefType::Read, 0}); // evicts the written line
+    // No *additional* L2 traffic from the eviction.
+    EXPECT_EQ(h.stats().write_backs, wb_after_store);
+}
+
+TEST(WriteThrough, GeneratesMoreL2TrafficThanWriteBack)
+{
+    // [Shor88]'s conclusion, reproduced: write-through multiplies
+    // level-two traffic relative to write-back.
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 2;
+    tcfg.refs_per_segment = 50000;
+
+    auto traffic = [&](L1WritePolicy policy) {
+        trace::AtumLikeGenerator gen(tcfg);
+        HierarchyConfig cfg{CacheGeometry(16384, 16, 1),
+                            CacheGeometry(262144, 32, 4), true};
+        cfg.write_policy = policy;
+        TwoLevelHierarchy h(cfg);
+        h.run(gen);
+        return h.stats().read_ins + h.stats().write_backs;
+    };
+    double wb = static_cast<double>(traffic(L1WritePolicy::WriteBack));
+    double wt =
+        static_cast<double>(traffic(L1WritePolicy::WriteThrough));
+    EXPECT_GT(wt, 1.5 * wb);
+}
+
+} // namespace
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/probe_meter.h"
+#include "core/scheme.h"
+#include "mem/third_level.h"
+#include "trace/atum_like.h"
+
+namespace assoc {
+namespace mem {
+namespace {
+
+using trace::MemRef;
+using trace::RefType;
+
+struct Stack
+{
+    HierarchyConfig cfg{CacheGeometry(256, 16, 1),
+                        CacheGeometry(1024, 32, 2), true};
+    TwoLevelHierarchy hier{cfg};
+    ThirdLevelCache l3{CacheGeometry(8192, 64, 4), cfg.l2};
+
+    Stack() { hier.setMemorySide(&l3); }
+};
+
+TEST(ThirdLevel, L2MissBecomesL3ReadIn)
+{
+    Stack s;
+    s.hier.access({0x1000, RefType::Read, 0});
+    EXPECT_EQ(s.l3.stats().read_ins, 1u);
+    EXPECT_EQ(s.l3.stats().read_in_misses, 1u);
+}
+
+TEST(ThirdLevel, L2HitIsInvisibleToL3)
+{
+    Stack s;
+    s.hier.access({0x1000, RefType::Read, 0});
+    s.hier.access({0x5000, RefType::Read, 0}); // L1 conflict
+    s.hier.access({0x1000, RefType::Read, 0}); // L2 hit
+    EXPECT_EQ(s.hier.stats().read_in_hits, 1u);
+    EXPECT_EQ(s.l3.stats().read_ins, 2u); // only the two misses
+}
+
+TEST(ThirdLevel, L3HitOnReuseBeyondL2)
+{
+    Stack s;
+    // Three L2-conflicting blocks (1024B/32B 2-way -> 16 sets;
+    // 512-byte stride shares an L2 set) that the larger L3 retains.
+    s.hier.access({0x0000, RefType::Read, 0});
+    s.hier.access({0x4000, RefType::Read, 0});
+    s.hier.access({0x8000, RefType::Read, 0}); // evicts 0x0000 in L2
+    s.hier.access({0x0000, RefType::Read, 0}); // L2 miss, L3 hit
+    EXPECT_EQ(s.l3.stats().read_ins, 4u);
+    EXPECT_EQ(s.l3.stats().read_in_hits, 1u);
+}
+
+TEST(ThirdLevel, DirtyL2EvictionArrivesAsWriteBack)
+{
+    Stack s;
+    s.hier.access({0x0000, RefType::Write, 0}); // dirty in L1
+    s.hier.access({0x4000, RefType::Read, 0});  // L1 evict -> L2 dirty
+    // Force the L2 to evict the dirty 0x0000 line: two more blocks
+    // in its set.
+    s.hier.access({0x8000, RefType::Read, 0});
+    s.hier.access({0xC000, RefType::Read, 0});
+    EXPECT_GE(s.l3.stats().write_backs, 1u);
+}
+
+TEST(ThirdLevel, LargerL3BlocksCoalesce)
+{
+    Stack s;
+    // Two adjacent 32B L2 blocks share one 64B L3 block.
+    s.hier.access({0x0000, RefType::Read, 0});
+    s.hier.access({0x0020, RefType::Read, 0});
+    EXPECT_EQ(s.l3.stats().read_ins, 2u);
+    EXPECT_EQ(s.l3.stats().read_in_hits, 1u);
+}
+
+TEST(ThirdLevel, FlushPropagates)
+{
+    Stack s;
+    s.hier.access({0x1000, RefType::Read, 0});
+    s.hier.access(MemRef::flush());
+    s.hier.access({0x1000, RefType::Read, 0});
+    EXPECT_EQ(s.l3.stats().read_in_misses, 2u);
+}
+
+TEST(ThirdLevel, RejectsBlockSmallerThanL2)
+{
+    CacheGeometry l2(1024, 32, 2);
+    EXPECT_THROW(ThirdLevelCache(CacheGeometry(8192, 16, 4), l2),
+                 FatalError);
+}
+
+TEST(ThirdLevel, ObserversPriceL3Lookups)
+{
+    // The same probe meters attach at the third level.
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 2;
+    tcfg.refs_per_segment = 60000;
+    trace::AtumLikeGenerator gen(tcfg);
+
+    HierarchyConfig cfg{CacheGeometry(4096, 16, 1),
+                        CacheGeometry(65536, 32, 4), true};
+    TwoLevelHierarchy hier(cfg);
+    ThirdLevelCache l3(CacheGeometry(262144, 64, 8), cfg.l2);
+    hier.setMemorySide(&l3);
+
+    core::SchemeSpec naive, mru;
+    naive.kind = core::SchemeKind::Naive;
+    mru.kind = core::SchemeKind::Mru;
+    auto m_naive = naive.makeMeter();
+    auto m_mru = mru.makeMeter();
+    auto m_part = core::SchemeSpec::paperPartial(8).makeMeter();
+    l3.addObserver(m_naive.get());
+    l3.addObserver(m_mru.get());
+    l3.addObserver(m_part.get());
+    hier.run(gen);
+
+    const ThirdLevelStats &ts = l3.stats();
+    ASSERT_GT(ts.read_ins, 1000u);
+    EXPECT_EQ(ts.read_in_hits + ts.read_in_misses, ts.read_ins);
+
+    // Meter accounting matches the level's own counters.
+    EXPECT_EQ(m_naive->stats().read_in_hits.count(),
+              ts.read_in_hits);
+    EXPECT_EQ(m_naive->stats().read_in_misses.count(),
+              ts.read_in_misses);
+    // Paper-shape orderings hold at the third level too.
+    EXPECT_DOUBLE_EQ(m_naive->stats().read_in_misses.mean(), 8.0);
+    EXPECT_DOUBLE_EQ(m_mru->stats().read_in_misses.mean(), 9.0);
+    EXPECT_LT(m_part->stats().read_in_misses.mean(), 4.0);
+    EXPECT_LT(m_mru->stats().read_in_hits.mean(),
+              m_naive->stats().read_in_hits.mean());
+}
+
+TEST(ThirdLevel, WorksWithWriteThroughL1)
+{
+    HierarchyConfig cfg{CacheGeometry(256, 16, 1),
+                        CacheGeometry(1024, 32, 2), true};
+    cfg.write_policy = L1WritePolicy::WriteThrough;
+    TwoLevelHierarchy hier(cfg);
+    ThirdLevelCache l3(CacheGeometry(8192, 64, 4), cfg.l2);
+    hier.setMemorySide(&l3);
+
+    hier.access({0x100, RefType::Write, 0});
+    // The write-through store dirtied the L2 line; only its
+    // eventual eviction reaches the L3 (stores stop at the first
+    // write-back level).
+    EXPECT_EQ(l3.stats().read_ins, 1u);
+    EXPECT_EQ(l3.stats().write_backs, 0u);
+}
+
+TEST(ThirdLevel, WorksWithInclusionEnforcement)
+{
+    HierarchyConfig cfg{CacheGeometry(4096, 16, 1),
+                        CacheGeometry(8192, 32, 2), true};
+    cfg.enforce_inclusion = true;
+    TwoLevelHierarchy hier(cfg);
+    ThirdLevelCache l3(CacheGeometry(65536, 64, 4), cfg.l2);
+    hier.setMemorySide(&l3);
+
+    trace::AtumLikeConfig tcfg;
+    tcfg.segments = 1;
+    tcfg.refs_per_segment = 40000;
+    trace::AtumLikeGenerator gen(tcfg);
+    hier.run(gen);
+
+    const HierarchyStats &hs = hier.stats();
+    EXPECT_GT(hs.inclusion_invalidations, 0u);
+    EXPECT_EQ(hs.write_back_misses, 0u);
+    // Conservation at the third level.
+    const ThirdLevelStats &ts = l3.stats();
+    EXPECT_EQ(ts.read_in_hits + ts.read_in_misses, ts.read_ins);
+    EXPECT_EQ(ts.write_back_hits + ts.write_back_misses,
+              ts.write_backs);
+}
+
+TEST(ThirdLevel, FifoPolicyPropagates)
+{
+    CacheGeometry l2(1024, 32, 2);
+    ThirdLevelCache l3(CacheGeometry(8192, 64, 4), l2,
+                       ReplPolicy::Fifo);
+    EXPECT_EQ(l3.cache().policy(), ReplPolicy::Fifo);
+}
+
+TEST(ThirdLevel, NullObserverPanics)
+{
+    Stack s;
+    EXPECT_THROW(s.l3.addObserver(nullptr), PanicError);
+}
+
+TEST(TwoLevelHierarchy, NullMemorySidePanics)
+{
+    Stack s;
+    EXPECT_THROW(s.hier.setMemorySide(nullptr), PanicError);
+}
+
+} // namespace
+} // namespace mem
+} // namespace assoc

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/bin_io.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+namespace {
+
+class BinIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "bin_io_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(BinIoTest, RoundTripPreservesEverything)
+{
+    VectorTraceSource src({{0xdeadbeef, RefType::Read, 1},
+                           {0x00000000, RefType::Write, 0},
+                           {0xffffffff, RefType::Ifetch, 255},
+                           MemRef::flush(),
+                           {0x1234, RefType::Read, 2}});
+    std::uint64_t n = writeBin(src, path_);
+    EXPECT_EQ(n, 5u);
+
+    BinTraceSource in(path_);
+    EXPECT_EQ(in.count(), 5u);
+    MemRef r;
+    for (const MemRef &expect : src.refs()) {
+        ASSERT_TRUE(in.next(r));
+        EXPECT_EQ(r, expect);
+    }
+    EXPECT_FALSE(in.next(r));
+}
+
+TEST_F(BinIoTest, EmptyTraceRoundTrips)
+{
+    VectorTraceSource src;
+    EXPECT_EQ(writeBin(src, path_), 0u);
+    BinTraceSource in(path_);
+    EXPECT_EQ(in.count(), 0u);
+    MemRef r;
+    EXPECT_FALSE(in.next(r));
+}
+
+TEST_F(BinIoTest, ResetRereadsFromTheTop)
+{
+    VectorTraceSource src({{0x10, RefType::Read, 1},
+                           {0x20, RefType::Write, 2}});
+    writeBin(src, path_);
+    BinTraceSource in(path_);
+    MemRef a, b;
+    ASSERT_TRUE(in.next(a));
+    ASSERT_TRUE(in.next(b));
+    in.reset();
+    MemRef c;
+    ASSERT_TRUE(in.next(c));
+    EXPECT_EQ(a, c);
+}
+
+TEST_F(BinIoTest, BadMagicIsFatal)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "JUNKJUNKJUNKJUNK";
+    out.close();
+    EXPECT_THROW(BinTraceSource{path_}, FatalError);
+}
+
+TEST_F(BinIoTest, TruncatedHeaderIsFatal)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "AST";
+    out.close();
+    EXPECT_THROW(BinTraceSource{path_}, FatalError);
+}
+
+TEST_F(BinIoTest, TruncatedBodyIsFatal)
+{
+    VectorTraceSource src({{0x10, RefType::Read, 1},
+                           {0x20, RefType::Write, 2}});
+    writeBin(src, path_);
+    // Chop off the last record.
+    std::ifstream in(path_, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() - 3));
+    out.close();
+
+    BinTraceSource bts(path_);
+    MemRef r;
+    ASSERT_TRUE(bts.next(r));
+    EXPECT_THROW(bts.next(r), FatalError);
+}
+
+TEST(BinIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(BinTraceSource("/nonexistent/trace.bin"), FatalError);
+}
+
+} // namespace
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/din_io.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+namespace {
+
+class DinIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "din_io_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".din";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(DinIoTest, RoundTripPreservesEverything)
+{
+    VectorTraceSource src({{0xdeadbeef, RefType::Read, 1},
+                           {0x00000000, RefType::Write, 0},
+                           {0xffffffff, RefType::Ifetch, 7},
+                           MemRef::flush(),
+                           {0x1234, RefType::Read, 2}});
+    writeDin(src, path_);
+
+    DinTraceSource in(path_);
+    MemRef r;
+    for (const MemRef &expect : src.refs()) {
+        ASSERT_TRUE(in.next(r));
+        EXPECT_EQ(r, expect);
+    }
+    EXPECT_FALSE(in.next(r));
+}
+
+TEST_F(DinIoTest, ResetRereadsFromTheTop)
+{
+    VectorTraceSource src({{0x10, RefType::Read, 1},
+                           {0x20, RefType::Write, 2}});
+    writeDin(src, path_);
+    DinTraceSource in(path_);
+    MemRef a, b;
+    ASSERT_TRUE(in.next(a));
+    in.reset();
+    ASSERT_TRUE(in.next(b));
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(DinIoTest, CommentsAndBlankLinesSkipped)
+{
+    std::ofstream out(path_);
+    out << "# comment\n\n0 100\n# another\n1 200 3\n";
+    out.close();
+    DinTraceSource in(path_);
+    MemRef r;
+    ASSERT_TRUE(in.next(r));
+    EXPECT_EQ(r.addr, 0x100u);
+    EXPECT_EQ(r.type, RefType::Read);
+    EXPECT_EQ(r.pid, 0);
+    ASSERT_TRUE(in.next(r));
+    EXPECT_EQ(r.addr, 0x200u);
+    EXPECT_EQ(r.type, RefType::Write);
+    EXPECT_EQ(r.pid, 3);
+    EXPECT_FALSE(in.next(r));
+}
+
+TEST_F(DinIoTest, PidColumnIsOptional)
+{
+    std::ofstream out(path_);
+    out << "2 abc\n";
+    out.close();
+    DinTraceSource in(path_);
+    MemRef r;
+    ASSERT_TRUE(in.next(r));
+    EXPECT_EQ(r.addr, 0xabcu);
+    EXPECT_EQ(r.type, RefType::Ifetch);
+    EXPECT_EQ(r.pid, 0);
+}
+
+TEST_F(DinIoTest, UnknownLabelIsFatal)
+{
+    std::ofstream out(path_);
+    out << "9 100\n";
+    out.close();
+    DinTraceSource in(path_);
+    MemRef r;
+    EXPECT_THROW(in.next(r), FatalError);
+}
+
+TEST_F(DinIoTest, MalformedLineIsFatal)
+{
+    std::ofstream out(path_);
+    out << "not a trace\n";
+    out.close();
+    DinTraceSource in(path_);
+    MemRef r;
+    EXPECT_THROW(in.next(r), FatalError);
+}
+
+TEST_F(DinIoTest, BadAddressIsFatal)
+{
+    std::ofstream out(path_);
+    out << "0 zzz\n";
+    out.close();
+    DinTraceSource in(path_);
+    MemRef r;
+    EXPECT_THROW(in.next(r), FatalError);
+}
+
+TEST(DinIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(DinTraceSource("/nonexistent/trace.din"), FatalError);
+}
+
+} // namespace
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/process_model.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+namespace {
+
+ProcessModel
+makeProc(std::uint8_t pid = 1, std::uint64_t seed = 42)
+{
+    return ProcessModel(pid, Addr{pid + 1u} << 26, ProcessParams{},
+                        seed);
+}
+
+TEST(ProcessModel, DeterministicForSameSeed)
+{
+    ProcessModel a = makeProc(1, 7), b = makeProc(1, 7);
+    for (int i = 0; i < 5000; ++i) {
+        MemRef ra = a.nextRef(), rb = b.nextRef();
+        ASSERT_EQ(ra, rb) << "diverged at ref " << i;
+    }
+}
+
+TEST(ProcessModel, DifferentSeedsDiverge)
+{
+    ProcessModel a = makeProc(1, 1), b = makeProc(1, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.nextRef() == b.nextRef();
+    EXPECT_LT(same, 500);
+}
+
+TEST(ProcessModel, StampsItsPid)
+{
+    ProcessModel p = makeProc(5);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(p.nextRef().pid, 5);
+}
+
+TEST(ProcessModel, AddressesStayInOwnSpace)
+{
+    const std::uint8_t pid = 3;
+    ProcessModel p = makeProc(pid);
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = p.nextRef().addr;
+        EXPECT_EQ(a >> 26, static_cast<Addr>(pid + 1))
+            << "address escaped the process space";
+    }
+}
+
+TEST(ProcessModel, EmitsAllThreeReferenceKinds)
+{
+    ProcessModel p = makeProc();
+    int reads = 0, writes = 0, ifetches = 0;
+    for (int i = 0; i < 20000; ++i) {
+        switch (p.nextRef().type) {
+          case RefType::Read:
+            ++reads;
+            break;
+          case RefType::Write:
+            ++writes;
+            break;
+          case RefType::Ifetch:
+            ++ifetches;
+            break;
+          default:
+            FAIL() << "unexpected flush from a process";
+        }
+    }
+    EXPECT_GT(reads, 0);
+    EXPECT_GT(writes, 0);
+    EXPECT_GT(ifetches, 0);
+}
+
+TEST(ProcessModel, IfetchFractionRoughlyHonored)
+{
+    ProcessParams params;
+    params.ifetch_fraction = 0.5;
+    ProcessModel p(1, Addr{2} << 26, params, 9);
+    int n = 40000, ifetches = 0;
+    for (int i = 0; i < n; ++i)
+        ifetches += p.nextRef().isInstruction();
+    EXPECT_NEAR(static_cast<double>(ifetches) / n, 0.5, 0.03);
+}
+
+TEST(ProcessModel, WriteFractionAppliesToDataRefs)
+{
+    ProcessParams params;
+    params.ifetch_fraction = 0.0; // data only
+    params.write_fraction = 0.4;
+    ProcessModel p(1, Addr{2} << 26, params, 11);
+    int n = 40000, writes = 0;
+    for (int i = 0; i < n; ++i)
+        writes += p.nextRef().isWrite();
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.4, 0.03);
+}
+
+TEST(ProcessModel, FootprintGrowsWithNewBlockProb)
+{
+    ProcessParams grow;
+    grow.ifetch_fraction = 0.0;
+    grow.stack_fraction = 0.0;
+    grow.new_block_prob = 0.2;
+    ProcessParams stay = grow;
+    stay.new_block_prob = 0.01;
+
+    ProcessModel a(1, Addr{2} << 26, grow, 13);
+    ProcessModel b(1, Addr{2} << 26, stay, 13);
+    for (int i = 0; i < 20000; ++i) {
+        a.nextRef();
+        b.nextRef();
+    }
+    EXPECT_GT(a.heapFootprintBlocks(), 2 * b.heapFootprintBlocks());
+}
+
+TEST(ProcessModel, ExhibitsTemporalLocality)
+{
+    // A large fraction of heap references should be re-references
+    // of a small recent working set.
+    ProcessParams params;
+    params.ifetch_fraction = 0.0;
+    params.stack_fraction = 0.0;
+    ProcessModel p(1, Addr{2} << 26, params, 17);
+
+    const unsigned blk = params.heap_block_bytes;
+    std::vector<Addr> recent;
+    int hits = 0, n = 20000;
+    for (int i = 0; i < n; ++i) {
+        Addr a = p.nextRef().addr / blk;
+        bool found = false;
+        for (Addr r : recent)
+            if (r == a) {
+                found = true;
+                break;
+            }
+        hits += found;
+        recent.insert(recent.begin(), a);
+        if (recent.size() > 16)
+            recent.pop_back();
+    }
+    // With geometric short-range reuse, well over a third of
+    // references should land in the 16 most recent blocks.
+    EXPECT_GT(static_cast<double>(hits) / n, 0.35);
+}
+
+TEST(ProcessModel, InstructionStreamIsSequentialish)
+{
+    ProcessParams params;
+    params.ifetch_fraction = 1.0;
+    ProcessModel p(1, Addr{2} << 26, params, 19);
+    Addr prev = p.nextRef().addr;
+    int sequential = 0, n = 20000;
+    for (int i = 0; i < n; ++i) {
+        Addr cur = p.nextRef().addr;
+        sequential += (cur == prev + 4);
+        prev = cur;
+    }
+    // Most fetches advance linearly (jump_prob is small).
+    EXPECT_GT(static_cast<double>(sequential) / n, 0.6);
+}
+
+TEST(ProcessModel, RejectsBadParams)
+{
+    ProcessParams params;
+    params.functions = 0;
+    EXPECT_THROW(ProcessModel(1, 0, params, 1), FatalError);
+    ProcessParams params2;
+    params2.heap_block_bytes = 48; // not a power of two
+    EXPECT_THROW(ProcessModel(1, 0, params2, 1), FatalError);
+}
+
+} // namespace
+} // namespace trace
+} // namespace assoc

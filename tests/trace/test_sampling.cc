@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.h"
+#include "trace/atum_like.h"
+#include "trace/sampling.h"
+#include "trace/synthetic.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace trace {
+namespace {
+
+TEST(WindowSampling, PassesOnWindowsDropsOffWindows)
+{
+    VectorTraceSource inner;
+    for (Addr a = 0; a < 10; ++a)
+        inner.push({a, RefType::Read, 0});
+    WindowSampledSource sampled(inner, 2, 3);
+    // Period 5: positions 0,1 pass; 2,3,4 drop.
+    std::vector<Addr> got;
+    MemRef r;
+    while (sampled.next(r))
+        got.push_back(r.addr);
+    EXPECT_EQ(got, (std::vector<Addr>{0, 1, 5, 6}));
+}
+
+TEST(WindowSampling, FlushMarkersAlwaysPass)
+{
+    VectorTraceSource inner;
+    inner.push({0, RefType::Read, 0});
+    inner.push({1, RefType::Read, 0});
+    inner.push(MemRef::flush());
+    inner.push({2, RefType::Read, 0});
+    inner.push({3, RefType::Read, 0});
+    WindowSampledSource sampled(inner, 1, 1);
+    std::vector<MemRef> got;
+    MemRef r;
+    while (sampled.next(r))
+        got.push_back(r);
+    // Positions: 0 pass, 1 drop, flush pass, 2 pass, 3 drop.
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].addr, 0u);
+    EXPECT_TRUE(got[1].isFlush());
+    EXPECT_EQ(got[2].addr, 2u);
+}
+
+TEST(WindowSampling, ZeroOnWindowIsFatal)
+{
+    VectorTraceSource inner;
+    EXPECT_THROW(WindowSampledSource(inner, 0, 1), FatalError);
+}
+
+TEST(WindowSampling, ResetReplays)
+{
+    VectorTraceSource inner({{1, RefType::Read, 0},
+                             {2, RefType::Read, 0}});
+    WindowSampledSource sampled(inner, 1, 1);
+    MemRef a, b;
+    ASSERT_TRUE(sampled.next(a));
+    sampled.reset();
+    ASSERT_TRUE(sampled.next(b));
+    EXPECT_EQ(a, b);
+}
+
+TEST(WindowSampling, MissRatioApproximatesFullTrace)
+{
+    // Time sampling keeps within-window locality: the L1 miss
+    // ratio on a half-length sampled trace lands near the full
+    // trace's (cold-start bias makes it slightly higher).
+    AtumLikeConfig cfg;
+    cfg.segments = 2;
+    cfg.refs_per_segment = 100000;
+
+    auto missRatio = [&](bool sample) {
+        AtumLikeGenerator gen(cfg);
+        WindowSampledSource sampled(gen, 10000, 10000);
+        TraceSource &src =
+            sample ? static_cast<TraceSource &>(sampled) : gen;
+        mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
+                                  mem::CacheGeometry(262144, 32, 4),
+                                  true};
+        mem::TwoLevelHierarchy h(hcfg);
+        h.run(src);
+        return h.stats().l1MissRatio();
+    };
+    double full = missRatio(false);
+    double sampled = missRatio(true);
+    EXPECT_NEAR(sampled, full, 0.25 * full + 0.01);
+}
+
+TEST(SetSampling, KeepsOnlyChosenSets)
+{
+    mem::CacheGeometry geom(1024, 16, 1); // 64 sets
+    SequentialScan scan(0, 16, 1024);
+    SetSampledSource sampled(scan, geom.blockBytes(),
+                             geom.sets(), 8, 4); // sets 8..11
+    MemRef r;
+    std::uint64_t n = 0;
+    while (sampled.next(r)) {
+        std::uint32_t set = geom.setOf(geom.blockAddrOf(r.addr));
+        EXPECT_GE(set, 8u);
+        EXPECT_LT(set, 12u);
+        ++n;
+    }
+    // 4 of 64 sets of a uniform sweep: exactly 1/16 survives.
+    EXPECT_EQ(n, 1024u / 16);
+    EXPECT_EQ(sampled.consumed(), 1024u);
+}
+
+TEST(SetSampling, RangeValidation)
+{
+    mem::CacheGeometry geom(1024, 16, 1); // 64 sets
+    VectorTraceSource inner;
+    EXPECT_THROW(SetSampledSource(inner, 16, 64, 0, 0), FatalError);
+    EXPECT_THROW(SetSampledSource(inner, 16, 64, 64, 1), FatalError);
+    EXPECT_THROW(SetSampledSource(inner, 16, 64, 60, 8), FatalError);
+    EXPECT_THROW(SetSampledSource(inner, 24, 64, 0, 1), FatalError);
+    EXPECT_THROW(SetSampledSource(inner, 16, 63, 0, 1), FatalError);
+}
+
+TEST(SetSampling, MissRatioNearlyUnbiased)
+{
+    // Per-set behaviour is exact, so the local miss ratio measured
+    // on a quarter of the sets approximates the full ratio.
+    AtumLikeConfig cfg;
+    cfg.segments = 2;
+    cfg.refs_per_segment = 100000;
+    mem::CacheGeometry l1(16384, 16, 1);
+
+    auto l1Miss = [&](bool sample) {
+        AtumLikeGenerator gen(cfg);
+        SetSampledSource sampled(gen, l1.blockBytes(), l1.sets(),
+                                 0, l1.sets() / 4);
+        TraceSource &src =
+            sample ? static_cast<TraceSource &>(sampled) : gen;
+        mem::HierarchyConfig hcfg{l1,
+                                  mem::CacheGeometry(262144, 32, 4),
+                                  true};
+        mem::TwoLevelHierarchy h(hcfg);
+        h.run(src);
+        return h.stats().l1MissRatio();
+    };
+    double full = l1Miss(false);
+    double sampled = l1Miss(true);
+    EXPECT_NEAR(sampled, full, 0.2 * full + 0.01);
+}
+
+TEST(SetSampling, FlushMarkersPass)
+{
+    mem::CacheGeometry geom(1024, 16, 1);
+    VectorTraceSource inner;
+    inner.push(MemRef::flush());
+    SetSampledSource sampled(inner, geom.blockBytes(),
+                             geom.sets(), 0, 1);
+    MemRef r;
+    ASSERT_TRUE(sampled.next(r));
+    EXPECT_TRUE(r.isFlush());
+}
+
+} // namespace
+} // namespace trace
+} // namespace assoc

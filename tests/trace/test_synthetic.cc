@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "trace/synthetic.h"
+
+namespace assoc {
+namespace trace {
+namespace {
+
+TEST(SequentialScan, EmitsArithmeticSequence)
+{
+    SequentialScan scan(0x1000, 4, 5, RefType::Ifetch);
+    MemRef r;
+    for (unsigned i = 0; i < 5; ++i) {
+        ASSERT_TRUE(scan.next(r));
+        EXPECT_EQ(r.addr, 0x1000u + 4 * i);
+        EXPECT_EQ(r.type, RefType::Ifetch);
+    }
+    EXPECT_FALSE(scan.next(r));
+}
+
+TEST(SequentialScan, EveryNewBlockMisses)
+{
+    mem::WriteBackCache cache(mem::CacheGeometry(1024, 16, 4));
+    SequentialScan scan(0, 16, 256); // one ref per block
+    MemRef r;
+    std::uint64_t misses = 0;
+    while (scan.next(r)) {
+        mem::BlockAddr b = cache.geom().blockAddrOf(r.addr);
+        if (cache.findWay(b) < 0) {
+            ++misses;
+            cache.fill(b, false);
+        }
+    }
+    EXPECT_EQ(misses, 256u); // pure cold-miss stream
+}
+
+TEST(SequentialScan, ResetReplays)
+{
+    SequentialScan scan(0, 8, 3);
+    MemRef a, b;
+    ASSERT_TRUE(scan.next(a));
+    scan.reset();
+    ASSERT_TRUE(scan.next(b));
+    EXPECT_EQ(a, b);
+}
+
+TEST(LoopTrace, AllHitsOnceWarmWhenItFits)
+{
+    // 8-block loop in a 16-frame fully-associative cache.
+    mem::WriteBackCache cache(mem::CacheGeometry(256, 16, 16));
+    LoopTrace loop(0, 16, 8, 80);
+    MemRef r;
+    std::uint64_t misses = 0;
+    while (loop.next(r)) {
+        mem::BlockAddr b = cache.geom().blockAddrOf(r.addr);
+        int way = cache.findWay(b);
+        if (way < 0) {
+            ++misses;
+            cache.fill(b, false);
+        } else {
+            cache.touch(cache.geom().setOf(b), way);
+        }
+    }
+    EXPECT_EQ(misses, 8u); // only the first lap misses
+}
+
+TEST(LoopTrace, LruPathologyWhenOneBlockTooBig)
+{
+    // Classic LRU worst case: a cyclic sweep over a+1 blocks in an
+    // a-frame LRU set misses on every reference.
+    const unsigned a = 4;
+    mem::WriteBackCache cache(mem::CacheGeometry(a * 16, 16, a));
+    ASSERT_EQ(cache.geom().sets(), 1u);
+    LoopTrace loop(0, 16, a + 1, 200);
+    MemRef r;
+    std::uint64_t misses = 0;
+    while (loop.next(r)) {
+        mem::BlockAddr b = cache.geom().blockAddrOf(r.addr);
+        int way = cache.findWay(b);
+        if (way < 0) {
+            ++misses;
+            cache.fill(b, false);
+        } else {
+            cache.touch(cache.geom().setOf(b), way);
+        }
+    }
+    EXPECT_EQ(misses, 200u);
+}
+
+TEST(UniformRandomTrace, StaysInRegionAndIsDeterministic)
+{
+    UniformRandomTrace t1(0x4000, 32, 64, 1000, 7);
+    UniformRandomTrace t2(0x4000, 32, 64, 1000, 7);
+    MemRef a, b;
+    while (t1.next(a)) {
+        ASSERT_TRUE(t2.next(b));
+        EXPECT_EQ(a, b);
+        EXPECT_GE(a.addr, 0x4000u);
+        EXPECT_LT(a.addr, 0x4000u + 64 * 32);
+        EXPECT_EQ(a.addr % 32, 0u);
+    }
+}
+
+TEST(UniformRandomTrace, WriteFractionHonored)
+{
+    UniformRandomTrace t(0, 16, 16, 20000, 3, 0.25);
+    MemRef r;
+    int writes = 0, n = 0;
+    while (t.next(r)) {
+        writes += r.isWrite();
+        ++n;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.25, 0.02);
+}
+
+TEST(UniformRandomTrace, SteadyStateLruHitRatioIsAOverN)
+{
+    // Uniform iid refs over N blocks through an a-frame LRU cache:
+    // P(hit) = a/N once warm.
+    const unsigned a = 8, n_blocks = 64;
+    mem::WriteBackCache cache(mem::CacheGeometry(a * 16, 16, a));
+    UniformRandomTrace t(0, 16, n_blocks, 120000, 11);
+    MemRef r;
+    std::uint64_t hits = 0, total = 0;
+    while (t.next(r)) {
+        mem::BlockAddr b = cache.geom().blockAddrOf(r.addr);
+        int way = cache.findWay(b);
+        ++total;
+        if (way >= 0) {
+            ++hits;
+            cache.touch(cache.geom().setOf(b), way);
+        } else {
+            cache.fill(b, false);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / total,
+                static_cast<double>(a) / n_blocks, 0.01);
+}
+
+TEST(UniformRandomTrace, ResetReplaysTheSameStream)
+{
+    UniformRandomTrace t(0, 16, 32, 100, 5);
+    std::vector<MemRef> first;
+    MemRef r;
+    while (t.next(r))
+        first.push_back(r);
+    t.reset();
+    std::size_t i = 0;
+    while (t.next(r))
+        ASSERT_EQ(r, first[i++]);
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(StrideTrace, SweepsAndRepeats)
+{
+    StrideTrace t(0x100, 64, 4, 2);
+    MemRef r;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (unsigned i = 0; i < 4; ++i) {
+            ASSERT_TRUE(t.next(r));
+            EXPECT_EQ(r.addr, 0x100u + i * 64);
+        }
+    }
+    EXPECT_FALSE(t.next(r));
+}
+
+TEST(StrideTrace, SetConflictStride)
+{
+    // Stride = sets * block bytes maps every reference to set 0.
+    mem::CacheGeometry g(1024, 16, 4); // 16 sets
+    std::uint32_t stride = g.sets() * g.blockBytes();
+    StrideTrace t(0, stride, 8, 1);
+    MemRef r;
+    while (t.next(r))
+        EXPECT_EQ(g.setOf(g.blockAddrOf(r.addr)), 0u);
+}
+
+TEST(Synthetic, RejectBadParameters)
+{
+    EXPECT_THROW(SequentialScan(0, 0, 1), FatalError);
+    EXPECT_THROW(LoopTrace(0, 0, 1, 1), FatalError);
+    EXPECT_THROW(LoopTrace(0, 16, 0, 1), FatalError);
+    EXPECT_THROW(UniformRandomTrace(0, 16, 0, 1), FatalError);
+    EXPECT_THROW(UniformRandomTrace(0, 16, 4, 1, 1, 1.5), FatalError);
+    EXPECT_THROW(StrideTrace(0, 0, 1, 1), FatalError);
+}
+
+} // namespace
+} // namespace trace
+} // namespace assoc

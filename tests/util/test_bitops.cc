@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "util/bitops.h"
+
+namespace assoc {
+namespace {
+
+TEST(BitOps, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(4));
+    EXPECT_FALSE(isPow2(6));
+    EXPECT_TRUE(isPow2(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPow2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(BitOps, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(log2i(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(BitOps, Log2iRejectsNonPow2)
+{
+    EXPECT_THROW(log2i(0), PanicError);
+    EXPECT_THROW(log2i(3), PanicError);
+}
+
+TEST(BitOps, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_THROW(log2Ceil(0), PanicError);
+}
+
+TEST(BitOps, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(16), 0xffffu);
+    EXPECT_EQ(maskBits(32), 0xffffffffu);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t{0});
+}
+
+TEST(BitOps, BitField)
+{
+    EXPECT_EQ(bitField(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bitField(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bitField(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bitField(0xff, 4, 0), 0u);
+}
+
+TEST(BitOps, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xff), 8u);
+    EXPECT_EQ(popcount(~std::uint64_t{0}), 64u);
+}
+
+} // namespace
+} // namespace assoc

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace assoc {
+namespace {
+
+TEST(Histogram, StartsEmpty)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(h.count(i), 0u);
+}
+
+TEST(Histogram, CountsExactBuckets)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    h.record(3);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(2);
+    h.record(5);
+    h.record(2);
+    h.record(1);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        for (std::uint64_t j = 0; j <= v; ++j)
+            h.record(v);
+    double sum = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        sum += h.fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, MeanIncludesOverflow)
+{
+    Histogram h(2);
+    h.record(0);
+    h.record(10);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, ResetClearsCountsKeepsShape)
+{
+    Histogram h(3);
+    h.record(1);
+    h.record(7);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.size(), 3u);
+    EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(Histogram, OutOfRangeBucketThrows)
+{
+    Histogram h(2);
+    EXPECT_THROW(h.count(2), std::out_of_range);
+    EXPECT_THROW(h.fraction(5), std::out_of_range);
+}
+
+} // namespace
+} // namespace assoc

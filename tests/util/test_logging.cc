@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace assoc {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    try {
+        fatal("bad config");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: bad config");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+    try {
+        panic("invariant");
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: invariant");
+    }
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "no"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}
+
+TEST(Logging, FatalErrorIsARuntimeError)
+{
+    // Library users can catch std::runtime_error for user errors
+    // and std::logic_error for bugs.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+    EXPECT_THROW(panic("x"), std::logic_error);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(warn("w"));
+    EXPECT_NO_THROW(inform("i"));
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace assoc

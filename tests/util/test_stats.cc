@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace assoc {
+namespace {
+
+TEST(MeanAccum, EmptyMeanIsZero)
+{
+    MeanAccum m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(MeanAccum, SimpleMean)
+{
+    MeanAccum m;
+    m.record(1.0);
+    m.record(2.0);
+    m.record(6.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+    EXPECT_EQ(m.count(), 3u);
+    EXPECT_DOUBLE_EQ(m.sum(), 9.0);
+}
+
+TEST(MeanAccum, WeightedRecord)
+{
+    MeanAccum m;
+    m.record(2.0, 3);
+    m.record(10.0, 1);
+    EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+    EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(MeanAccum, MergeCombinesStreams)
+{
+    MeanAccum a, b;
+    a.record(1.0);
+    a.record(3.0);
+    b.record(5.0);
+    b.record(7.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(MeanAccum, MergeWithEmptyIsIdentity)
+{
+    MeanAccum a, b;
+    a.record(2.5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(MeanAccum, ResetClears)
+{
+    MeanAccum m;
+    m.record(4.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(MeanAccum, VarianceOfConstantIsZero)
+{
+    MeanAccum m;
+    for (int i = 0; i < 10; ++i)
+        m.record(3.0);
+    EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(m.stddev(), 0.0);
+}
+
+TEST(MeanAccum, VarianceMatchesHandComputation)
+{
+    MeanAccum m;
+    m.record(2.0);
+    m.record(4.0);
+    m.record(4.0);
+    m.record(4.0);
+    m.record(5.0);
+    m.record(5.0);
+    m.record(7.0);
+    m.record(9.0);
+    // The classic example: mean 5, population variance 4.
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(m.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(m.stddev(), 2.0);
+}
+
+TEST(MeanAccum, EmptyVarianceIsZero)
+{
+    MeanAccum m;
+    EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(MeanAccum, MergePreservesVariance)
+{
+    MeanAccum a, b, whole;
+    for (double v : {1.0, 2.0, 3.0}) {
+        a.record(v);
+        whole.record(v);
+    }
+    for (double v : {10.0, 11.0}) {
+        b.record(v);
+        whole.record(v);
+    }
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.variance(), whole.variance());
+}
+
+TEST(MeanAccum, WeightedRecordAffectsVariance)
+{
+    MeanAccum a, b;
+    a.record(2.0, 3);
+    a.record(8.0, 1);
+    for (double v : {2.0, 2.0, 2.0, 8.0})
+        b.record(v);
+    EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
+TEST(RatioAccum, EmptyRatioIsZero)
+{
+    RatioAccum r;
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+TEST(RatioAccum, CountsHitsAndMisses)
+{
+    RatioAccum r;
+    r.record(true);
+    r.record(false);
+    r.record(true);
+    r.record(true);
+    EXPECT_EQ(r.hits(), 3u);
+    EXPECT_EQ(r.misses(), 1u);
+    EXPECT_EQ(r.tries(), 4u);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.75);
+}
+
+TEST(RatioAccum, ResetClears)
+{
+    RatioAccum r;
+    r.record(true);
+    r.reset();
+    EXPECT_EQ(r.tries(), 0u);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+} // namespace
+} // namespace assoc

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace assoc {
+namespace {
+
+TEST(TextTable, NumFormatsDoubles)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.2355, 3), "1.236");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, NumFormatsIntegers)
+{
+    EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(TextTable::num(std::uint64_t{0}), "0");
+}
+
+TEST(TextTable, TextFormatAlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"a", "bb"});
+    t.addRow({"xxx", "y"});
+    std::string s = t.toString();
+    // Header, rule, one data row.
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_NE(s.find("xxx"), std::string::npos);
+    // Columns align: "bb" and "y" start at the same offset.
+    std::istringstream iss(s);
+    std::string l1, l2, l3;
+    std::getline(iss, l1);
+    std::getline(iss, l2);
+    std::getline(iss, l3);
+    EXPECT_EQ(l1.find("bb"), l3.find("y"));
+}
+
+TEST(TextTable, CsvFormat)
+{
+    TextTable t;
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.toString(TextTable::Format::Csv), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, MarkdownFormat)
+{
+    TextTable t;
+    t.setHeader({"x"});
+    t.addRow({"1"});
+    std::string s = t.toString(TextTable::Format::Markdown);
+    EXPECT_EQ(s, "| x |\n|---|\n| 1 |\n");
+}
+
+TEST(TextTable, RaggedRowsArePadded)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_EQ(t.toString(TextTable::Format::Csv), "a,b,c\n1,,\n");
+}
+
+TEST(TextTable, RulesOnlyAffectTextFormat)
+{
+    TextTable t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.toString(TextTable::Format::Csv), "a\n1\n2\n");
+    std::string text = t.toString();
+    // Two rules: one under the header, one added explicitly.
+    std::size_t first = text.find("---");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(text.find("---", first + 4), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRenders)
+{
+    TextTable t;
+    EXPECT_EQ(t.toString(TextTable::Format::Csv), "");
+    EXPECT_EQ(t.rowCount(), 0u);
+}
+
+} // namespace
+} // namespace assoc
