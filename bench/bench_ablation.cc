@@ -41,11 +41,16 @@ subsetSweep(const CommonArgs &args)
     table.setHeader({"Subsets", "k", "Hits", "Misses", "Total",
                      "TheoryHit", "TheoryMiss"});
     const unsigned a = 8, t = 16;
+    struct Point
+    {
+        unsigned s, k;
+    };
+    std::vector<Point> points;
+    std::vector<RunSpec> specs;
     for (unsigned s = 1; s <= a; s *= 2) {
         unsigned k = core::analytic::partialWidth(a, t, s);
         if (k == 0)
             continue;
-        trace::AtumLikeGenerator gen(traceConfig(args));
         RunSpec spec;
         spec.hier = mem::HierarchyConfig{
             mem::CacheGeometry(16384, 16, 1),
@@ -56,7 +61,14 @@ subsetSweep(const CommonArgs &args)
         p.partial_subsets = s;
         p.tag_bits = t;
         spec.schemes = {p};
-        RunOutput out = runTrace(gen, spec);
+        points.push_back({s, k});
+        specs.push_back(spec);
+    }
+    std::vector<RunOutput> outs =
+        bench::runSweep(specs, args, "ablation1");
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        const unsigned s = points[i].s, k = points[i].k;
+        const RunOutput &out = outs[i];
         table.addRow(
             {std::to_string(s), std::to_string(k),
              TextTable::num(out.probes[0].read_in_hits.mean(), 2),
@@ -77,14 +89,21 @@ hintAccuracy(const CommonArgs &args)
     TextTable table;
     table.setHeader({"L2", "SizeRatio", "WB-miss ratio",
                      "Hint accuracy"});
-    for (std::uint32_t l2 :
-         {8u * 1024, 16u * 1024, 64u * 1024, 256u * 1024}) {
-        trace::AtumLikeGenerator gen(traceConfig(args));
+    const std::uint32_t l2_sizes[] = {8u * 1024, 16u * 1024,
+                                      64u * 1024, 256u * 1024};
+    std::vector<RunSpec> specs;
+    for (std::uint32_t l2 : l2_sizes) {
         RunSpec spec;
         spec.hier =
             mem::HierarchyConfig{mem::CacheGeometry(4096, 16, 1),
                                  mem::CacheGeometry(l2, 32, 4), true};
-        RunOutput out = runTrace(gen, spec);
+        specs.push_back(spec);
+    }
+    std::vector<RunOutput> outs =
+        bench::runSweep(specs, args, "ablation2");
+    std::size_t idx = 0;
+    for (std::uint32_t l2 : l2_sizes) {
+        const RunOutput &out = outs[idx++];
         double wb = static_cast<double>(out.stats.write_backs);
         double wbmiss =
             wb == 0 ? 0.0 : out.stats.write_back_misses / wb;
@@ -104,6 +123,8 @@ tagWidthSweep(const CommonArgs &args)
     TextTable table;
     table.setHeader({"TagBits", "k", "Subsets", "Hits", "Misses",
                      "Total"});
+    std::vector<unsigned> widths;
+    std::vector<RunSpec> specs;
     for (unsigned t : {8u, 12u, 16u, 24u, 32u}) {
         core::SchemeSpec p;
         try {
@@ -111,13 +132,20 @@ tagWidthSweep(const CommonArgs &args)
         } catch (const FatalError &) {
             continue;
         }
-        trace::AtumLikeGenerator gen(traceConfig(args));
         RunSpec spec;
         spec.hier = mem::HierarchyConfig{
             mem::CacheGeometry(16384, 16, 1),
             mem::CacheGeometry(262144, 32, 8), true};
         spec.schemes = {p};
-        RunOutput out = runTrace(gen, spec);
+        widths.push_back(t);
+        specs.push_back(spec);
+    }
+    std::vector<RunOutput> outs =
+        bench::runSweep(specs, args, "ablation3");
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        unsigned t = widths[i];
+        const core::SchemeSpec &p = specs[i].schemes[0];
+        const RunOutput &out = outs[i];
         table.addRow(
             {std::to_string(t), std::to_string(p.partial_k),
              std::to_string(p.partial_subsets),
@@ -136,13 +164,19 @@ wbAllocationPolicy(const CommonArgs &args)
     TextTable table;
     table.setHeader({"Policy", "Local miss", "Global miss",
                      "WB-miss count"});
+    std::vector<RunSpec> specs;
     for (bool allocate : {true, false}) {
-        trace::AtumLikeGenerator gen(traceConfig(args));
         RunSpec spec;
         spec.hier = mem::HierarchyConfig{
             mem::CacheGeometry(4096, 16, 1),
             mem::CacheGeometry(16384, 32, 4), allocate};
-        RunOutput out = runTrace(gen, spec);
+        specs.push_back(spec);
+    }
+    std::vector<RunOutput> outs =
+        bench::runSweep(specs, args, "ablation4");
+    std::size_t idx = 0;
+    for (bool allocate : {true, false}) {
+        const RunOutput &out = outs[idx++];
         table.addRow(
             {allocate ? "allocate" : "drop",
              TextTable::num(out.stats.localMissRatio(), 4),
@@ -226,22 +260,34 @@ inclusionAndWritePolicy(const CommonArgs &args)
         bool inclusion;
         mem::L1WritePolicy policy;
     };
-    for (Variant v :
-         {Variant{"write-back (paper)", false,
-                  mem::L1WritePolicy::WriteBack},
-          Variant{"write-back + inclusion", true,
-                  mem::L1WritePolicy::WriteBack},
-          Variant{"write-through", false,
-                  mem::L1WritePolicy::WriteThrough}}) {
-        trace::AtumLikeGenerator gen(traceConfig(args));
-        mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
-                                  mem::CacheGeometry(262144, 32, 4),
-                                  true};
-        hcfg.enforce_inclusion = v.inclusion;
-        hcfg.write_policy = v.policy;
-        mem::TwoLevelHierarchy hier(hcfg);
-        hier.run(gen);
-        const mem::HierarchyStats &s = hier.stats();
+    const std::vector<Variant> variants = {
+        {"write-back (paper)", false, mem::L1WritePolicy::WriteBack},
+        {"write-back + inclusion", true,
+         mem::L1WritePolicy::WriteBack},
+        {"write-through", false, mem::L1WritePolicy::WriteThrough}};
+
+    // These variants drive the hierarchy directly (no RunSpec), so
+    // they go through the generic job runner: one stats slot per
+    // variant, filled independently, printed in order.
+    std::vector<mem::HierarchyStats> stats(variants.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        jobs.push_back([&, i] {
+            trace::AtumLikeGenerator gen(traceConfig(args));
+            mem::HierarchyConfig hcfg{
+                mem::CacheGeometry(16384, 16, 1),
+                mem::CacheGeometry(262144, 32, 4), true};
+            hcfg.enforce_inclusion = variants[i].inclusion;
+            hcfg.write_policy = variants[i].policy;
+            mem::TwoLevelHierarchy hier(hcfg);
+            hier.run(gen);
+            stats[i] = hier.stats();
+        });
+    }
+    bench::runJobs(std::move(jobs), args, "ablation6");
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Variant &v = variants[i];
+        const mem::HierarchyStats &s = stats[i];
         table.addRow({v.name, TextTable::num(s.l1MissRatio(), 4),
                       TextTable::num(s.localMissRatio(), 4),
                       TextTable::num(s.read_ins + s.write_backs),
@@ -262,16 +308,26 @@ warmVsCold(const CommonArgs &args)
                 "sub-traces (16K-16 L1, 256K-32 4-way L2):\n\n");
     TextTable table;
     table.setHeader({"Trace", "L1 miss", "Local miss", "Global"});
-    for (bool flush : {true, false}) {
-        trace::AtumLikeConfig tcfg = traceConfig(args);
-        tcfg.flush_between_segments = flush;
-        trace::AtumLikeGenerator gen(tcfg);
-        mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
-                                  mem::CacheGeometry(262144, 32, 4),
-                                  true};
-        mem::TwoLevelHierarchy hier(hcfg);
-        hier.run(gen);
-        const mem::HierarchyStats &s = hier.stats();
+    const bool flushes[] = {true, false};
+    std::vector<mem::HierarchyStats> stats(2);
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < 2; ++i) {
+        jobs.push_back([&, i] {
+            trace::AtumLikeConfig tcfg = traceConfig(args);
+            tcfg.flush_between_segments = flushes[i];
+            trace::AtumLikeGenerator gen(tcfg);
+            mem::HierarchyConfig hcfg{
+                mem::CacheGeometry(16384, 16, 1),
+                mem::CacheGeometry(262144, 32, 4), true};
+            mem::TwoLevelHierarchy hier(hcfg);
+            hier.run(gen);
+            stats[i] = hier.stats();
+        });
+    }
+    bench::runJobs(std::move(jobs), args, "ablation7");
+    for (std::size_t i = 0; i < 2; ++i) {
+        bool flush = flushes[i];
+        const mem::HierarchyStats &s = stats[i];
         table.addRow({flush ? "cold (paper)" : "warm",
                       TextTable::num(s.l1MissRatio(), 4),
                       TextTable::num(s.localMissRatio(), 4),
@@ -291,16 +347,23 @@ replacementPolicies(const CommonArgs &args)
     TextTable table;
     table.setHeader({"Policy", "Local miss", "Global miss",
                      "MRU probes", "Extra state/set"});
-    for (mem::ReplPolicy p :
-         {mem::ReplPolicy::Lru, mem::ReplPolicy::TreePlru,
-          mem::ReplPolicy::Fifo, mem::ReplPolicy::Random}) {
-        trace::AtumLikeGenerator gen(traceConfig(args));
+    const mem::ReplPolicy policies[] = {
+        mem::ReplPolicy::Lru, mem::ReplPolicy::TreePlru,
+        mem::ReplPolicy::Fifo, mem::ReplPolicy::Random};
+    std::vector<RunSpec> specs;
+    for (mem::ReplPolicy p : policies) {
         RunSpec spec;
         spec.hier.l2_replacement = p;
         core::SchemeSpec mru;
         mru.kind = core::SchemeKind::Mru;
         spec.schemes = {mru};
-        RunOutput out = runTrace(gen, spec);
+        specs.push_back(spec);
+    }
+    std::vector<RunOutput> outs =
+        bench::runSweep(specs, args, "ablation9");
+    std::size_t idx = 0;
+    for (mem::ReplPolicy p : policies) {
+        const RunOutput &out = outs[idx++];
         const char *state = "none";
         if (p == mem::ReplPolicy::Lru)
             state = "full LRU list (shared with MRU scheme)";

@@ -56,8 +56,9 @@ main(int argc, char **argv)
             {"4-way partial", ImplKind::Partial, 4, {}},
         };
 
+        std::vector<RunSpec> specs;
+        std::vector<unsigned> subsets_per_design;
         for (Design &d : designs) {
-            trace::AtumLikeGenerator gen(traceConfig(args));
             RunSpec spec;
             spec.hier = mem::HierarchyConfig{
                 mem::CacheGeometry(l1_bytes, 16, 1),
@@ -77,7 +78,17 @@ main(int argc, char **argv)
                 break;
             }
             spec.schemes = {scheme};
-            RunOutput out = runTrace(gen, spec);
+            specs.push_back(spec);
+            subsets_per_design.push_back(subsets);
+        }
+        std::vector<RunOutput> outs =
+            bench::runSweep(specs, args, "crossover");
+        maybeWriteSweepJson(args, specs, outs);
+
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            Design &d = designs[i];
+            const RunOutput &out = outs[i];
+            unsigned subsets = subsets_per_design[i];
 
             d.in.l1_miss_ratio = out.stats.l1MissRatio();
             double ri =

@@ -32,12 +32,9 @@ main(int argc, char **argv)
         std::printf("Figure 3 — probes per L2 access (read-ins + "
                     "write-backs), 16K-16 L1, 256K-32 L2\n\n");
 
+        std::vector<RunSpec> specs;
         for (bool wb_opt : {true, false}) {
-            TextTable table;
-            table.setHeader({"Assoc", "Traditional", "Partial",
-                             "MRU", "Naive"});
             for (unsigned a : {2u, 4u, 8u, 16u}) {
-                trace::AtumLikeGenerator gen(traceConfig(args));
                 RunSpec spec;
                 spec.hier = mem::HierarchyConfig{
                     mem::CacheGeometry(16384, 16, 1),
@@ -50,7 +47,20 @@ main(int argc, char **argv)
                 spec.schemes = {trad,
                                 core::SchemeSpec::paperPartial(a),
                                 mru, naive};
-                RunOutput out = runTrace(gen, spec);
+                specs.push_back(spec);
+            }
+        }
+        std::vector<RunOutput> outs =
+            bench::runSweep(specs, args, "fig3");
+        maybeWriteSweepJson(args, specs, outs);
+
+        std::size_t idx = 0;
+        for (bool wb_opt : {true, false}) {
+            TextTable table;
+            table.setHeader({"Assoc", "Traditional", "Partial",
+                             "MRU", "Naive"});
+            for (unsigned a : {2u, 4u, 8u, 16u}) {
+                const RunOutput &out = outs[idx++];
                 table.addRow(
                     {std::to_string(a),
                      TextTable::num(out.probes[0].totalMean(), 2),

@@ -34,8 +34,9 @@ main(int argc, char **argv)
         hits.setHeader({"Assoc", "Partial", "MRU", "Naive"});
         misses.setHeader({"Assoc", "Partial", "Naive", "MRU"});
 
-        for (unsigned a : {2u, 4u, 8u, 16u}) {
-            trace::AtumLikeGenerator gen(traceConfig(args));
+        const unsigned assocs[] = {2u, 4u, 8u, 16u};
+        std::vector<RunSpec> specs;
+        for (unsigned a : assocs) {
             RunSpec spec;
             spec.hier = mem::HierarchyConfig{
                 mem::CacheGeometry(16384, 16, 1),
@@ -45,7 +46,15 @@ main(int argc, char **argv)
             mru.kind = core::SchemeKind::Mru;
             spec.schemes = {core::SchemeSpec::paperPartial(a), mru,
                             naive};
-            RunOutput out = runTrace(gen, spec);
+            specs.push_back(spec);
+        }
+        std::vector<RunOutput> outs =
+            bench::runSweep(specs, args, "fig4");
+        maybeWriteSweepJson(args, specs, outs);
+
+        std::size_t idx = 0;
+        for (unsigned a : assocs) {
+            const RunOutput &out = outs[idx++];
             hits.addRow(
                 {std::to_string(a),
                  TextTable::num(out.probes[0].read_in_hits.mean(), 2),

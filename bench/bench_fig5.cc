@@ -38,9 +38,10 @@ main(int argc, char **argv)
         left.setHeader({"Assoc", "list=1", "list=2", "list=4",
                         "list=8", "full"});
         const unsigned lengths[] = {1, 2, 4, 8, 0};
+        const unsigned assocs[] = {4u, 8u, 16u};
         std::vector<std::vector<double>> fcurves;
-        for (unsigned a : {4u, 8u, 16u}) {
-            trace::AtumLikeGenerator gen(traceConfig(args));
+        std::vector<RunSpec> specs;
+        for (unsigned a : assocs) {
             RunSpec spec;
             spec.hier = mem::HierarchyConfig{
                 mem::CacheGeometry(16384, 16, 1),
@@ -52,7 +53,15 @@ main(int argc, char **argv)
                 spec.schemes.push_back(mru);
             }
             spec.with_distances = true;
-            RunOutput out = runTrace(gen, spec);
+            specs.push_back(spec);
+        }
+        std::vector<RunOutput> outs =
+            bench::runSweep(specs, args, "fig5");
+        maybeWriteSweepJson(args, specs, outs);
+
+        std::size_t idx = 0;
+        for (unsigned a : assocs) {
+            const RunOutput &out = outs[idx++];
 
             std::vector<std::string> row{std::to_string(a)};
             for (std::size_t i = 0; i < 5; ++i)

@@ -38,13 +38,12 @@ main(int argc, char **argv)
         const TransformKind kinds[] = {
             TransformKind::None, TransformKind::XorLow,
             TransformKind::Improved, TransformKind::Swap};
+        const unsigned tags[] = {16u, 32u};
+        const unsigned assocs[] = {4u, 8u, 16u};
 
-        for (unsigned t : {16u, 32u}) {
-            TextTable table;
-            table.setHeader({"Assoc", "None", "XOR", "New", "Swap",
-                             "Theory", "MRU"});
-            for (unsigned a : {4u, 8u, 16u}) {
-                trace::AtumLikeGenerator gen(traceConfig(args));
+        std::vector<RunSpec> specs;
+        for (unsigned t : tags) {
+            for (unsigned a : assocs) {
                 RunSpec spec;
                 spec.hier = mem::HierarchyConfig{
                     mem::CacheGeometry(16384, 16, 1),
@@ -58,7 +57,20 @@ main(int argc, char **argv)
                 core::SchemeSpec mru;
                 mru.kind = core::SchemeKind::Mru;
                 spec.schemes.push_back(mru);
-                RunOutput out = runTrace(gen, spec);
+                specs.push_back(spec);
+            }
+        }
+        std::vector<RunOutput> outs =
+            bench::runSweep(specs, args, "fig6");
+        maybeWriteSweepJson(args, specs, outs);
+
+        std::size_t idx = 0;
+        for (unsigned t : tags) {
+            TextTable table;
+            table.setHeader({"Assoc", "None", "XOR", "New", "Swap",
+                             "Theory", "MRU"});
+            for (unsigned a : assocs) {
+                const RunOutput &out = outs[idx++];
 
                 core::SchemeSpec sample =
                     core::SchemeSpec::paperPartial(a, t);

@@ -47,40 +47,53 @@ main(int argc, char **argv)
         TextTable table;
         table.setHeader({"L3 assoc", "L3 reqs", "Local miss",
                          "Naive", "MRU", "Partial", "f1"});
-        for (unsigned a : {2u, 4u, 8u, 16u}) {
-            trace::AtumLikeGenerator gen(traceConfig(args));
-            mem::HierarchyConfig cfg{
-                mem::CacheGeometry(4096, 16, 1),
-                mem::CacheGeometry(65536, 32, 4), true};
-            mem::TwoLevelHierarchy hier(cfg);
-            mem::ThirdLevelCache l3(
-                mem::CacheGeometry(l3_bytes, l3_block, a), cfg.l2);
-            hier.setMemorySide(&l3);
+        const unsigned assocs[] = {2u, 4u, 8u, 16u};
+        // Each associativity is an independent simulation driving
+        // the hierarchy directly; fan them out with one row slot
+        // per job and print in submission order.
+        std::vector<std::vector<std::string>> rows(4);
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t i = 0; i < 4; ++i) {
+            jobs.push_back([&, i] {
+                unsigned a = assocs[i];
+                trace::AtumLikeGenerator gen(traceConfig(args));
+                mem::HierarchyConfig cfg{
+                    mem::CacheGeometry(4096, 16, 1),
+                    mem::CacheGeometry(65536, 32, 4), true};
+                mem::TwoLevelHierarchy hier(cfg);
+                mem::ThirdLevelCache l3(
+                    mem::CacheGeometry(l3_bytes, l3_block, a),
+                    cfg.l2);
+                hier.setMemorySide(&l3);
 
-            core::SchemeSpec naive, mru;
-            naive.kind = core::SchemeKind::Naive;
-            mru.kind = core::SchemeKind::Mru;
-            auto m_naive = naive.makeMeter();
-            auto m_mru = mru.makeMeter();
-            auto m_part =
-                core::SchemeSpec::paperPartial(a).makeMeter();
-            core::MruDistanceMeter dist(a);
-            l3.addObserver(m_naive.get());
-            l3.addObserver(m_mru.get());
-            l3.addObserver(m_part.get());
-            l3.addObserver(&dist);
-            hier.run(gen);
+                core::SchemeSpec naive, mru;
+                naive.kind = core::SchemeKind::Naive;
+                mru.kind = core::SchemeKind::Mru;
+                auto m_naive = naive.makeMeter();
+                auto m_mru = mru.makeMeter();
+                auto m_part =
+                    core::SchemeSpec::paperPartial(a).makeMeter();
+                core::MruDistanceMeter dist(a);
+                l3.addObserver(m_naive.get());
+                l3.addObserver(m_mru.get());
+                l3.addObserver(m_part.get());
+                l3.addObserver(&dist);
+                hier.run(gen);
 
-            const mem::ThirdLevelStats &ts = l3.stats();
-            table.addRow(
-                {std::to_string(a),
-                 TextTable::num(ts.read_ins + ts.write_backs),
-                 TextTable::num(ts.localMissRatio(), 4),
-                 TextTable::num(m_naive->stats().totalMean(), 2),
-                 TextTable::num(m_mru->stats().totalMean(), 2),
-                 TextTable::num(m_part->stats().totalMean(), 2),
-                 TextTable::num(dist.f(1), 3)});
+                const mem::ThirdLevelStats &ts = l3.stats();
+                rows[i] = {
+                    std::to_string(a),
+                    TextTable::num(ts.read_ins + ts.write_backs),
+                    TextTable::num(ts.localMissRatio(), 4),
+                    TextTable::num(m_naive->stats().totalMean(), 2),
+                    TextTable::num(m_mru->stats().totalMean(), 2),
+                    TextTable::num(m_part->stats().totalMean(), 2),
+                    TextTable::num(dist.f(1), 3)};
+            });
         }
+        bench::runJobs(std::move(jobs), args, "l3");
+        for (auto &row : rows)
+            table.addRow(std::move(row));
         table.print(std::cout, args.format);
         std::printf("\nTotals include zero-probe write-backs (the "
                     "optimization generalizes: the level two keeps "

@@ -33,17 +33,12 @@ main(int argc, char **argv)
         CommonArgs args = readCommonFlags(parser);
         unsigned t = static_cast<unsigned>(parser.getUint("tagbits"));
 
+        // All 24 (associativity x configuration) runs are
+        // independent: submit them as one sweep, then render the
+        // tables from the in-order results.
+        std::vector<RunSpec> specs;
         for (unsigned assoc : {4u, 8u, 16u}) {
-            std::printf("\n%u-Way Set-Associative Level Two Cache "
-                        "(t = %u)\n\n",
-                        assoc, t);
-            TextTable table;
-            table.setHeader({"Configuration", "Global", "Local",
-                             "WBfrac", "Naive-H", "Naive-T", "MRU-H",
-                             "MRU-T", "Part-H", "Part-M", "Part-T"});
-
             for (const Table4Config &cfg : table4Configs()) {
-                trace::AtumLikeGenerator gen(traceConfig(args));
                 RunSpec spec;
                 spec.hier = mem::HierarchyConfig{
                     mem::CacheGeometry(cfg.l1_bytes, cfg.l1_block, 1),
@@ -58,7 +53,25 @@ main(int argc, char **argv)
                 spec.schemes = {naive, mru,
                                 core::SchemeSpec::paperPartial(assoc,
                                                                t)};
-                RunOutput out = runTrace(gen, spec);
+                specs.push_back(spec);
+            }
+        }
+        std::vector<RunOutput> outs =
+            bench::runSweep(specs, args, "table4");
+        maybeWriteSweepJson(args, specs, outs);
+
+        std::size_t idx = 0;
+        for (unsigned assoc : {4u, 8u, 16u}) {
+            std::printf("\n%u-Way Set-Associative Level Two Cache "
+                        "(t = %u)\n\n",
+                        assoc, t);
+            TextTable table;
+            table.setHeader({"Configuration", "Global", "Local",
+                             "WBfrac", "Naive-H", "Naive-T", "MRU-H",
+                             "MRU-T", "Part-H", "Part-M", "Part-T"});
+
+            for (const Table4Config &cfg : table4Configs()) {
+                const RunOutput &out = outs[idx++];
 
                 double naive_t = out.probes[0].totalMean();
                 double mru_t = out.probes[1].totalMean();

@@ -1,5 +1,8 @@
 #include "support.h"
 
+#include <fstream>
+#include <limits>
+
 #include "util/logging.h"
 
 namespace assoc {
@@ -14,15 +17,30 @@ addCommonFlags(ArgParser &parser)
     parser.addFlag("seed", "0",
                    "trace generator seed (0 = built-in default)");
     parser.addFlag("output", "text",
-                   "table format: text, csv or markdown");
+                   "table format: text, csv, markdown or json");
+    parser.addFlag("jobs", "0",
+                   "parallel simulations (0 = all hardware "
+                   "threads, 1 = serial)");
+    parser.addSwitch("progress",
+                     "print per-job completion lines to stderr");
+    parser.addFlag("json", "",
+                   "also write machine-readable sweep results to "
+                   "this file");
 }
 
 CommonArgs
 readCommonFlags(const ArgParser &parser)
 {
     CommonArgs args;
-    args.segments = static_cast<unsigned>(parser.getUint("segments"));
-    fatalIf(args.segments == 0, "--segments must be positive");
+    std::uint64_t segments = parser.getUint("segments");
+    // getUint hands back 64 bits; the config field is unsigned, so
+    // reject anything the cast would silently truncate.
+    constexpr std::uint64_t seg_max =
+        std::numeric_limits<unsigned>::max();
+    fatalIf(segments == 0 || segments > seg_max,
+            "--segments must be in [1, " + std::to_string(seg_max) +
+                "], got " + parser.getString("segments"));
+    args.segments = static_cast<unsigned>(segments);
     args.seed = parser.getUint("seed");
     std::string fmt = parser.getString("output");
     if (fmt == "text") {
@@ -31,9 +49,17 @@ readCommonFlags(const ArgParser &parser)
         args.format = TextTable::Format::Csv;
     } else if (fmt == "markdown" || fmt == "md") {
         args.format = TextTable::Format::Markdown;
+    } else if (fmt == "json") {
+        args.format = TextTable::Format::Json;
     } else {
         fatal("unknown --output format '" + fmt + "'");
     }
+    std::uint64_t jobs = parser.getUint("jobs");
+    fatalIf(jobs > std::numeric_limits<unsigned>::max(),
+            "--jobs is out of range");
+    args.jobs = static_cast<unsigned>(jobs);
+    args.progress = parser.getBool("progress");
+    args.json_path = parser.getString("json");
     return args;
 }
 
@@ -45,6 +71,50 @@ traceConfig(const CommonArgs &args)
     if (args.seed != 0)
         cfg.seed = args.seed;
     return cfg;
+}
+
+exec::SweepOptions
+sweepOptions(const CommonArgs &args)
+{
+    exec::SweepOptions opts;
+    opts.jobs = args.jobs;
+    return opts;
+}
+
+std::vector<RunOutput>
+runSweep(const std::vector<RunSpec> &specs, const CommonArgs &args,
+         const std::string &label)
+{
+    exec::SweepOptions opts = sweepOptions(args);
+    exec::ProgressMeter meter(specs.size(), args.progress, label);
+    if (args.progress)
+        opts.progress = &meter;
+    return exec::runSweep(specs,
+                          exec::atumTraceFactory(traceConfig(args)),
+                          opts);
+}
+
+void
+runJobs(std::vector<std::function<void()>> jobs,
+        const CommonArgs &args, const std::string &label)
+{
+    exec::SweepOptions opts = sweepOptions(args);
+    exec::ProgressMeter meter(jobs.size(), args.progress, label);
+    if (args.progress)
+        opts.progress = &meter;
+    exec::runJobs(std::move(jobs), opts);
+}
+
+void
+maybeWriteSweepJson(const CommonArgs &args,
+                    const std::vector<RunSpec> &specs,
+                    const std::vector<RunOutput> &outs)
+{
+    if (args.json_path.empty())
+        return;
+    std::ofstream os(args.json_path);
+    fatalIf(!os, "cannot write --json file '" + args.json_path + "'");
+    exec::writeSweepJson(os, specs, outs);
 }
 
 } // namespace bench

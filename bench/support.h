@@ -1,16 +1,22 @@
 /**
  * @file
  * Shared plumbing for the benchmark harnesses: common command-line
- * flags (trace length, seed, output format) on top of the library's
- * experiment runner (sim/runner.h).
+ * flags (trace length, seed, output format, parallelism) on top of
+ * the library's experiment runner (sim/runner.h) and the parallel
+ * sweep engine (exec/sweep.h).
  *
  * Every bench binary regenerates one table or figure of the paper;
- * see DESIGN.md section 5 for the experiment index.
+ * see DESIGN.md section 5 for the experiment index. Sweep-shaped
+ * benches submit all their RunSpecs through runSweep(), which fans
+ * them across a work-stealing thread pool (--jobs N; --jobs 1 is
+ * the exact old serial path) and returns results in submission
+ * order, so the printed tables are identical at any job count.
  */
 
 #ifndef ASSOC_BENCH_SUPPORT_H
 #define ASSOC_BENCH_SUPPORT_H
 
+#include "exec/sweep.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
 #include "util/argparse.h"
@@ -19,7 +25,7 @@
 namespace assoc {
 namespace bench {
 
-// The runner API, re-exported under the bench namespace.
+// The runner and sweep APIs, re-exported under the bench namespace.
 using sim::cacheName;
 using sim::RunOutput;
 using sim::RunSpec;
@@ -33,6 +39,9 @@ struct CommonArgs
     unsigned segments = 23;     ///< ATUM-like sub-traces to run
     std::uint64_t seed = 0;     ///< 0 = the generator's default
     TextTable::Format format = TextTable::Format::Text;
+    unsigned jobs = 0;          ///< sweep workers; 0 = all cores
+    bool progress = false;      ///< stderr progress lines
+    std::string json_path;      ///< machine-readable sweep results
 };
 
 /** Register the shared flags on @p parser. */
@@ -43,6 +52,33 @@ CommonArgs readCommonFlags(const ArgParser &parser);
 
 /** Trace configuration implied by the shared flags. */
 trace::AtumLikeConfig traceConfig(const CommonArgs &args);
+
+/** Sweep options implied by the shared flags (progress unset). */
+exec::SweepOptions sweepOptions(const CommonArgs &args);
+
+/**
+ * Run @p specs in parallel per the shared flags, each job replaying
+ * the identical trace implied by them. Results come back in
+ * submission order; output built from them is byte-identical to the
+ * serial loop's at any --jobs value.
+ */
+std::vector<RunOutput> runSweep(const std::vector<RunSpec> &specs,
+                                const CommonArgs &args,
+                                const std::string &label = "sweep");
+
+/**
+ * Run arbitrary independent thunks per the shared flags (for bench
+ * sections that drive hierarchies directly instead of runTrace).
+ * Each thunk must write only to its own pre-allocated slot.
+ */
+void runJobs(std::vector<std::function<void()>> jobs,
+             const CommonArgs &args,
+             const std::string &label = "sweep");
+
+/** When --json was given, write the sweep results there. */
+void maybeWriteSweepJson(const CommonArgs &args,
+                         const std::vector<RunSpec> &specs,
+                         const std::vector<RunOutput> &outs);
 
 } // namespace bench
 } // namespace assoc

@@ -10,16 +10,22 @@
  * the designs by effective access time per L2 request, flagging
  * the package cost of each.
  *
- *   $ ./l2_design_space [--segments=N] [--tech=sram|dram]
+ * The size x associativity grid is embarrassingly parallel: each
+ * cell is one independent simulation, fanned across the exec
+ * thread pool (--jobs N, --jobs 1 = serial).
+ *
+ *   $ ./l2_design_space [--segments=N] [--tech=sram|dram] [--jobs=N]
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <vector>
 
 #include "core/probe_meter.h"
 #include "core/scheme.h"
+#include "exec/sweep.h"
 #include "hw/impl_model.h"
 #include "mem/hierarchy.h"
 #include "trace/atum_like.h"
@@ -49,6 +55,9 @@ main(int argc, char **argv)
     parser.addFlag("segments", "6", "trace segments to simulate");
     parser.addFlag("tech", "sram", "RAM technology: sram or dram");
     parser.addFlag("l1", "16384", "level-one cache bytes");
+    parser.addFlag("jobs", "0",
+                   "parallel simulations (0 = all hardware "
+                   "threads, 1 = serial)");
     if (!parser.parse(argc, argv))
         return 0;
     try {
@@ -62,11 +71,31 @@ main(int argc, char **argv)
         std::uint32_t l1_bytes =
             static_cast<std::uint32_t>(parser.getUint("l1"));
 
-        hw::Table2Catalog catalog;
-        std::vector<Design> designs;
+        unsigned jobs =
+            static_cast<unsigned>(parser.getUint("jobs"));
 
-        for (std::uint32_t l2_bytes : {65536u, 262144u}) {
-            for (unsigned assoc : {1u, 2u, 4u, 8u}) {
+        hw::Table2Catalog catalog;
+
+        // One job per grid cell, each writing its own slice of the
+        // design list; slices are concatenated in submission order
+        // after the pool drains, so the ranking input is identical
+        // at any job count.
+        struct Cell
+        {
+            std::uint32_t l2_bytes;
+            unsigned assoc;
+        };
+        std::vector<Cell> cells;
+        for (std::uint32_t l2_bytes : {65536u, 262144u})
+            for (unsigned assoc : {1u, 2u, 4u, 8u})
+                cells.push_back({l2_bytes, assoc});
+
+        std::vector<std::vector<Design>> slices(cells.size());
+        std::vector<std::function<void()>> cell_jobs;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            cell_jobs.push_back([&, c] {
+                const std::uint32_t l2_bytes = cells[c].l2_bytes;
+                const unsigned assoc = cells[c].assoc;
                 trace::AtumLikeConfig tcfg;
                 tcfg.segments = segments;
                 trace::AtumLikeGenerator gen(tcfg);
@@ -123,13 +152,20 @@ main(int argc, char **argv)
                         kinds[i] == hw::ImplKind::DirectMapped
                             ? "Direct-mapped"
                             : meters[i]->name();
-                    designs.push_back(Design{
+                    slices[c].push_back(Design{
                         hcfg.l2.name(), label,
                         hier.stats().localMissRatio(),
                         impl.accessNs(extra), impl.packages});
                 }
-            }
+            });
         }
+        exec::SweepOptions opts;
+        opts.jobs = jobs;
+        exec::runJobs(std::move(cell_jobs), opts);
+
+        std::vector<Design> designs;
+        for (auto &slice : slices)
+            designs.insert(designs.end(), slice.begin(), slice.end());
 
         std::sort(designs.begin(), designs.end(),
                   [](const Design &a, const Design &b) {

@@ -1,0 +1,67 @@
+#include "exec/sweep.h"
+
+#include <algorithm>
+
+#include "exec/thread_pool.h"
+
+namespace assoc {
+namespace exec {
+
+TraceFactory
+atumTraceFactory(const trace::AtumLikeConfig &cfg)
+{
+    return [cfg](std::size_t) {
+        return std::make_unique<trace::AtumLikeGenerator>(cfg);
+    };
+}
+
+void
+runJobs(std::vector<std::function<void()>> jobs,
+        const SweepOptions &opts)
+{
+    unsigned want = opts.jobs == 0 ? ThreadPool::defaultThreads()
+                                   : opts.jobs;
+    ProgressMeter *progress = opts.progress;
+
+    if (want == 1 || jobs.size() <= 1) {
+        // The exact old serial path: no pool, no worker threads.
+        for (auto &job : jobs) {
+            job();
+            if (progress)
+                progress->tick();
+        }
+        return;
+    }
+
+    unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(want, jobs.size()));
+    ThreadPool pool(threads);
+    for (auto &job : jobs) {
+        pool.submit([job = std::move(job), progress] {
+            job();
+            if (progress)
+                progress->tick();
+        });
+    }
+    pool.wait();
+}
+
+std::vector<sim::RunOutput>
+runSweep(const std::vector<sim::RunSpec> &specs,
+         const TraceFactory &make_trace, const SweepOptions &opts)
+{
+    std::vector<sim::RunOutput> outs(specs.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        jobs.push_back([&specs, &outs, &make_trace, i] {
+            std::unique_ptr<trace::TraceSource> src = make_trace(i);
+            outs[i] = sim::runTrace(*src, specs[i]);
+        });
+    }
+    runJobs(std::move(jobs), opts);
+    return outs;
+}
+
+} // namespace exec
+} // namespace assoc

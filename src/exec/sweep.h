@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic parallel sweep execution.
+ *
+ * Paper sweeps replay a seed-regenerated trace through many
+ * independent RunSpecs; no mutable state is shared between runs, so
+ * they are embarrassingly parallel. runSweep() fans a vector of
+ * specs across a work-stealing ThreadPool — each job constructs its
+ * own TraceSource from the shared seed via a caller-supplied
+ * factory, so workers never share a generator — and returns the
+ * RunOutputs *in submission order* regardless of completion order:
+ * the result vector is bit-identical to what the old serial loop
+ * produced.
+ *
+ * With jobs == 1 the sweep bypasses the pool entirely and runs each
+ * spec inline, in order, on the calling thread: the exact old
+ * serial path.
+ *
+ * @code
+ *   std::vector<sim::RunSpec> specs = ...;
+ *   exec::SweepOptions opt;
+ *   opt.jobs = 4;
+ *   std::vector<sim::RunOutput> outs = exec::runSweep(
+ *       specs, exec::atumTraceFactory(trace_cfg), opt);
+ * @endcode
+ */
+
+#ifndef ASSOC_EXEC_SWEEP_H
+#define ASSOC_EXEC_SWEEP_H
+
+#include <functional>
+#include <vector>
+
+#include "exec/report.h"
+#include "sim/runner.h"
+#include "trace/atum_like.h"
+
+namespace assoc {
+namespace exec {
+
+/** How a sweep is executed. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = all hardware threads, 1 = serial inline
+     *  (no pool). More jobs than specs never hurts: the pool is
+     *  sized to min(jobs, specs). */
+    unsigned jobs = 0;
+    /** Optional completed-job sink (ticked once per job, from the
+     *  worker that finished it). Not owned. */
+    ProgressMeter *progress = nullptr;
+};
+
+/**
+ * Builds one fresh TraceSource per job. Called once per job, from
+ * that job's worker thread, with the job's submission index; must
+ * be callable concurrently (it should only read shared config).
+ */
+using TraceFactory =
+    std::function<std::unique_ptr<trace::TraceSource>(std::size_t)>;
+
+/** A TraceFactory producing one AtumLikeGenerator per job from the
+ *  shared config (every job replays the identical stream). */
+TraceFactory atumTraceFactory(const trace::AtumLikeConfig &cfg);
+
+/**
+ * Run every spec in @p specs against its own trace from
+ * @p make_trace and return the outputs in submission order.
+ * Exceptions from any job are rethrown (first one wins) after the
+ * remaining jobs finish.
+ */
+std::vector<sim::RunOutput>
+runSweep(const std::vector<sim::RunSpec> &specs,
+         const TraceFactory &make_trace,
+         const SweepOptions &opts = {});
+
+/**
+ * Lower-level entry: run arbitrary independent thunks. Each job
+ * must write its results into its own pre-allocated slot; jobs must
+ * not share mutable state. With opts.jobs == 1 the jobs run inline
+ * in vector order (the exact serial path); otherwise completion
+ * order is unspecified. Exceptions are rethrown after all jobs
+ * finish (first one wins).
+ */
+void runJobs(std::vector<std::function<void()>> jobs,
+             const SweepOptions &opts = {});
+
+} // namespace exec
+} // namespace assoc
+
+#endif // ASSOC_EXEC_SWEEP_H

@@ -1,0 +1,159 @@
+#include "exec/thread_pool.h"
+
+namespace assoc {
+namespace exec {
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    for (unsigned i = 0; i < threads; ++i)
+        workers_[i]->thread =
+            std::thread(&ThreadPool::workerLoop, this, i);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stopping_ = true;
+    }
+    sleep_cv_.notify_all();
+    for (auto &w : workers_)
+        if (w->thread.joinable())
+            w->thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        ++submitted_;
+    }
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(submit_mutex_);
+        target = next_worker_;
+        next_worker_ = (next_worker_ + 1) % workers_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->tasks.push_back(std::move(task));
+    }
+    sleep_cv_.notify_all();
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, std::function<void()> &task)
+{
+    Worker &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.tasks.empty())
+        return false;
+    task = std::move(w.tasks.back());
+    w.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t self, std::function<void()> &task)
+{
+    // Scan victims starting just past ourselves so thieves spread
+    // out instead of all hammering worker 0.
+    const std::size_t n = workers_.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        Worker &victim = *workers_[(self + off) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::finishTask()
+{
+    bool all_done;
+    {
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        ++completed_;
+        all_done = completed_ == submitted_;
+    }
+    if (all_done)
+        done_cv_.notify_all();
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::function<void()> task;
+    for (;;) {
+        if (popOwn(self, task) || steal(self, task)) {
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(done_mutex_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+            task = nullptr; // release captures promptly
+            finishTask();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        // Re-check the deques under the sleep lock: a submit()
+        // between our scan and this wait would otherwise be missed.
+        // Do it before honouring stopping_ so shutdown drains any
+        // work still queued.
+        bool any = false;
+        for (const auto &w : workers_) {
+            std::lock_guard<std::mutex> wl(w->mutex);
+            if (!w->tasks.empty()) {
+                any = true;
+                break;
+            }
+        }
+        if (any)
+            continue;
+        if (stopping_)
+            return;
+        sleep_cv_.wait(lock);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return completed_ == submitted_; });
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+std::uint64_t
+ThreadPool::completedTasks() const
+{
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    return completed_;
+}
+
+} // namespace exec
+} // namespace assoc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A fixed-size work-stealing thread pool for running independent
+ * simulation jobs.
+ *
+ * Each worker owns a deque: the owner pushes and pops work at the
+ * back (LIFO, cache-friendly for task trees), idle workers steal
+ * from the front of a victim's deque (FIFO, Chase-Lev style), so
+ * contention between an owner and its thieves is limited to the
+ * ends of the deque. Submission round-robins across the workers to
+ * seed every deque.
+ *
+ * Exceptions thrown by tasks are captured; the first one is
+ * rethrown from wait(). The destructor drains outstanding work and
+ * joins all workers (exceptions raised during that final drain are
+ * captured but, as in any destructor, cannot propagate).
+ */
+
+#ifndef ASSOC_EXEC_THREAD_POOL_H
+#define ASSOC_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace assoc {
+namespace exec {
+
+/** Fixed-size work-stealing pool. Thread-safe submit() and wait(). */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = defaultThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first exception any task raised since the last wait()
+     * (clearing it). The pool is reusable after wait() returns or
+     * throws.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Tasks finished since construction (monotonic). */
+    std::uint64_t completedTasks() const;
+
+    /** std::thread::hardware_concurrency(), never less than 1. */
+    static unsigned defaultThreads();
+
+  private:
+    /** One worker's deque; the owner uses the back, thieves the
+     *  front. A plain mutex guards each deque: tasks here are whole
+     *  trace simulations, so queue operations are never hot. */
+    struct Worker
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+        std::thread thread;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popOwn(std::size_t self, std::function<void()> &task);
+    bool steal(std::size_t self, std::function<void()> &task);
+    void finishTask();
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Signals "new work or shutdown" to sleeping workers. */
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+
+    /** Signals "all submitted work done" to wait(). */
+    mutable std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+
+    std::uint64_t submitted_ = 0;   ///< guarded by done_mutex_
+    std::uint64_t completed_ = 0;   ///< guarded by done_mutex_
+    std::exception_ptr first_error_; ///< guarded by done_mutex_
+
+    std::size_t next_worker_ = 0; ///< round-robin cursor (submit)
+    std::mutex submit_mutex_;
+
+    bool stopping_ = false; ///< guarded by sleep_mutex_
+};
+
+} // namespace exec
+} // namespace assoc
+
+#endif // ASSOC_EXEC_THREAD_POOL_H

@@ -1,8 +1,10 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace assoc {
@@ -77,6 +79,27 @@ TextTable::print(std::ostream &os, Format fmt) const
         os << '\n';
     };
 
+    // A cell is emitted as a bare JSON number when strtod consumes
+    // it entirely and the value is finite; anything else (including
+    // starred cells like "*1.23" and the empty string) is quoted.
+    auto json_numeric = [](const std::string &c) {
+        if (c.empty())
+            return false;
+        char *end = nullptr;
+        double v = std::strtod(c.c_str(), &end);
+        return end == c.c_str() + c.size() && std::isfinite(v);
+    };
+
+    auto json_escape = [](const std::string &s) {
+        std::string out;
+        for (char ch : s) {
+            if (ch == '"' || ch == '\\')
+                out += '\\';
+            out += ch;
+        }
+        return out;
+    };
+
     auto emit_md = [&](const std::vector<std::string> &cells) {
         os << '|';
         for (std::size_t i = 0; i < ncols; ++i) {
@@ -113,6 +136,33 @@ TextTable::print(std::ostream &os, Format fmt) const
             if (!r.rule)
                 emit_md(r.cells);
         break;
+      case Format::Json: {
+        os << "[\n";
+        bool first = true;
+        for (const auto &r : rows_) {
+            if (r.rule)
+                continue;
+            os << (first ? "" : ",\n") << "  {";
+            for (std::size_t i = 0; i < ncols; ++i) {
+                const std::string key =
+                    i < header_.size() && !header_[i].empty()
+                        ? header_[i]
+                        : "c" + std::to_string(i);
+                const std::string &c =
+                    i < r.cells.size() ? r.cells[i] : "";
+                os << (i ? ", " : "") << '"' << json_escape(key)
+                   << "\": ";
+                if (json_numeric(c))
+                    os << c;
+                else
+                    os << '"' << json_escape(c) << '"';
+            }
+            os << '}';
+            first = false;
+        }
+        os << "\n]\n";
+        break;
+      }
       case Format::Text:
       default: {
         std::size_t total = 0;

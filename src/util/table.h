@@ -16,12 +16,14 @@ namespace assoc {
 /**
  * A simple row/column table. Cells are strings; helpers format
  * doubles with a fixed precision. Render as aligned text (default),
- * CSV or Markdown.
+ * CSV, Markdown, or JSON (an array of one object per row, keyed by
+ * the header; cells that parse fully as finite numbers are emitted
+ * unquoted so downstream tooling needs no post-processing).
  */
 class TextTable
 {
   public:
-    enum class Format { Text, Csv, Markdown };
+    enum class Format { Text, Csv, Markdown, Json };
 
     /** Set the header row. */
     void setHeader(std::vector<std::string> header);

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests of the work-stealing thread pool: every task runs
+ * exactly once, exceptions propagate out of wait(), the pool is
+ * reusable across batches, and a 10k no-op stress run completes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/thread_pool.h"
+
+namespace assoc {
+namespace exec {
+namespace {
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    constexpr int kTasks = 1000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto &h : hits)
+        h = 0;
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    EXPECT_EQ(pool.completedTasks(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    EXPECT_EQ(pool.completedTasks(), 0u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    pool.submit([] { throw std::runtime_error("boom"); });
+    pool.submit([&] { ++ran; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure never cancels sibling tasks.
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionIsClearedAfterRethrow)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("once"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    pool.submit([] {});
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, StressTenThousandNoops)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10000; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10000);
+}
+
+TEST(ThreadPool, UnevenTasksAllComplete)
+{
+    // A few slow tasks seeded onto some deques force the other
+    // workers to steal the rest.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&count, i] {
+            if (i % 16 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            ++count;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads)
+{
+    ThreadPool pool(2);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&] {
+            std::lock_guard<std::mutex> lock(mu);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_FALSE(ids.empty());
+    EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&] { ++count; });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+} // namespace
+} // namespace exec
+} // namespace assoc

@@ -129,6 +129,15 @@ TEST(Runner, CacheNameMatchesPaperNotation)
     EXPECT_EQ(cacheName(4096, 16), "4K-16");
 }
 
+TEST(Runner, CacheNamePrintsSubKilobyteSizesInBytes)
+{
+    // 512 / 1024 would integer-divide to "0K"; bytes are spelled
+    // out below 1 KiB instead.
+    EXPECT_EQ(cacheName(512, 16), "512B-16");
+    EXPECT_EQ(cacheName(256, 8), "256B-8");
+    EXPECT_EQ(cacheName(1024, 16), "1K-16");
+}
+
 TEST(Runner, Table4ConfigsMatchThePaper)
 {
     const auto &cfgs = table4Configs();

@@ -88,5 +88,57 @@ TEST(TextTable, EmptyTableRenders)
     EXPECT_EQ(t.rowCount(), 0u);
 }
 
+TEST(TextTable, JsonFormatKeysRowsByHeader)
+{
+    TextTable t;
+    t.setHeader({"Assoc", "Probes"});
+    t.addRow({"4", "2.55"});
+    t.addRow({"8", "3.10"});
+    EXPECT_EQ(t.toString(TextTable::Format::Json),
+              "[\n"
+              "  {\"Assoc\": 4, \"Probes\": 2.55},\n"
+              "  {\"Assoc\": 8, \"Probes\": 3.10}\n"
+              "]\n");
+}
+
+TEST(TextTable, JsonFormatQuotesNonNumericCells)
+{
+    TextTable t;
+    t.setHeader({"Config", "Best"});
+    t.addRow({"16K-16 256K-32", "*2.55"});
+    EXPECT_EQ(t.toString(TextTable::Format::Json),
+              "[\n"
+              "  {\"Config\": \"16K-16 256K-32\", "
+              "\"Best\": \"*2.55\"}\n"
+              "]\n");
+}
+
+TEST(TextTable, JsonFormatEscapesQuotesAndBackslashes)
+{
+    TextTable t;
+    t.setHeader({"a\"b"});
+    t.addRow({"x\\y"});
+    EXPECT_EQ(t.toString(TextTable::Format::Json),
+              "[\n  {\"a\\\"b\": \"x\\\\y\"}\n]\n");
+}
+
+TEST(TextTable, JsonFormatSynthesizesMissingHeaderKeys)
+{
+    TextTable t;
+    t.addRow({"1", "two"});
+    EXPECT_EQ(t.toString(TextTable::Format::Json),
+              "[\n  {\"c0\": 1, \"c1\": \"two\"}\n]\n");
+}
+
+TEST(TextTable, JsonFormatSkipsRulesAndPadsRaggedRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1"});
+    t.addRule();
+    EXPECT_EQ(t.toString(TextTable::Format::Json),
+              "[\n  {\"a\": 1, \"b\": \"\"}\n]\n");
+}
+
 } // namespace
 } // namespace assoc
