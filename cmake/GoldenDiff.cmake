@@ -1,0 +1,29 @@
+# Run TOOL with ARGS and require stdout to match the checked-in
+# GOLDEN file byte for byte.
+#
+# Variables: TOOL (executable), ARGS (;-list), GOLDEN (reference
+# file), WORKDIR, OUT (captured-output filename under WORKDIR).
+
+execute_process(
+    COMMAND ${TOOL} ${ARGS}
+    WORKING_DIRECTORY ${WORKDIR}
+    OUTPUT_FILE ${WORKDIR}/${OUT}
+    ERROR_VARIABLE stderr_text
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} failed (rc=${rc}):\n${stderr_text}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    file(READ ${WORKDIR}/${OUT} got)
+    file(READ ${GOLDEN} want)
+    message(FATAL_ERROR
+            "output diverges from ${GOLDEN}.\n"
+            "If the change is intended, regenerate the golden file "
+            "(command in tests/CMakeLists.txt).\n"
+            "--- got ---\n${got}\n--- want ---\n${want}")
+endif()

@@ -1,0 +1,28 @@
+# Run TOOL with ARGS twice in fresh processes and require the two
+# stdouts to be byte-identical (seed-determinism tests).
+#
+# Variables: TOOL (executable), ARGS (;-list), WORKDIR, OUT_PREFIX.
+
+foreach(i 1 2)
+    execute_process(
+        COMMAND ${TOOL} ${ARGS}
+        WORKING_DIRECTORY ${WORKDIR}
+        OUTPUT_FILE ${WORKDIR}/${OUT_PREFIX}_${i}.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "run ${i} of ${TOOL} failed (rc=${rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/${OUT_PREFIX}_1.txt
+            ${WORKDIR}/${OUT_PREFIX}_2.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    file(READ ${WORKDIR}/${OUT_PREFIX}_1.txt first)
+    file(READ ${WORKDIR}/${OUT_PREFIX}_2.txt second)
+    message(FATAL_ERROR "outputs differ between identical runs:\n"
+                        "--- run 1 ---\n${first}\n"
+                        "--- run 2 ---\n${second}")
+endif()

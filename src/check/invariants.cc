@@ -1,0 +1,404 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+
+#include "core/mru_lookup.h"
+#include "core/partial_lookup.h"
+#include "core/tagbits.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace check {
+
+void
+ViolationLog::add(const std::string &message)
+{
+    ++count_;
+    if (messages_.size() < max_messages_)
+        messages_.push_back(message);
+}
+
+void
+ViolationLog::clear()
+{
+    count_ = 0;
+    messages_.clear();
+}
+
+ProbeBounds
+probeBoundsFor(const core::LookupStrategy &strategy, unsigned a)
+{
+    ProbeBounds b;
+    if (dynamic_cast<const core::TraditionalLookup *>(&strategy)) {
+        b = {1, 1, 1, 1};
+    } else if (dynamic_cast<const core::NaiveLookup *>(&strategy)) {
+        // Hit after 1..a scanned tags; a miss always scans all a.
+        b = {1, a, a, a};
+    } else if (dynamic_cast<const core::MruLookup *>(&strategy)) {
+        // One probe reads the recency list, then 1..a tag probes;
+        // a miss costs the list read plus all a tags.
+        b = {2, a + 1, a + 1, a + 1};
+    } else if (auto *p = dynamic_cast<const core::PartialLookup *>(
+                   &strategy)) {
+        // s step-1 probes at most, plus one full compare per
+        // partial match; a hit needs at least one of each.
+        unsigned s = p->config().subsets;
+        b = {2, s + a, s, s + a};
+    } else {
+        // Universal envelope: a list read, a step-1 probe per way
+        // and a full compare per way can never be exceeded.
+        b = {1, 1 + 2 * a, 1, 1 + 2 * a};
+    }
+    return b;
+}
+
+namespace {
+
+core::LookupResult
+refTraditional(const core::LookupInput &in)
+{
+    core::LookupResult res;
+    res.probes = 1;
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            break;
+        }
+    }
+    return res;
+}
+
+core::LookupResult
+refNaive(const core::LookupInput &in)
+{
+    core::LookupResult res;
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        ++res.probes;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+    return res;
+}
+
+core::LookupResult
+refMru(const core::LookupInput &in, unsigned list_len)
+{
+    core::LookupResult res;
+    res.probes = 1; // the recency-list read
+    unsigned ll = list_len == 0 ? in.assoc
+                                : std::min(list_len, in.assoc);
+    std::uint64_t searched = 0;
+    for (unsigned i = 0; i < ll; ++i) {
+        unsigned w = in.mru_order[i];
+        ++res.probes;
+        searched |= std::uint64_t{1} << w;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        if (searched & (std::uint64_t{1} << w))
+            continue;
+        ++res.probes;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+    return res;
+}
+
+core::LookupResult
+refPartial(const core::PartialConfig &cfg,
+           const core::LookupInput &in)
+{
+    // Re-derive the two-step scan from the paper with an
+    // independently constructed transform instance.
+    auto xf = core::TagTransform::make(cfg.transform, cfg.tag_bits,
+                                       cfg.field_bits);
+    const unsigned s = cfg.subsets;
+    const unsigned g = in.assoc / s;
+    core::LookupResult res;
+    for (unsigned sub = 0; sub < s; ++sub) {
+        ++res.probes; // step 1
+        for (unsigned l = 0; l < g; ++l) {
+            unsigned w = sub * g + l;
+            if (!in.valid[w])
+                continue;
+            std::uint32_t stored = xf->apply(in.stored_tags[w], l);
+            std::uint32_t incoming = xf->apply(in.incoming_tag, l);
+            if (xf->field(stored, l) != xf->field(incoming, l))
+                continue;
+            ++res.probes; // step 2
+            if (stored == incoming) {
+                res.hit = true;
+                res.way = static_cast<int>(w);
+                return res;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+bool
+referenceLookup(const core::LookupStrategy &strategy,
+                const core::LookupInput &in, core::LookupResult &out)
+{
+    if (dynamic_cast<const core::TraditionalLookup *>(&strategy)) {
+        out = refTraditional(in);
+        return true;
+    }
+    if (dynamic_cast<const core::NaiveLookup *>(&strategy)) {
+        out = refNaive(in);
+        return true;
+    }
+    if (auto *m = dynamic_cast<const core::MruLookup *>(&strategy)) {
+        out = refMru(in, m->listLen());
+        return true;
+    }
+    if (auto *p =
+            dynamic_cast<const core::PartialLookup *>(&strategy)) {
+        out = refPartial(p->config(), in);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+partialCandidateMask(const core::PartialConfig &cfg,
+                     const core::LookupInput &in)
+{
+    auto xf = core::TagTransform::make(cfg.transform, cfg.tag_bits,
+                                       cfg.field_bits);
+    const unsigned s = cfg.subsets;
+    const unsigned g = in.assoc / s;
+    std::uint64_t mask = 0;
+    for (unsigned sub = 0; sub < s; ++sub) {
+        for (unsigned l = 0; l < g; ++l) {
+            unsigned w = sub * g + l;
+            if (!in.valid[w])
+                continue;
+            std::uint32_t stored = xf->apply(in.stored_tags[w], l);
+            std::uint32_t incoming = xf->apply(in.incoming_tag, l);
+            if (xf->field(stored, l) == xf->field(incoming, l))
+                mask |= std::uint64_t{1} << w;
+        }
+    }
+    return mask;
+}
+
+bool
+checkMruOrderIntegrity(const mem::WriteBackCache &cache,
+                       std::uint32_t set, ViolationLog &log)
+{
+    const auto &order = cache.mruOrder(set);
+    const unsigned a = cache.geom().assoc();
+    std::uint64_t before = log.count();
+
+    if (order.size() != a) {
+        log.add("set " + std::to_string(set) + ": recency order has " +
+                std::to_string(order.size()) + " entries, want " +
+                std::to_string(a));
+        return false;
+    }
+    std::uint64_t seen = 0;
+    bool tail = false; // inside the invalid suffix
+    for (unsigned i = 0; i < a; ++i) {
+        unsigned w = order[i];
+        if (w >= a || (seen & (std::uint64_t{1} << w))) {
+            log.add("set " + std::to_string(set) +
+                    ": recency order is not a permutation (entry " +
+                    std::to_string(i) + " = " + std::to_string(w) +
+                    ")");
+            return false;
+        }
+        seen |= std::uint64_t{1} << w;
+        bool valid = cache.line(set, static_cast<int>(w)).valid;
+        if (!valid)
+            tail = true;
+        else if (tail)
+            log.add("set " + std::to_string(set) + ": valid way " +
+                    std::to_string(w) +
+                    " sits behind an invalid frame in the recency "
+                    "order");
+    }
+    return log.count() == before;
+}
+
+bool
+checkAllMruOrders(const mem::WriteBackCache &cache, ViolationLog &log)
+{
+    bool ok = true;
+    for (std::uint32_t set = 0; set < cache.geom().sets(); ++set)
+        ok = checkMruOrderIntegrity(cache, set, log) && ok;
+    return ok;
+}
+
+bool
+checkTransformInvertible(const core::TagTransform &xf, Pcg32 &rng,
+                         unsigned samples, ViolationLog &log)
+{
+    std::uint64_t before = log.count();
+    const std::uint32_t mask =
+        static_cast<std::uint32_t>(maskBits(xf.tagBits()));
+    const std::string what = xf.name() + "(t=" +
+                             std::to_string(xf.tagBits()) +
+                             ",k=" + std::to_string(xf.fieldBits()) +
+                             ")";
+    unsigned slots = std::max(1u, xf.fields());
+    for (unsigned slot = 0; slot < slots; ++slot) {
+        if (xf.apply(0, slot) != 0)
+            log.add(what + ": apply(0) != 0 at slot " +
+                    std::to_string(slot));
+        for (unsigned i = 0; i < samples; ++i) {
+            std::uint32_t x = rng.next() & mask;
+            std::uint32_t y = rng.next() & mask;
+            std::uint32_t ax = xf.apply(x, slot);
+            if ((ax & ~mask) != 0)
+                log.add(what + ": apply leaks outside the tag mask");
+            if (xf.invert(ax, slot) != x)
+                log.add(what + ": invert(apply(x)) != x");
+            if (xf.apply(xf.invert(x, slot), slot) != x)
+                log.add(what + ": apply(invert(x)) != x");
+            if (xf.apply(x ^ y, slot) != (ax ^ xf.apply(y, slot)))
+                log.add(what + ": not GF(2)-linear");
+            if (log.count() != before)
+                return false; // one bad transform floods otherwise
+        }
+    }
+    return log.count() == before;
+}
+
+bool
+checkInclusion(const mem::TwoLevelHierarchy &hier, ViolationLog &log)
+{
+    std::uint64_t before = log.count();
+    const mem::CacheGeometry &g1 = hier.l1().geom();
+    const mem::CacheGeometry &g2 = hier.l2().geom();
+    for (std::uint32_t set = 0; set < g1.sets(); ++set) {
+        for (std::uint32_t w = 0; w < g1.assoc(); ++w) {
+            const mem::Line &l = hier.l1().line(set,
+                                                static_cast<int>(w));
+            if (!l.valid)
+                continue;
+            trace::Addr byte = g1.byteAddrOf(l.block);
+            if (hier.l2().findWay(g2.blockAddrOf(byte)) < 0)
+                log.add("inclusion violated: level-one block 0x" +
+                        std::to_string(l.block) +
+                        " (set " + std::to_string(set) + ", way " +
+                        std::to_string(w) +
+                        ") is absent from the level two");
+        }
+    }
+    return log.count() == before;
+}
+
+InvariantAuditor::InvariantAuditor(ViolationLog *log) : log_(log)
+{
+    panicIf(log == nullptr, "InvariantAuditor: null log");
+}
+
+void
+InvariantAuditor::audit(const core::ProbeMeter &meter,
+                        const mem::L2AccessView &view,
+                        const core::LookupInput &in,
+                        const core::LookupResult &res)
+{
+    ++audited_;
+    const unsigned a = in.assoc;
+    const core::LookupStrategy &strat = meter.strategy();
+    const std::string who = strat.name();
+
+    // 1. Probe bounds from the Section 2 cost model.
+    ProbeBounds b = probeBoundsFor(strat, a);
+    unsigned lo = res.hit ? b.hit_min : b.miss_min;
+    unsigned hi = res.hit ? b.hit_max : b.miss_max;
+    if (res.probes < lo || res.probes > hi)
+        log_->add(who + ": " + (res.hit ? "hit" : "miss") +
+                  " cost " + std::to_string(res.probes) +
+                  " probes, outside [" + std::to_string(lo) + ", " +
+                  std::to_string(hi) + "] at a=" + std::to_string(a));
+
+    // 2. Exact reference re-execution for recognized schemes.
+    core::LookupResult ref;
+    if (referenceLookup(strat, in, ref)) {
+        if (ref.hit != res.hit || ref.way != res.way ||
+            ref.probes != res.probes)
+            log_->add(who + ": diverges from the reference scan "
+                      "(got hit=" + std::to_string(res.hit) +
+                      " way=" + std::to_string(res.way) + " probes=" +
+                      std::to_string(res.probes) + ", want hit=" +
+                      std::to_string(ref.hit) + " way=" +
+                      std::to_string(ref.way) + " probes=" +
+                      std::to_string(ref.probes) + ")");
+    }
+
+    // 3. Ground-truth agreement. With tags at least as wide as the
+    // address arithmetic produces, slicing is the identity and the
+    // verdict must match the simulator exactly; truncated tags may
+    // alias, but only in ways sliced-tag equality justifies.
+    const bool true_hit = view.hit_way >= 0;
+    const bool strict = meter.config().tag_bits >=
+                        view.cache->geom().fullTagBits();
+    if (true_hit && !res.hit) {
+        log_->add(who + ": missed a block the simulator holds (way " +
+                  std::to_string(view.hit_way) + ")");
+    } else if (strict) {
+        if (res.hit != true_hit)
+            log_->add(who + ": full-width verdict disagrees with the "
+                      "oracle (scheme says hit=" +
+                      std::to_string(res.hit) + ")");
+        else if (res.hit && res.way != view.hit_way)
+            log_->add(who + ": full-width hit way " +
+                      std::to_string(res.way) + " != oracle way " +
+                      std::to_string(view.hit_way));
+    } else if (res.hit) {
+        if (res.way < 0 || static_cast<unsigned>(res.way) >= a ||
+            !in.valid[res.way] ||
+            in.stored_tags[res.way] != in.incoming_tag)
+            log_->add(who + ": truncated-tag hit at way " +
+                      std::to_string(res.way) +
+                      " is not justified by sliced-tag equality");
+    }
+
+    // The oracle itself must be consistent with the cache state.
+    if (true_hit) {
+        const mem::Line &l =
+            view.cache->line(view.set, view.hit_way);
+        if (!l.valid || l.block != view.block)
+            log_->add("oracle hit way " +
+                      std::to_string(view.hit_way) +
+                      " does not hold block 0x" +
+                      std::to_string(view.block));
+    }
+
+    // 4. Partial step-1 superset: every sliced-equal way must
+    // survive the partial filter (in particular the hit way).
+    if (auto *p = dynamic_cast<const core::PartialLookup *>(&strat)) {
+        std::uint64_t cand = partialCandidateMask(p->config(), in);
+        for (unsigned w = 0; w < a; ++w) {
+            if (in.valid[w] && in.stored_tags[w] == in.incoming_tag &&
+                !(cand & (std::uint64_t{1} << w)))
+                log_->add(who + ": step-1 candidates {" +
+                          std::to_string(cand) +
+                          "} exclude matching way " +
+                          std::to_string(w));
+        }
+    }
+
+    // 5. LRU-stack integrity of the accessed set.
+    checkMruOrderIntegrity(*view.cache, view.set, *log_);
+}
+
+} // namespace check
+} // namespace assoc

@@ -79,6 +79,11 @@ ProbeMeter::observe(const mem::L2AccessView &view)
 
     LookupResult res = strategy_->lookup(in);
 
+    // Auditors run before the ground-truth panic below so a broken
+    // strategy is reported through the checker's channel too.
+    if (auditor_)
+        auditor_->audit(*this, view, in, res);
+
     // Cross-check against the simulator's full-tag ground truth.
     bool true_hit = view.hit_way >= 0;
     if (res.hit && !true_hit)

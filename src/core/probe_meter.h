@@ -61,6 +61,27 @@ struct ProbeStats
     void reset();
 };
 
+class ProbeMeter;
+
+/**
+ * Checker hook: sees every metered lookup with exactly the t-bit
+ * sliced inputs the strategy saw and the result it produced, before
+ * the meter's own ground-truth cross-check runs. Implemented by the
+ * invariant checkers in src/check; attachable to any simulation via
+ * ProbeMeter::setAuditor (or sim::RunSpec::auditor).
+ */
+class LookupAuditor
+{
+  public:
+    virtual ~LookupAuditor() = default;
+
+    /** Called once per metered (non-free) level-two access. */
+    virtual void audit(const ProbeMeter &meter,
+                       const mem::L2AccessView &view,
+                       const LookupInput &in,
+                       const LookupResult &res) = 0;
+};
+
 /**
  * One strategy attached to the hierarchy. Not owned by the
  * hierarchy; keep it alive for the duration of the run.
@@ -73,6 +94,9 @@ class ProbeMeter : public mem::L2Observer
 
     void observe(const mem::L2AccessView &view) override;
 
+    /** Attach an invariant auditor (not owned; nullptr detaches). */
+    void setAuditor(LookupAuditor *auditor) { auditor_ = auditor; }
+
     const ProbeStats &stats() const { return stats_; }
     ProbeStats &stats() { return stats_; }
     const LookupStrategy &strategy() const { return *strategy_; }
@@ -83,6 +107,7 @@ class ProbeMeter : public mem::L2Observer
     std::unique_ptr<LookupStrategy> strategy_;
     MeterConfig cfg_;
     ProbeStats stats_;
+    LookupAuditor *auditor_ = nullptr;
 
     // Scratch buffers reused across observations.
     mutable std::vector<std::uint32_t> tags_;

@@ -14,8 +14,11 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
     meters.reserve(spec.schemes.size());
     for (const core::SchemeSpec &scheme : spec.schemes) {
         meters.push_back(scheme.makeMeter(spec.wb_optimization));
+        meters.back()->setAuditor(spec.auditor);
         hier.addObserver(meters.back().get());
     }
+    for (mem::L2Observer *obs : spec.extra_observers)
+        hier.addObserver(obs);
 
     std::unique_ptr<core::MruDistanceMeter> dist;
     if (spec.with_distances) {

@@ -53,6 +53,12 @@ struct RunSpec
     /** Sample level-two occupancy every this many references
      *  (0 = never). */
     std::uint64_t occupancy_sample_period = 0;
+    /** Invariant auditor attached to every scheme's meter (not
+     *  owned; see src/check). */
+    core::LookupAuditor *auditor = nullptr;
+    /** Additional observers attached to the hierarchy (not owned),
+     *  e.g. the invariant checkers in src/check. */
+    std::vector<mem::L2Observer *> extra_observers;
 };
 
 /** What one simulation produced. */

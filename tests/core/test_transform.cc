@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "core/transform.h"
@@ -176,6 +177,83 @@ TEST(XorLowTransform, IsItsOwnInverse)
     for (int i = 0; i < 1000; ++i) {
         std::uint32_t tag = rng.next() & 0xffff;
         EXPECT_EQ(t.apply(t.apply(tag)), tag);
+    }
+}
+
+TEST(XorLowTransform, SelfInverseAtEveryWidth)
+{
+    // The paper's "XOR" transform must stay an involution for any
+    // tag width t and field width k, not just the studied 16/4.
+    Pcg32 rng(0x515f);
+    for (unsigned t = 4; t <= 32; ++t) {
+        const unsigned k = 1 + rng.below(std::min(t, 8u));
+        XorLowTransform xf(t, k);
+        const std::uint32_t mask =
+            static_cast<std::uint32_t>(maskBits(t));
+        for (int i = 0; i < 200; ++i) {
+            std::uint32_t tag = rng.next() & mask;
+            ASSERT_EQ(xf.apply(xf.apply(tag)), tag)
+                << "t=" << t << " k=" << k;
+        }
+    }
+}
+
+TEST(Transforms, InvertibleAndMaskedAtRandomWidths)
+{
+    // Invertibility over GF(2) and tag-width masking for every kind
+    // at every t in [4, 32] with a random feasible k.
+    Pcg32 rng(0x9d1e);
+    for (TransformKind kind :
+         {TransformKind::None, TransformKind::XorLow,
+          TransformKind::Improved, TransformKind::Swap}) {
+        for (unsigned t = 4; t <= 32; ++t) {
+            const unsigned k = 1 + rng.below(std::min(t, 8u));
+            auto xf = TagTransform::make(kind, t, k);
+            const std::uint32_t mask =
+                static_cast<std::uint32_t>(maskBits(t));
+            for (int i = 0; i < 100; ++i) {
+                std::uint32_t tag = rng.next() & mask;
+                for (unsigned slot = 0; slot < xf->fields(); ++slot) {
+                    std::uint32_t stored = xf->apply(tag, slot);
+                    ASSERT_EQ(stored & ~mask, 0u)
+                        << xf->name() << " t=" << t << " k=" << k;
+                    ASSERT_EQ(xf->invert(stored, slot), tag)
+                        << xf->name() << " t=" << t << " k=" << k
+                        << " slot=" << slot;
+                    ASSERT_EQ(xf->apply(xf->invert(tag, slot), slot),
+                              tag)
+                        << xf->name() << " t=" << t << " k=" << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(Transforms, LinearOverGf2)
+{
+    // Every transform is a GF(2) matrix on the tag bits, which is
+    // what makes invertibility a rank property (Section 2.2):
+    // apply(x ^ y) == apply(x) ^ apply(y) and apply(0) == 0.
+    Pcg32 rng(0x6f2b);
+    for (TransformKind kind :
+         {TransformKind::None, TransformKind::XorLow,
+          TransformKind::Improved, TransformKind::Swap}) {
+        for (unsigned t : {4u, 11u, 16u, 23u, 32u}) {
+            const unsigned k = 1 + rng.below(std::min(t, 8u));
+            auto xf = TagTransform::make(kind, t, k);
+            const std::uint32_t mask =
+                static_cast<std::uint32_t>(maskBits(t));
+            for (unsigned slot = 0; slot < xf->fields(); ++slot) {
+                ASSERT_EQ(xf->apply(0, slot), 0u) << xf->name();
+                for (int i = 0; i < 200; ++i) {
+                    std::uint32_t x = rng.next() & mask;
+                    std::uint32_t y = rng.next() & mask;
+                    ASSERT_EQ(xf->apply(x ^ y, slot),
+                              xf->apply(x, slot) ^ xf->apply(y, slot))
+                        << xf->name() << " t=" << t << " k=" << k;
+                }
+            }
+        }
     }
 }
 

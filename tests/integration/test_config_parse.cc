@@ -50,6 +50,36 @@ TEST(ParseCacheSpec, RejectsMalformedSpecs)
     EXPECT_THROW(parseCacheSpec("256K-32:3"), FatalError);
 }
 
+TEST(ParseCacheSpec, TruncatedAndEmptyFields)
+{
+    // Every malformed shape must land in fatal()'s documented
+    // FatalError, never in UB or a bogus geometry.
+    EXPECT_THROW(parseCacheSpec(""), FatalError);
+    EXPECT_THROW(parseCacheSpec("256K-"), FatalError);
+    EXPECT_THROW(parseCacheSpec("-32"), FatalError);
+    EXPECT_THROW(parseCacheSpec("K-32:4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("256K-32:"), FatalError);
+    EXPECT_THROW(parseCacheSpec(":4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("-"), FatalError);
+}
+
+TEST(ParseCacheSpec, ZeroAndOverflowSizes)
+{
+    EXPECT_THROW(parseCacheSpec("0-32:4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("256K-0:4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("256K-32:0"), FatalError);
+    // 2^32 bytes and beyond cannot be a 32-bit geometry.
+    EXPECT_THROW(parseCacheSpec("4294967296-32:4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("4194304K-32:4"), FatalError);
+    EXPECT_THROW(parseCacheSpec("4096M-32:4"), FatalError);
+    // Unknown unit suffix.
+    EXPECT_THROW(parseCacheSpec("16G-32:4"), FatalError);
+    // Blocks below the 4-byte minimum.
+    EXPECT_THROW(parseCacheSpec("256K-2:4"), FatalError);
+    // More ways than frames.
+    EXPECT_THROW(parseCacheSpec("64-16:8"), FatalError);
+}
+
 TEST(ParseSchemeList, BasicNames)
 {
     auto schemes =

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Differential fuzzer for the lookup schemes (src/check).
+ *
+ * Samples random cache hierarchies, scheme parameterizations and
+ * synthetic traces, runs one ground-truth simulation per case with
+ * every scheme metered, and checks each lookup against the invariant
+ * catalog (probe bounds, reference re-execution, oracle agreement,
+ * step-1 superset, LRU-stack integrity, inclusion) plus the exact
+ * Section 2 probe-cost identities. Every failure prints a one-line
+ * repro command and a minimized counterexample trace.
+ *
+ *   fuzz_diff --iterations=10000 --seed=1      # campaign
+ *   fuzz_diff --seed=1 --config=123            # replay one case
+ *   fuzz_diff --inject=naive-skip              # harness self-test
+ *   fuzz_diff --digest --iterations=50         # determinism digest
+ */
+
+#include <iostream>
+
+#include "check/fuzz.h"
+#include "exec/sweep.h"
+#include "sim/runner.h"
+#include "trace/atum_like.h"
+#include "util/argparse.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace assoc;
+
+/** Digest a short AtumLike stream: cross-process bit-identical
+ *  synthetic trace generation. */
+std::uint64_t
+atumDigest(std::uint64_t seed)
+{
+    trace::AtumLikeConfig cfg;
+    cfg.seed = seed;
+    cfg.segments = 2;
+    cfg.refs_per_segment = 20000;
+    trace::AtumLikeGenerator gen(cfg);
+    std::uint64_t h = check::kDigestInit;
+    trace::MemRef r;
+    while (gen.next(r)) {
+        check::digestMix(h, r.addr);
+        check::digestMix(h, static_cast<std::uint64_t>(r.type));
+        check::digestMix(h, r.pid);
+    }
+    return h;
+}
+
+/** Digest a small parallel sweep (jobs=2): RunOutputs must be
+ *  bit-identical across processes and thread schedules. */
+std::uint64_t
+sweepDigest(std::uint64_t seed)
+{
+    trace::AtumLikeConfig tcfg;
+    tcfg.seed = seed;
+    tcfg.segments = 1;
+    tcfg.refs_per_segment = 20000;
+
+    std::vector<sim::RunSpec> specs;
+    for (unsigned a : {2u, 4u, 8u}) {
+        sim::RunSpec spec;
+        spec.hier = {mem::CacheGeometry(4096, 16, 1),
+                     mem::CacheGeometry(65536, 32, a), true};
+        core::SchemeSpec s;
+        s.kind = core::SchemeKind::Naive;
+        spec.schemes.push_back(s);
+        s.kind = core::SchemeKind::Mru;
+        spec.schemes.push_back(s);
+        spec.schemes.push_back(core::SchemeSpec::paperPartial(a));
+        specs.push_back(spec);
+    }
+
+    exec::SweepOptions opt;
+    opt.jobs = 2;
+    std::vector<sim::RunOutput> outs =
+        exec::runSweep(specs, exec::atumTraceFactory(tcfg), opt);
+
+    std::uint64_t h = check::kDigestInit;
+    for (const sim::RunOutput &out : outs) {
+        check::digestMix(h, out.stats.proc_refs);
+        check::digestMix(h, out.stats.l1_misses);
+        check::digestMix(h, out.stats.read_in_hits);
+        check::digestMix(h, out.stats.write_backs);
+        for (const core::ProbeStats &ps : out.probes) {
+            check::digestMix(h, ps.read_in_hits.count());
+            check::digestMix(
+                h, static_cast<std::uint64_t>(ps.read_in_hits.sum()));
+            check::digestMix(
+                h,
+                static_cast<std::uint64_t>(ps.read_in_misses.sum()));
+            check::digestMix(
+                h, static_cast<std::uint64_t>(ps.write_backs.sum()));
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("fuzz_diff",
+                   "differential fuzzing + invariant checks for all "
+                   "lookup schemes");
+    args.addFlag("seed", "1", "campaign master seed");
+    args.addFlag("iterations", "1000", "fuzz cases to run");
+    args.addFlag("config", "",
+                 "replay exactly one case index from the campaign");
+    args.addFlag("inject", "none",
+                 "deliberately broken scheme (harness self-test): "
+                 "none|naive-skip|mru-undercount|partial-filter");
+    args.addFlag("max-failures", "1",
+                 "stop after this many failing cases");
+    args.addSwitch("no-minimize",
+                   "report failing traces without ddmin shrinking");
+    args.addSwitch("digest",
+                   "print determinism digests (fuzz + trace + "
+                   "parallel sweep) and exit");
+    args.addSwitch("quiet", "suppress the summary line");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    try {
+        check::FuzzOptions opt;
+        opt.seed = args.getUint("seed");
+        opt.iterations = args.getUint("iterations");
+        if (args.given("config")) {
+            opt.have_only_case = true;
+            opt.only_case = args.getUint("config");
+        }
+        opt.inject = check::bugInjectionFromString(
+            args.getString("inject"));
+        opt.max_failures = static_cast<unsigned>(
+            args.getUint("max-failures"));
+        opt.minimize = !args.getBool("no-minimize");
+        opt.log = &std::cerr;
+
+        check::FuzzSummary sum = check::runFuzz(opt);
+
+        if (args.getBool("digest")) {
+            std::cout << "digest fuzz=0x" << std::hex << sum.digest
+                      << " atum=0x" << atumDigest(opt.seed)
+                      << " sweep=0x" << sweepDigest(opt.seed)
+                      << std::dec << "\n";
+        } else if (!args.getBool("quiet")) {
+            std::cout << "fuzz_diff: " << sum.cases_run << " cases, "
+                      << sum.accesses << " lookups audited, "
+                      << sum.failures.size() << " failing case(s)\n";
+        }
+        return sum.ok() ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::cerr << "fuzz_diff: " << e.what() << "\n";
+        return 2;
+    }
+}
