@@ -459,7 +459,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_ablation", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
         subsetSweep(args);
         hintAccuracy(args);
@@ -471,8 +471,5 @@ main(int argc, char **argv)
         hashRehashVsTwoWay(args);
         replacementPolicies(args);
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_coherency", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
 
         std::printf("Coherency-invalidation study "
@@ -80,8 +80,5 @@ main(int argc, char **argv)
                     "empty frames are reusable by any miss to the "
                     "set.\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -32,7 +32,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_crossover", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
         std::uint32_t l1_bytes =
             static_cast<std::uint32_t>(parser.getUint("l1"));
@@ -147,8 +147,5 @@ main(int argc, char **argv)
                     "packages of the traditional design "
                     "(Table 2).\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -26,7 +26,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_fig3", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
 
         std::printf("Figure 3 — probes per L2 access (read-ins + "
@@ -50,9 +50,8 @@ main(int argc, char **argv)
                 specs.push_back(spec);
             }
         }
-        std::vector<RunOutput> outs =
-            bench::runSweep(specs, args, "fig3");
-        maybeWriteSweepJson(args, specs, outs);
+        SweepResult run = bench::runSweepChecked(specs, args, "fig3");
+        maybeWriteSweepJson(args, specs, run);
 
         std::size_t idx = 0;
         for (bool wb_opt : {true, false}) {
@@ -60,7 +59,12 @@ main(int argc, char **argv)
             table.setHeader({"Assoc", "Traditional", "Partial",
                              "MRU", "Naive"});
             for (unsigned a : {2u, 4u, 8u, 16u}) {
-                const RunOutput &out = outs[idx++];
+                const JobResult &job = run.jobs[idx++];
+                if (!job.ok()) {
+                    table.addRow(gapRow(std::to_string(a), 4));
+                    continue;
+                }
+                const RunOutput &out = job.output;
                 table.addRow(
                     {std::to_string(a),
                      TextTable::num(out.probes[0].totalMean(), 2),
@@ -73,9 +77,6 @@ main(int argc, char **argv)
             table.print(std::cout, args.format);
             std::printf("\n");
         }
-        return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+        return sweepExitCode(run);
+    });
 }

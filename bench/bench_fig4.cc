@@ -24,7 +24,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_fig4", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
 
         std::printf("Figure 4 — read-in hits (left) and misses "
@@ -48,13 +48,18 @@ main(int argc, char **argv)
                             naive};
             specs.push_back(spec);
         }
-        std::vector<RunOutput> outs =
-            bench::runSweep(specs, args, "fig4");
-        maybeWriteSweepJson(args, specs, outs);
+        SweepResult run = bench::runSweepChecked(specs, args, "fig4");
+        maybeWriteSweepJson(args, specs, run);
 
         std::size_t idx = 0;
         for (unsigned a : assocs) {
-            const RunOutput &out = outs[idx++];
+            const JobResult &job = run.jobs[idx++];
+            if (!job.ok()) {
+                hits.addRow(gapRow(std::to_string(a), 3));
+                misses.addRow(gapRow(std::to_string(a), 3));
+                continue;
+            }
+            const RunOutput &out = job.output;
             hits.addRow(
                 {std::to_string(a),
                  TextTable::num(out.probes[0].read_in_hits.mean(), 2),
@@ -74,9 +79,6 @@ main(int argc, char **argv)
         hits.print(std::cout, args.format);
         std::printf("\nRead-in misses:\n\n");
         misses.print(std::cout, args.format);
-        return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+        return sweepExitCode(run);
+    });
 }

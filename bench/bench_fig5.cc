@@ -27,7 +27,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_fig5", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
 
         std::printf("Figure 5 — the MRU scheme in detail "
@@ -55,13 +55,20 @@ main(int argc, char **argv)
             spec.with_distances = true;
             specs.push_back(spec);
         }
-        std::vector<RunOutput> outs =
-            bench::runSweep(specs, args, "fig5");
-        maybeWriteSweepJson(args, specs, outs);
+        SweepResult run = bench::runSweepChecked(specs, args, "fig5");
+        maybeWriteSweepJson(args, specs, run);
 
         std::size_t idx = 0;
         for (unsigned a : assocs) {
-            const RunOutput &out = outs[idx++];
+            const JobResult &job = run.jobs[idx++];
+            if (!job.ok()) {
+                left.addRow(gapRow(std::to_string(a), 5));
+                left.addRow(
+                    gapRow(std::to_string(a) + " (theory)", 5));
+                fcurves.push_back({}); // gap column on the right
+                continue;
+            }
+            const RunOutput &out = job.output;
 
             std::vector<std::string> row{std::to_string(a)};
             for (std::size_t i = 0; i < 5; ++i)
@@ -91,7 +98,9 @@ main(int argc, char **argv)
         for (unsigned i = 1; i <= 16; ++i) {
             std::vector<std::string> row{std::to_string(i)};
             for (const auto &f : fcurves) {
-                if (i < f.size())
+                if (f.empty()) // that associativity's job failed
+                    row.push_back(gapCell());
+                else if (i < f.size())
                     row.push_back(TextTable::num(f[i], 4));
                 else
                     row.push_back("");
@@ -99,9 +108,6 @@ main(int argc, char **argv)
             right.addRow(row);
         }
         right.print(std::cout, args.format);
-        return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+        return sweepExitCode(run);
+    });
 }

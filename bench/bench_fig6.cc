@@ -29,7 +29,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_fig6", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
 
         std::printf("Figure 6 — partial scheme on read-in hits "
@@ -60,9 +60,8 @@ main(int argc, char **argv)
                 specs.push_back(spec);
             }
         }
-        std::vector<RunOutput> outs =
-            bench::runSweep(specs, args, "fig6");
-        maybeWriteSweepJson(args, specs, outs);
+        SweepResult run = bench::runSweepChecked(specs, args, "fig6");
+        maybeWriteSweepJson(args, specs, run);
 
         std::size_t idx = 0;
         for (unsigned t : tags) {
@@ -70,7 +69,12 @@ main(int argc, char **argv)
             table.setHeader({"Assoc", "None", "XOR", "New", "Swap",
                              "Theory", "MRU"});
             for (unsigned a : assocs) {
-                const RunOutput &out = outs[idx++];
+                const JobResult &job = run.jobs[idx++];
+                if (!job.ok()) {
+                    table.addRow(gapRow(std::to_string(a), 6));
+                    continue;
+                }
+                const RunOutput &out = job.output;
 
                 core::SchemeSpec sample =
                     core::SchemeSpec::paperPartial(a, t);
@@ -101,9 +105,6 @@ main(int argc, char **argv)
         }
         std::printf("Theory is the probabilistic lower bound of "
                     "Section 2 (uniform independent fields).\n");
-        return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+        return sweepExitCode(run);
+    });
 }

@@ -33,7 +33,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_l3", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
         std::uint32_t l3_bytes =
             static_cast<std::uint32_t>(parser.getUint("l3"));
@@ -100,8 +100,5 @@ main(int argc, char **argv)
                     "way hints for its blocks in the level "
                     "three).\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -41,7 +41,7 @@ main(int argc, char **argv)
     bench::addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_table1", [&]() -> int {
         unsigned t =
             static_cast<unsigned>(parser.getUint("tagbits"));
         bench::CommonArgs args = bench::readCommonFlags(parser);
@@ -113,8 +113,5 @@ main(int argc, char **argv)
                     analytic::chooseSubsets(8, t),
                     analytic::chooseSubsets(16, t));
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

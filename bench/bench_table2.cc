@@ -30,7 +30,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_table2", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
 
         Table2Catalog catalog;
@@ -113,8 +113,5 @@ main(int argc, char **argv)
                     "timings with measured probe counts\n\n");
         eval.print(std::cout, args.format);
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

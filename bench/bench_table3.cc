@@ -24,7 +24,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_table3", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
         trace::AtumLikeConfig tcfg = traceConfig(args);
 
@@ -67,8 +67,5 @@ main(int argc, char **argv)
                     "write-back):\n\n");
         table.print(std::cout, args.format);
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -29,7 +29,7 @@ main(int argc, char **argv)
     addCommonFlags(parser);
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("bench_table4", [&]() -> int {
         CommonArgs args = readCommonFlags(parser);
         unsigned t = static_cast<unsigned>(parser.getUint("tagbits"));
 
@@ -56,9 +56,9 @@ main(int argc, char **argv)
                 specs.push_back(spec);
             }
         }
-        std::vector<RunOutput> outs =
-            bench::runSweep(specs, args, "table4");
-        maybeWriteSweepJson(args, specs, outs);
+        SweepResult run =
+            bench::runSweepChecked(specs, args, "table4");
+        maybeWriteSweepJson(args, specs, run);
 
         std::size_t idx = 0;
         for (unsigned assoc : {4u, 8u, 16u}) {
@@ -71,7 +71,15 @@ main(int argc, char **argv)
                              "MRU-T", "Part-H", "Part-M", "Part-T"});
 
             for (const Table4Config &cfg : table4Configs()) {
-                const RunOutput &out = outs[idx++];
+                const JobResult &job = run.jobs[idx++];
+                std::string name =
+                    cacheName(cfg.l1_bytes, cfg.l1_block) + " " +
+                    cacheName(cfg.l2_bytes, cfg.l2_block);
+                if (!job.ok()) {
+                    table.addRow(gapRow(name, 10));
+                    continue;
+                }
+                const RunOutput &out = job.output;
 
                 double naive_t = out.probes[0].totalMean();
                 double mru_t = out.probes[1].totalMean();
@@ -84,8 +92,7 @@ main(int argc, char **argv)
                 };
 
                 table.addRow(
-                    {cacheName(cfg.l1_bytes, cfg.l1_block) + " " +
-                         cacheName(cfg.l2_bytes, cfg.l2_block),
+                    {name,
                      TextTable::num(out.stats.globalMissRatio(), 4),
                      TextTable::num(out.stats.localMissRatio(), 4),
                      TextTable::num(out.stats.writeBackFraction(), 4),
@@ -103,9 +110,6 @@ main(int argc, char **argv)
         std::printf("\n(*) best method in total for the row. "
                     "Write-backs are zero-probe (write-back "
                     "optimization) and counted as hits.\n");
-        return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+        return sweepExitCode(run);
+    });
 }

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <limits>
 
+#include "exec/journal.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -26,6 +27,22 @@ addCommonFlags(ArgParser &parser)
     parser.addFlag("json", "",
                    "also write machine-readable sweep results to "
                    "this file");
+    parser.addFlag("retries", "1",
+                   "extra attempts per sweep job after a transient "
+                   "failure");
+    parser.addSwitch("keep-going",
+                     "finish the sweep when jobs fail and render "
+                     "the failed points as gaps (exit 2)");
+    parser.addFlag("journal", "",
+                   "checkpoint completed sweep jobs to this file "
+                   "(^C drains and keeps it for --resume)");
+    parser.addFlag("resume", "",
+                   "restore completed jobs from this journal and "
+                   "run only the missing ones (appends new "
+                   "completions)");
+    parser.addFlag("fail-job", "",
+                   "deliberately fail this job index "
+                   "(fault-injection testing)");
 }
 
 CommonArgs
@@ -60,6 +77,15 @@ readCommonFlags(const ArgParser &parser)
     args.jobs = static_cast<unsigned>(jobs);
     args.progress = parser.getBool("progress");
     args.json_path = parser.getString("json");
+    std::uint64_t retries = parser.getUint("retries");
+    fatalIf(retries > 100, "--retries is out of range");
+    args.retries = static_cast<unsigned>(retries);
+    args.keep_going = parser.getBool("keep-going");
+    args.journal_path = parser.getString("journal");
+    args.resume_path = parser.getString("resume");
+    if (parser.given("fail-job"))
+        args.fail_job =
+            static_cast<std::int64_t>(parser.getUint("fail-job"));
     return args;
 }
 
@@ -81,17 +107,109 @@ sweepOptions(const CommonArgs &args)
     return opts;
 }
 
-std::vector<RunOutput>
-runSweep(const std::vector<RunSpec> &specs, const CommonArgs &args,
-         const std::string &label)
+SweepResult
+runSweepChecked(const std::vector<RunSpec> &specs,
+                const CommonArgs &args, const std::string &label)
 {
     exec::SweepOptions opts = sweepOptions(args);
     exec::ProgressMeter meter(specs.size(), args.progress, label);
     if (args.progress)
         opts.progress = &meter;
-    return exec::runSweep(specs,
-                          exec::atumTraceFactory(traceConfig(args)),
-                          opts);
+
+    opts.max_retries = args.retries;
+    opts.journal_path = args.journal_path;
+    opts.resume_path = args.resume_path;
+    trace::AtumLikeConfig tcfg = traceConfig(args);
+    opts.spec_hash =
+        exec::hashSpecs(specs, tcfg.seed * 1000003ull + tcfg.segments);
+
+    // With a journal in play, ^C must drain and checkpoint instead
+    // of killing the process mid-write.
+    exec::CancelToken cancel;
+    if (!args.journal_path.empty() || !args.resume_path.empty()) {
+        exec::installSigintHandler();
+        cancel.watchSigint();
+        opts.cancel = &cancel;
+    }
+
+    exec::FaultPlan plan;
+    plan.fail_job = args.fail_job;
+    exec::FaultInjector inject(plan);
+    if (args.fail_job >= 0)
+        opts.inject = &inject;
+
+    SweepResult result = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opts);
+
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        const JobResult &j = result.jobs[i];
+        if (j.status == JobStatus::Failed)
+            warn(label + ": job " + std::to_string(i) + " failed (" +
+                 std::to_string(j.attempts) + " attempt(s)): " +
+                 j.error.text());
+    }
+
+    if (result.interrupted) {
+        const std::string &journal = !args.journal_path.empty()
+                                         ? args.journal_path
+                                         : args.resume_path;
+        Error e = Error::cancelled(
+            label + " interrupted: " +
+            std::to_string(result.cancelled()) + " of " +
+            std::to_string(result.jobs.size()) + " jobs not run");
+        if (!journal.empty())
+            e.withContext("completed jobs are checkpointed; rerun "
+                          "with --resume=" + journal);
+        throwError(std::move(e));
+    }
+    if (!result.allOk() && !args.keep_going) {
+        Error e(result.firstError());
+        throwError(std::move(e.withContext(
+            "sweep '" + label + "' (pass --keep-going to render "
+            "failed points as gaps)")));
+    }
+    return result;
+}
+
+std::vector<RunOutput>
+runSweep(const std::vector<RunSpec> &specs, const CommonArgs &args,
+         const std::string &label)
+{
+    // Route through the checked engine so --retries / --journal /
+    // --resume work for every bench; callers of this signature need
+    // every output, so any failure (already reported per job) is
+    // rethrown regardless of --keep-going.
+    CommonArgs strict = args;
+    strict.keep_going = false;
+    SweepResult result = runSweepChecked(specs, strict, label);
+    std::vector<RunOutput> outs;
+    outs.reserve(result.jobs.size());
+    for (JobResult &j : result.jobs)
+        outs.push_back(std::move(j.output));
+    return outs;
+}
+
+int
+sweepExitCode(const SweepResult &result)
+{
+    return result.failures() == 0 ? 0 : 2;
+}
+
+std::string
+gapCell()
+{
+    return "-";
+}
+
+std::vector<std::string>
+gapRow(const std::string &head, std::size_t cols)
+{
+    std::vector<std::string> row;
+    row.reserve(cols + 1);
+    row.push_back(head);
+    for (std::size_t i = 0; i < cols; ++i)
+        row.push_back(gapCell());
+    return row;
 }
 
 void
@@ -115,6 +233,18 @@ maybeWriteSweepJson(const CommonArgs &args,
     std::ofstream os(args.json_path);
     fatalIf(!os, "cannot write --json file '" + args.json_path + "'");
     exec::writeSweepJson(os, specs, outs);
+}
+
+void
+maybeWriteSweepJson(const CommonArgs &args,
+                    const std::vector<RunSpec> &specs,
+                    const SweepResult &result)
+{
+    if (args.json_path.empty())
+        return;
+    std::ofstream os(args.json_path);
+    fatalIf(!os, "cannot write --json file '" + args.json_path + "'");
+    exec::writeSweepJson(os, specs, result);
 }
 
 } // namespace bench

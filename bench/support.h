@@ -16,16 +16,21 @@
 #ifndef ASSOC_BENCH_SUPPORT_H
 #define ASSOC_BENCH_SUPPORT_H
 
+#include "exec/fault.h"
 #include "exec/sweep.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
 #include "util/argparse.h"
+#include "util/error.h"
 #include "util/table.h"
 
 namespace assoc {
 namespace bench {
 
 // The runner and sweep APIs, re-exported under the bench namespace.
+using exec::JobResult;
+using exec::JobStatus;
+using exec::SweepResult;
 using sim::cacheName;
 using sim::RunOutput;
 using sim::RunSpec;
@@ -42,6 +47,12 @@ struct CommonArgs
     unsigned jobs = 0;          ///< sweep workers; 0 = all cores
     bool progress = false;      ///< stderr progress lines
     std::string json_path;      ///< machine-readable sweep results
+
+    unsigned retries = 1;       ///< per-job retries (transient errors)
+    bool keep_going = false;    ///< render failed jobs as gaps
+    std::string journal_path;   ///< --journal: fresh checkpoint file
+    std::string resume_path;    ///< --resume: replay missing jobs only
+    std::int64_t fail_job = -1; ///< --fail-job: inject a failure (tests)
 };
 
 /** Register the shared flags on @p parser. */
@@ -67,6 +78,33 @@ std::vector<RunOutput> runSweep(const std::vector<RunSpec> &specs,
                                 const std::string &label = "sweep");
 
 /**
+ * Fault-isolated variant of runSweep(): one JobResult per spec. A
+ * failing job never aborts the sweep; each failure is reported to
+ * stderr and the caller decides (usually via --keep-going) whether
+ * to render gaps or give up. Honors --retries, --journal, --resume
+ * and --fail-job, and installs a SIGINT handler when a journal is
+ * in use so ^C checkpoints cleanly (the sweep then throws a
+ * Cancelled ErrorException, exiting 130 under guardedMain()).
+ *
+ * Throws when the sweep was interrupted, or when jobs failed and
+ * @p args.keep_going is unset.
+ */
+SweepResult runSweepChecked(const std::vector<RunSpec> &specs,
+                            const CommonArgs &args,
+                            const std::string &label = "sweep");
+
+/** Exit code for a finished checked sweep: 2 when any job failed
+ *  (partial output), 0 otherwise. */
+int sweepExitCode(const SweepResult &result);
+
+/** The table cell rendered for a failed sweep point. */
+std::string gapCell();
+
+/** A whole table row of gap cells behind a leading label. */
+std::vector<std::string> gapRow(const std::string &head,
+                                std::size_t cols);
+
+/**
  * Run arbitrary independent thunks per the shared flags (for bench
  * sections that drive hierarchies directly instead of runTrace).
  * Each thunk must write only to its own pre-allocated slot.
@@ -79,6 +117,11 @@ void runJobs(std::vector<std::function<void()>> jobs,
 void maybeWriteSweepJson(const CommonArgs &args,
                          const std::vector<RunSpec> &specs,
                          const std::vector<RunOutput> &outs);
+
+/** Checked-sweep variant: carries per-job status/error/attempts. */
+void maybeWriteSweepJson(const CommonArgs &args,
+                         const std::vector<RunSpec> &specs,
+                         const SweepResult &result);
 
 } // namespace bench
 } // namespace assoc

@@ -22,6 +22,7 @@
 #include "trace/atum_like.h"
 #include "util/argparse.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 
@@ -36,7 +37,7 @@ main(int argc, char **argv)
                    "remote invalidations per processor reference");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("coherency_sim", [&]() -> int {
         unsigned segments =
             static_cast<unsigned>(parser.getUint("segments"));
         double rate = parser.getDouble("rate");
@@ -96,8 +97,5 @@ main(int argc, char **argv)
             "cost, paying only the printed probe counts per local "
             "L2 access.\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -31,6 +31,7 @@
 #include "trace/atum_like.h"
 #include "util/argparse.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 
@@ -60,7 +61,7 @@ main(int argc, char **argv)
                    "threads, 1 = serial)");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("l2_design_space", [&]() -> int {
         unsigned segments =
             static_cast<unsigned>(parser.getUint("segments"));
         std::string tech_name = parser.getString("tech");
@@ -191,8 +192,5 @@ main(int argc, char **argv)
             "serial schemes trade probes for board area. Weight "
             "access time by your miss penalty to choose.\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

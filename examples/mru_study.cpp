@@ -23,6 +23,7 @@
 #include "util/argparse.h"
 #include "util/bitops.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 
@@ -35,7 +36,7 @@ main(int argc, char **argv)
     parser.addFlag("assoc", "8", "level-two associativity");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("mru_study", [&]() -> int {
         unsigned segments =
             static_cast<unsigned>(parser.getUint("segments"));
         unsigned assoc =
@@ -114,8 +115,5 @@ main(int argc, char **argv)
                     "list, at a fraction of the storage (unless "
                     "full LRU replacement already pays for it).\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

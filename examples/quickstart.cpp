@@ -19,6 +19,7 @@
 #include "trace/atum_like.h"
 #include "util/argparse.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     parser.addFlag("segments", "6", "trace segments to simulate");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("quickstart", [&]() -> int {
         // 1. A workload: the built-in ATUM-like multiprogrammed
         //    trace (deterministic; ~350k references per segment).
         trace::AtumLikeConfig tcfg;
@@ -96,8 +97,5 @@ main(int argc, char **argv)
                     "costs an a-wide tag memory and a comparators; "
                     "the others use direct-mapped-style hardware.\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

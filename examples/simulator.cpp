@@ -28,6 +28,7 @@
 #include "trace/din_io.h"
 #include "util/argparse.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 
@@ -80,7 +81,7 @@ main(int argc, char **argv)
                    "remote invalidations per reference");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("simulator", [&]() -> int {
         auto workload = openWorkload(
             parser.getString("trace"),
             static_cast<unsigned>(parser.getUint("segments")),
@@ -190,8 +191,5 @@ main(int argc, char **argv)
             report("Level-three lookup probes:", l3_meters);
         }
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

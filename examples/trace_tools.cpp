@@ -28,6 +28,7 @@
 #include "trace/trace_stats.h"
 #include "util/argparse.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 using namespace assoc::trace;
@@ -42,11 +43,11 @@ isDin(const std::string &path)
 }
 
 std::unique_ptr<TraceSource>
-openTrace(const std::string &path)
+openTrace(const std::string &path, const ErrorPolicy &policy)
 {
     if (isDin(path))
-        return std::make_unique<DinTraceSource>(path);
-    return std::make_unique<BinTraceSource>(path);
+        return std::make_unique<DinTraceSource>(path, policy);
+    return std::make_unique<BinTraceSource>(path, policy);
 }
 
 void
@@ -56,6 +57,20 @@ writeTrace(TraceSource &src, const std::string &path)
         writeDin(src, path);
     else
         writeBin(src, path);
+}
+
+/** Propagate a reader failure (and report skips) after a drain. */
+void
+finishRead(const TraceSource &src, const std::string &path)
+{
+    if (src.failed())
+        throwError(src.error());
+    if (src.skippedRecords() > 0)
+        std::fprintf(stderr,
+                     "trace_tools: skipped %llu bad record(s) in %s\n",
+                     static_cast<unsigned long long>(
+                         src.skippedRecords()),
+                     path.c_str());
 }
 
 } // namespace
@@ -68,11 +83,22 @@ main(int argc, char **argv)
     parser.addFlag("segments", "2", "segments when generating");
     parser.addFlag("seed", "0", "generator seed (0 = default)");
     parser.addFlag("block", "32", "footprint block size for stats");
+    parser.addFlag("errors", "fail-fast",
+                   "bad-record policy: fail-fast|skip|strict");
+    parser.addFlag("max-skips", "100",
+                   "skip mode: give up past this many bad records");
     parser.addSwitch("per-segment",
                      "stats: one row per flush-delimited segment");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("trace_tools", [&]() -> int {
+        ErrorPolicy policy;
+        Expected<ErrorMode> mode =
+            errorModeFromString(parser.getString("errors"));
+        if (!mode.ok())
+            throwError(mode.error());
+        policy.mode = mode.value();
+        policy.max_skips = parser.getUint("max-skips");
         const auto &pos = parser.positional();
         fatalIf(pos.empty(),
                 "usage: trace_tools generate|convert|stats <files>");
@@ -95,19 +121,21 @@ main(int argc, char **argv)
         } else if (cmd == "convert") {
             fatalIf(pos.size() != 3,
                     "usage: trace_tools convert <in> <out>");
-            auto in = openTrace(pos[1]);
+            auto in = openTrace(pos[1], policy);
             writeTrace(*in, pos[2]);
+            finishRead(*in, pos[1]);
             std::printf("converted %s -> %s\n", pos[1].c_str(),
                         pos[2].c_str());
         } else if (cmd == "stats") {
             fatalIf(pos.size() != 2,
                     "usage: trace_tools stats <in>");
-            auto in = openTrace(pos[1]);
+            auto in = openTrace(pos[1], policy);
             unsigned block =
                 static_cast<unsigned>(parser.getUint("block"));
             if (parser.getBool("per-segment")) {
                 std::vector<TraceStats> segs =
                     collectSegmentStats(*in, block);
+                finishRead(*in, pos[1]);
                 TextTable t;
                 t.setHeader({"Segment", "Refs", "Read%", "Write%",
                              "Ifetch%", "Footprint(KB)"});
@@ -124,12 +152,13 @@ main(int argc, char **argv)
                 t.print(std::cout);
             } else {
                 TraceStats stats = collectStats(*in, block);
+                finishRead(*in, pos[1]);
                 stats.print(std::cout);
             }
         } else if (cmd == "simulate") {
             fatalIf(pos.size() != 2,
                     "usage: trace_tools simulate <in>");
-            auto in = openTrace(pos[1]);
+            auto in = openTrace(pos[1], policy);
             sim::RunSpec spec; // the paper's Figure 3 hierarchy
             core::SchemeSpec naive, mru;
             naive.kind = core::SchemeKind::Naive;
@@ -163,8 +192,5 @@ main(int argc, char **argv)
             fatal("unknown subcommand '" + cmd + "'");
         }
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

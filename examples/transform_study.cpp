@@ -24,6 +24,7 @@
 #include "trace/atum_like.h"
 #include "util/argparse.h"
 #include "util/table.h"
+#include "util/error.h"
 
 using namespace assoc;
 using core::TransformKind;
@@ -84,7 +85,7 @@ main(int argc, char **argv)
     parser.addFlag("assoc", "8", "level-two associativity");
     if (!parser.parse(argc, argv))
         return 0;
-    try {
+    return guardedMain("transform_study", [&]() -> int {
         unsigned segments =
             static_cast<unsigned>(parser.getUint("segments"));
         unsigned t = static_cast<unsigned>(parser.getUint("tagbits"));
@@ -161,8 +162,5 @@ main(int argc, char **argv)
                     "field, which is why hashing high tag bits with "
                     "the (random) low bits pays off.\n");
         return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -1,0 +1,562 @@
+#include "check/fault_campaign.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+#include <unistd.h>
+
+#include "exec/fault.h"
+#include "exec/journal.h"
+#include "exec/sweep.h"
+#include "trace/atum_like.h"
+#include "trace/bin_io.h"
+#include "trace/din_io.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace assoc {
+namespace check {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** The eight fault families, selected by case index % 8. */
+enum class FaultKind {
+    DinCorruptFailFast,
+    DinCorruptSkip,
+    DinCorruptStrict,
+    BinTruncate,
+    BinCorrupt,
+    LookupThrow,
+    TransientRetry,
+    CancelResume,
+};
+
+const char *
+kindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::DinCorruptFailFast:
+        return "din-corrupt-failfast";
+      case FaultKind::DinCorruptSkip:
+        return "din-corrupt-skip";
+      case FaultKind::DinCorruptStrict:
+        return "din-corrupt-strict";
+      case FaultKind::BinTruncate:
+        return "bin-truncate";
+      case FaultKind::BinCorrupt:
+        return "bin-corrupt";
+      case FaultKind::LookupThrow:
+        return "lookup-throw";
+      case FaultKind::TransientRetry:
+        return "transient-retry";
+      case FaultKind::CancelResume:
+        return "cancel-resume";
+    }
+    return "?";
+}
+
+/** Per-case scratch-file set, removed on scope exit. */
+class Scratch
+{
+  public:
+    explicit Scratch(const std::string &dir) : dir_(dir) {}
+
+    ~Scratch()
+    {
+        std::error_code ec;
+        for (const std::string &p : files_)
+            fs::remove(p, ec);
+    }
+
+    std::string
+    file(const std::string &name)
+    {
+        std::string p = (fs::path(dir_) / name).string();
+        files_.push_back(p);
+        return p;
+    }
+
+  private:
+    std::string dir_;
+    std::vector<std::string> files_;
+};
+
+/** Everything one case asserts; collects violations as strings. */
+struct CaseCheck
+{
+    std::vector<std::string> violations;
+
+    void
+    require(bool ok, const std::string &what)
+    {
+        if (!ok)
+            violations.push_back(what);
+    }
+};
+
+/** A tiny deterministic source trace for the corruption cases. */
+trace::AtumLikeConfig
+smallTrace(std::uint64_t case_seed, std::uint64_t refs)
+{
+    trace::AtumLikeConfig cfg;
+    cfg.seed = case_seed;
+    cfg.segments = 1;
+    cfg.refs_per_segment = refs;
+    cfg.processes = 2;
+    cfg.switch_mean = 50;
+    return cfg;
+}
+
+/**
+ * Drain @p src, bounded so a reader bug that loops forever shows up
+ * as a violation instead of a hang. Returns references streamed.
+ */
+std::uint64_t
+drainBounded(trace::TraceSource &src, std::uint64_t bound,
+             CaseCheck &chk)
+{
+    trace::MemRef r;
+    std::uint64_t n = 0;
+    while (n <= bound && src.next(r))
+        ++n;
+    chk.require(n <= bound,
+                "reader streamed past the record bound (runaway)");
+    return n;
+}
+
+/** Post-stream contract every reader must satisfy. */
+void
+checkReaderContract(const trace::TraceSource &src, ErrorMode mode,
+                    std::uint64_t max_skips, CaseCheck &chk)
+{
+    if (src.failed()) {
+        ErrorCode c = src.error().code();
+        chk.require(c == ErrorCode::Data || c == ErrorCode::Io,
+                    std::string("reader error is ") +
+                        errorCodeName(c) + ", want data or io");
+        chk.require(!src.error().text().empty(),
+                    "reader error has empty text");
+    } else if (mode == ErrorMode::Skip) {
+        chk.require(src.skippedRecords() <= max_skips,
+                    "skip count exceeds the policy cap without an "
+                    "error");
+    }
+    if (mode == ErrorMode::FailFast)
+        chk.require(src.skippedRecords() == 0,
+                    "fail-fast reader skipped records");
+}
+
+/** Flip bytes of a din file and stream it back under @p mode. */
+void
+caseDinCorrupt(Scratch &scratch, std::uint64_t case_seed,
+               ErrorMode mode, CaseCheck &chk)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x64696eULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+    trace::AtumLikeGenerator gen(cfg);
+
+    std::string path = scratch.file("fault.din");
+    std::uint64_t written = gen.totalRefs();
+    trace::writeDin(gen, path);
+
+    unsigned flips = 1 + rng.below(8);
+    exec::FaultInjector::corruptBytes(path, case_seed ^ 0xd1d1ULL,
+                                      flips);
+
+    ErrorPolicy policy;
+    policy.mode = mode;
+    trace::DinTraceSource src(path, policy);
+    // A flip can at most split one line in two, so the stream can
+    // never grow by more than one record per flip.
+    std::uint64_t streamed =
+        drainBounded(src, written + flips, chk);
+    checkReaderContract(src, mode, policy.max_skips, chk);
+    if (src.failed())
+        chk.require(streamed <= written + flips,
+                    "failed reader over-delivered records");
+
+    // reset() must replay the identical outcome.
+    src.reset();
+    std::uint64_t again =
+        drainBounded(src, written + flips, chk);
+    chk.require(again == streamed,
+                "reset() changed the streamed record count (" +
+                    std::to_string(streamed) + " then " +
+                    std::to_string(again) + ")");
+}
+
+/** Truncate a bin file and stream it back under a sampled policy. */
+void
+caseBinTruncate(Scratch &scratch, std::uint64_t case_seed,
+                CaseCheck &chk)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x62696eULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+    trace::AtumLikeGenerator gen(cfg);
+
+    std::string path = scratch.file("fault.bin");
+    std::uint64_t written = trace::writeBin(gen, path);
+    std::uint64_t full = 16 + written * 6;
+    std::uint64_t keep = rng.below(static_cast<std::uint32_t>(full));
+    exec::FaultInjector::truncateFile(path, keep);
+
+    const ErrorMode modes[] = {ErrorMode::FailFast, ErrorMode::Skip,
+                               ErrorMode::Strict};
+    ErrorPolicy policy;
+    policy.mode = modes[rng.below(3)];
+    trace::BinTraceSource src(path, policy);
+
+    std::uint64_t streamed = drainBounded(src, written, chk);
+    checkReaderContract(src, policy.mode, policy.max_skips, chk);
+
+    std::uint64_t whole = keep >= 16 ? (keep - 16) / 6 : 0;
+    if (policy.mode != ErrorMode::Skip) {
+        // Truncation is always detectable against the header count.
+        chk.require(src.failed(),
+                    "truncated bin file was not rejected (keep=" +
+                        std::to_string(keep) + "/" +
+                        std::to_string(full) + ")");
+    } else if (keep >= 16 && written - whole <= policy.max_skips) {
+        chk.require(!src.failed(),
+                    "skip-mode reader rejected a clampable "
+                    "truncation: " + src.error().text());
+        chk.require(streamed == whole,
+                    "skip-mode reader streamed " +
+                        std::to_string(streamed) + " of " +
+                        std::to_string(whole) + " whole records");
+        chk.require(src.skippedRecords() == written - whole,
+                    "skip-mode reader miscounted lost records");
+    }
+}
+
+/** Flip body bytes of a bin file (header protected). */
+void
+caseBinCorrupt(Scratch &scratch, std::uint64_t case_seed,
+               CaseCheck &chk)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x626332ULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+    trace::AtumLikeGenerator gen(cfg);
+
+    std::string path = scratch.file("fault2.bin");
+    std::uint64_t written = trace::writeBin(gen, path);
+
+    unsigned flips = 1 + rng.below(4);
+    exec::FaultInjector::corruptBytes(path, case_seed ^ 0xb1bULL,
+                                      flips, /*skip=*/16);
+
+    const ErrorMode modes[] = {ErrorMode::FailFast, ErrorMode::Skip,
+                               ErrorMode::Strict};
+    ErrorPolicy policy;
+    policy.mode = modes[rng.below(3)];
+    trace::BinTraceSource src(path, policy);
+
+    // Body flips never touch the header, so the claimed count holds
+    // and the stream can only shrink (bad records dropped).
+    std::uint64_t streamed = drainBounded(src, written, chk);
+    checkReaderContract(src, policy.mode, policy.max_skips, chk);
+    chk.require(streamed + src.skippedRecords() <= written,
+                "corrupt bin reader invented records");
+    if (!src.failed())
+        chk.require(streamed + src.skippedRecords() == written,
+                    "reader lost records without reporting a skip "
+                    "or an error");
+}
+
+/** The three-job mini sweep all sweep-fault cases run. */
+std::vector<sim::RunSpec>
+sweepSpecs()
+{
+    std::vector<sim::RunSpec> specs;
+    for (unsigned a : {2u, 4u, 8u}) {
+        sim::RunSpec spec;
+        spec.hier = {mem::CacheGeometry(4096, 16, 1),
+                     mem::CacheGeometry(65536, 32, a), true};
+        core::SchemeSpec s;
+        s.kind = core::SchemeKind::Naive;
+        spec.schemes.push_back(s);
+        s.kind = core::SchemeKind::Mru;
+        spec.schemes.push_back(s);
+        spec.schemes.push_back(core::SchemeSpec::paperPartial(a));
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Serial no-fault reference outputs, encoded for bit-comparison. */
+std::vector<std::string>
+baselineOutputs(const std::vector<sim::RunSpec> &specs,
+                const trace::AtumLikeConfig &tcfg)
+{
+    exec::SweepOptions opt;
+    opt.jobs = 1;
+    std::vector<sim::RunOutput> outs =
+        exec::runSweep(specs, exec::atumTraceFactory(tcfg), opt);
+    std::vector<std::string> enc;
+    for (const sim::RunOutput &o : outs)
+        enc.push_back(exec::encodeRunOutput(o));
+    return enc;
+}
+
+/** Throw from inside a metered lookup of one job; the others must
+ *  survive bit-identically. */
+void
+caseLookupThrow(std::uint64_t case_seed, CaseCheck &chk,
+                std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x617564ULL);
+    trace::AtumLikeConfig tcfg = smallTrace(case_seed, 2000);
+
+    std::vector<sim::RunSpec> specs = sweepSpecs();
+    std::vector<std::string> want = baselineOutputs(specs, tcfg);
+
+    std::size_t bad = rng.below(3);
+    exec::ThrowingAuditor auditor(1 + rng.below(500));
+    specs[bad].auditor = &auditor;
+
+    exec::SweepOptions opt;
+    opt.jobs = 2;
+    exec::SweepResult run = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt);
+    faults += 1;
+
+    chk.require(run.jobs.size() == specs.size(),
+                "sweep dropped job slots");
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        const exec::JobResult &job = run.jobs[i];
+        if (i == bad) {
+            chk.require(job.status == exec::JobStatus::Failed,
+                        "job with a throwing lookup did not fail");
+            chk.require(job.error.code() == ErrorCode::Internal,
+                        "lookup throw surfaced as " +
+                            std::string(errorCodeName(
+                                job.error.code())) +
+                            ", want internal");
+            chk.require(job.attempts == 1,
+                        "non-transient failure was retried");
+            continue;
+        }
+        chk.require(job.ok(), "sibling job " + std::to_string(i) +
+                                  " was poisoned: " +
+                                  job.error.text());
+        if (job.ok())
+            chk.require(exec::encodeRunOutput(job.output) == want[i],
+                        "surviving job " + std::to_string(i) +
+                            " is not bit-identical to the serial "
+                            "run");
+    }
+    chk.require(!run.interrupted, "failure misreported as interrupt");
+}
+
+/** A transient (Io) first-attempt failure must be retried away. */
+void
+caseTransientRetry(std::uint64_t case_seed, CaseCheck &chk,
+                   std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x726574ULL);
+    trace::AtumLikeConfig tcfg = smallTrace(case_seed, 2000);
+
+    std::vector<sim::RunSpec> specs = sweepSpecs();
+    std::vector<std::string> want = baselineOutputs(specs, tcfg);
+
+    exec::FaultPlan plan;
+    plan.seed = case_seed;
+    plan.fail_job = static_cast<std::int64_t>(rng.below(3));
+    plan.fail_attempts = 1;
+    plan.transient = true;
+    exec::FaultInjector inject(plan);
+
+    exec::SweepOptions opt;
+    opt.jobs = 1 + rng.below(2);
+    opt.max_retries = 1;
+    opt.inject = &inject;
+    exec::SweepResult run = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt);
+    faults += inject.injected();
+
+    chk.require(inject.injected() == 1,
+                "injector delivered " +
+                    std::to_string(inject.injected()) +
+                    " faults, want 1");
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        const exec::JobResult &job = run.jobs[i];
+        chk.require(job.ok(), "job " + std::to_string(i) +
+                                  " failed after retry: " +
+                                  job.error.text());
+        if (!job.ok())
+            continue;
+        unsigned want_attempts =
+            i == static_cast<std::size_t>(plan.fail_job) ? 2 : 1;
+        chk.require(job.attempts == want_attempts,
+                    "job " + std::to_string(i) + " took " +
+                        std::to_string(job.attempts) +
+                        " attempts, want " +
+                        std::to_string(want_attempts));
+        chk.require(exec::encodeRunOutput(job.output) == want[i],
+                    "retried sweep output " + std::to_string(i) +
+                        " is not bit-identical to the serial run");
+    }
+}
+
+/** Cancel a journaled sweep mid-run, then resume: the merged result
+ *  must be bit-identical to the uninterrupted run. */
+void
+caseCancelResume(Scratch &scratch, std::uint64_t case_seed,
+                 CaseCheck &chk, std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x726573ULL);
+    trace::AtumLikeConfig tcfg = smallTrace(case_seed, 2000);
+
+    std::vector<sim::RunSpec> specs = sweepSpecs();
+    std::vector<std::string> want = baselineOutputs(specs, tcfg);
+    std::string journal = scratch.file("fault.journal");
+    std::uint64_t hash = exec::hashSpecs(specs, tcfg.seed);
+
+    // Phase 1: serial (deterministic cancel point), journaled.
+    exec::CancelToken token;
+    exec::FaultPlan plan;
+    plan.seed = case_seed;
+    plan.cancel_after = static_cast<std::int64_t>(1 + rng.below(2));
+    exec::FaultInjector inject(plan, &token);
+
+    exec::SweepOptions opt1;
+    opt1.jobs = 1;
+    opt1.inject = &inject;
+    opt1.cancel = &token;
+    opt1.journal_path = journal;
+    opt1.spec_hash = hash;
+    exec::SweepResult first = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt1);
+    faults += 1;
+
+    std::uint64_t done = static_cast<std::uint64_t>(
+        first.jobs.size() - first.cancelled());
+    chk.require(first.interrupted, "cancelled sweep not interrupted");
+    chk.require(done ==
+                    static_cast<std::uint64_t>(plan.cancel_after),
+                "serial sweep completed " + std::to_string(done) +
+                    " jobs before honoring a cancel after " +
+                    std::to_string(plan.cancel_after));
+
+    // Phase 2: resume; only the missing jobs may run.
+    exec::SweepOptions opt2;
+    opt2.jobs = 1 + rng.below(2);
+    opt2.resume_path = journal;
+    opt2.spec_hash = hash;
+    exec::SweepResult second = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt2);
+
+    chk.require(second.resumed == done,
+                "resume restored " + std::to_string(second.resumed) +
+                    " jobs, journal held " + std::to_string(done));
+    chk.require(!second.interrupted && second.failures() == 0,
+                "resumed sweep did not complete cleanly");
+    for (std::size_t i = 0; i < second.jobs.size(); ++i) {
+        const exec::JobResult &job = second.jobs[i];
+        chk.require(job.ok(),
+                    "resumed job " + std::to_string(i) + " failed");
+        if (job.ok())
+            chk.require(exec::encodeRunOutput(job.output) == want[i],
+                        "resumed output " + std::to_string(i) +
+                            " is not bit-identical to the "
+                            "uninterrupted run");
+    }
+}
+
+} // namespace
+
+FaultCampaignSummary
+runFaultCampaign(const FaultCampaignOptions &opt)
+{
+    FaultCampaignSummary sum;
+
+    std::string dir = opt.scratch_dir;
+    if (dir.empty()) {
+        dir = (fs::temp_directory_path() /
+               ("assoc_fault_" + std::to_string(::getpid())))
+                  .string();
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        sum.failures.push_back(
+            {0, "setup",
+             "cannot create scratch directory " + dir + ": " +
+                 ec.message()});
+        return sum;
+    }
+
+    std::uint64_t begin = opt.have_only_case ? opt.only_case : 0;
+    std::uint64_t end =
+        opt.have_only_case ? opt.only_case + 1 : opt.iterations;
+    for (std::uint64_t i = begin; i < end; ++i) {
+        std::uint64_t case_seed =
+            SplitMix64(opt.seed ^ (i * 0x9E3779B97F4A7C15ULL))
+                .next();
+        FaultKind kind = static_cast<FaultKind>(i % 8);
+        Scratch scratch(dir);
+        CaseCheck chk;
+
+        switch (kind) {
+          case FaultKind::DinCorruptFailFast:
+            caseDinCorrupt(scratch, case_seed, ErrorMode::FailFast,
+                           chk);
+            break;
+          case FaultKind::DinCorruptSkip:
+            caseDinCorrupt(scratch, case_seed, ErrorMode::Skip, chk);
+            break;
+          case FaultKind::DinCorruptStrict:
+            caseDinCorrupt(scratch, case_seed, ErrorMode::Strict,
+                           chk);
+            break;
+          case FaultKind::BinTruncate:
+            caseBinTruncate(scratch, case_seed, chk);
+            break;
+          case FaultKind::BinCorrupt:
+            caseBinCorrupt(scratch, case_seed, chk);
+            break;
+          case FaultKind::LookupThrow:
+            caseLookupThrow(case_seed, chk, sum.faults_injected);
+            break;
+          case FaultKind::TransientRetry:
+            caseTransientRetry(case_seed, chk, sum.faults_injected);
+            break;
+          case FaultKind::CancelResume:
+            caseCancelResume(scratch, case_seed, chk,
+                             sum.faults_injected);
+            break;
+        }
+        ++sum.cases_run;
+
+        if (!chk.violations.empty()) {
+            FaultFailure f;
+            f.index = i;
+            f.kind = kindName(kind);
+            f.message = chk.violations.front();
+            sum.failures.push_back(f);
+            if (opt.log) {
+                *opt.log << "fault case " << i << " (" << f.kind
+                         << "): " << chk.violations.size()
+                         << " contract violation(s)\n";
+                for (const std::string &v : chk.violations)
+                    *opt.log << "  " << v << "\n";
+                *opt.log << "  repro: fuzz_diff --inject-faults"
+                         << " --seed=" << opt.seed
+                         << " --config=" << i << "\n";
+            }
+            if (sum.failures.size() >= opt.max_failures)
+                break;
+        }
+    }
+
+    fs::remove_all(dir, ec); // best-effort scratch cleanup
+    return sum;
+}
+
+} // namespace check
+} // namespace assoc

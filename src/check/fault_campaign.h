@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic fault-injection campaign for the robustness layer.
+ *
+ * Where src/check/fuzz.* fuzzes the lookup schemes themselves, this
+ * campaign fuzzes the *failure paths* around them: corrupted and
+ * truncated trace files under every ErrorPolicy, faults thrown from
+ * inside a metered lookup, transient job failures that must be
+ * retried, and cancellation mid-sweep followed by a journal resume.
+ * Each case asserts the documented recovery contract — readers never
+ * crash and report structured Data/Io errors, skip caps hold, failed
+ * jobs are isolated with every surviving slot bit-identical to the
+ * serial run, and a resumed sweep reproduces the uninterrupted
+ * result exactly.
+ *
+ * Everything is a pure function of (master seed, case index); every
+ * failing case prints a one-line
+ * `fuzz_diff --inject-faults --seed=... --config=...` repro.
+ */
+
+#ifndef ASSOC_CHECK_FAULT_CAMPAIGN_H
+#define ASSOC_CHECK_FAULT_CAMPAIGN_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace assoc {
+namespace check {
+
+/** Campaign parameters. */
+struct FaultCampaignOptions
+{
+    std::uint64_t seed = 1;
+    std::uint64_t iterations = 200;
+    /** Run only this case index (repro mode). */
+    bool have_only_case = false;
+    std::uint64_t only_case = 0;
+    /** Stop after this many failing cases. */
+    unsigned max_failures = 1;
+    /** Directory for scratch trace/journal files ("" = the system
+     *  temp directory). Files are removed per case. */
+    std::string scratch_dir;
+    /** Progress/status stream (nullptr = silent). */
+    std::ostream *log = nullptr;
+};
+
+/** One failed fault case. */
+struct FaultFailure
+{
+    std::uint64_t index = 0;
+    std::string kind;    ///< which fault family (see campaign source)
+    std::string message; ///< what contract was violated
+};
+
+/** Campaign outcome. */
+struct FaultCampaignSummary
+{
+    std::uint64_t cases_run = 0;
+    std::uint64_t faults_injected = 0; ///< faults actually delivered
+    std::vector<FaultFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Run the fault-injection campaign described by @p opt. */
+FaultCampaignSummary runFaultCampaign(const FaultCampaignOptions &opt);
+
+} // namespace check
+} // namespace assoc
+
+#endif // ASSOC_CHECK_FAULT_CAMPAIGN_H

@@ -1,0 +1,132 @@
+#include "exec/fault.h"
+
+#include <csignal>
+#include <fstream>
+
+#include "util/rng.h"
+
+namespace assoc {
+namespace exec {
+
+namespace {
+
+volatile std::sig_atomic_t g_sigint = 0;
+
+void
+onSigint(int)
+{
+    g_sigint = 1;
+}
+
+} // namespace
+
+bool
+CancelToken::sigintSeen()
+{
+    return g_sigint != 0;
+}
+
+void
+installSigintHandler()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    std::signal(SIGINT, onSigint);
+    installed = true;
+}
+
+void
+clearSigintForTests()
+{
+    g_sigint = 0;
+}
+
+void
+FaultInjector::onJobStart(std::size_t index, unsigned attempt)
+{
+    if (plan_.fail_job < 0 ||
+        index != static_cast<std::size_t>(plan_.fail_job))
+        return;
+    if (attempt > plan_.fail_attempts)
+        return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    std::string what = "injected fault: job " + std::to_string(index) +
+                       " attempt " + std::to_string(attempt) +
+                       " (seed " + std::to_string(plan_.seed) + ")";
+    if (plan_.transient)
+        throwError(Error::io(what));
+    throwError(Error::data(what));
+}
+
+void
+FaultInjector::onJobDone(std::size_t)
+{
+    std::uint64_t done =
+        completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cancel_ && plan_.cancel_after >= 0 &&
+        done >= static_cast<std::uint64_t>(plan_.cancel_after))
+        cancel_->cancel();
+}
+
+std::uint64_t
+FaultInjector::corruptBytes(const std::string &path, std::uint64_t seed,
+                            unsigned flips, std::uint64_t skip)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    if (!f)
+        return 0;
+    f.seekg(0, std::ios::end);
+    std::uint64_t size = static_cast<std::uint64_t>(f.tellg());
+    if (size <= skip)
+        return 0;
+    std::uint64_t body = size - skip;
+
+    SplitMix64 rng(seed);
+    std::uint64_t flipped = 0;
+    for (unsigned i = 0; i < flips; ++i) {
+        std::uint64_t off = skip + rng.next() % body;
+        f.seekg(static_cast<std::streamoff>(off));
+        char c = 0;
+        f.read(&c, 1);
+        c = static_cast<char>(c ^
+                              static_cast<char>(1 + rng.next() % 255));
+        f.seekp(static_cast<std::streamoff>(off));
+        f.write(&c, 1);
+        ++flipped;
+    }
+    f.flush();
+    return flipped;
+}
+
+void
+FaultInjector::truncateFile(const std::string &path,
+                            std::uint64_t keep_bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    if (data.size() > keep_bytes)
+        data.resize(keep_bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size()));
+}
+
+void
+ThrowingAuditor::audit(const core::ProbeMeter &, const mem::L2AccessView &,
+                       const core::LookupInput &,
+                       const core::LookupResult &)
+{
+    std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (throw_at_ != 0 && n == throw_at_)
+        throwError(Error::internal(
+            "injected lookup fault at audit " + std::to_string(n)));
+}
+
+} // namespace exec
+} // namespace assoc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Deterministic fault injection and cooperative cancellation.
+ *
+ * Every degradation path in the sweep engine is exercised by tests
+ * and by `fuzz_diff --inject-faults`, not just written: a seeded
+ * FaultInjector can fail the Nth job (hard or transiently), corrupt
+ * trace bytes on disk, or throw from inside a lookup via
+ * ThrowingAuditor. CancelToken + the SIGINT handler give sweeps a
+ * clean drain-and-checkpoint shutdown.
+ */
+
+#ifndef ASSOC_EXEC_FAULT_H
+#define ASSOC_EXEC_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/probe_meter.h"
+#include "util/error.h"
+
+namespace assoc {
+namespace exec {
+
+/**
+ * Cooperative cancellation flag shared between a sweep and its
+ * owner. Optionally also observes the process SIGINT flag so ^C
+ * cancels without any wiring at the call site.
+ */
+class CancelToken
+{
+  public:
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        if (flag_.load(std::memory_order_relaxed))
+            return true;
+        return watch_sigint_ && sigintSeen();
+    }
+
+    /** Also treat a delivered SIGINT as cancellation. */
+    void watchSigint(bool watch = true) { watch_sigint_ = watch; }
+
+    /** True when the process received SIGINT (handler installed). */
+    static bool sigintSeen();
+
+  private:
+    std::atomic<bool> flag_{false};
+    bool watch_sigint_ = false;
+};
+
+/**
+ * Install a SIGINT handler that records the signal instead of
+ * killing the process (idempotent). Sweeps with a journal install
+ * it so ^C drains in-flight jobs, checkpoints, and exits 130.
+ */
+void installSigintHandler();
+
+/** Clear the recorded SIGINT (tests re-raise repeatedly). */
+void clearSigintForTests();
+
+/** What a FaultInjector does, all derived from the seed. */
+struct FaultPlan
+{
+    std::uint64_t seed = 0;
+
+    /** Job index whose attempts fail (-1 = none). */
+    std::int64_t fail_job = -1;
+    /** How many leading attempts of fail_job fail; the default
+     *  (huge) fails every attempt. */
+    unsigned fail_attempts = 0xffffffffu;
+    /** Injected failures are transient Io errors (retry-eligible)
+     *  instead of hard Data errors. */
+    bool transient = false;
+
+    /** Cancel the attached token after this many completed jobs
+     *  (-1 = never). */
+    std::int64_t cancel_after = -1;
+};
+
+/**
+ * Seeded, deterministic fault source for tests and fuzzing. The
+ * sweep engine calls the hooks; with a default plan they are no-ops.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan,
+                           CancelToken *cancel = nullptr)
+        : plan_(plan), cancel_(cancel)
+    {}
+
+    /** Called as attempt @p attempt (1-based) of job @p index
+     *  starts; throws the planned Error when armed. */
+    void onJobStart(std::size_t index, unsigned attempt);
+
+    /** Called when a job completes; may trip the cancel token. */
+    void onJobDone(std::size_t index);
+
+    /** Faults thrown so far. */
+    std::uint64_t injected() const
+    {
+        return injected_.load(std::memory_order_relaxed);
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Flip @p flips seeded pseudo-random bytes of the file body at
+     * @p path (offsets past @p skip, which protects e.g. a header).
+     * Returns the number of bytes actually flipped.
+     */
+    static std::uint64_t corruptBytes(const std::string &path,
+                                      std::uint64_t seed,
+                                      unsigned flips,
+                                      std::uint64_t skip = 0);
+
+    /** Truncate the file at @p path to @p keep_bytes. */
+    static void truncateFile(const std::string &path,
+                             std::uint64_t keep_bytes);
+
+  private:
+    FaultPlan plan_;
+    CancelToken *cancel_;
+    std::atomic<std::uint64_t> completions_{0};
+    std::atomic<std::uint64_t> injected_{0};
+};
+
+/**
+ * LookupAuditor that throws an injected Internal error at the Nth
+ * audited lookup: the "throw inside a lookup" fault, driven through
+ * the real ProbeMeter audit hook.
+ */
+class ThrowingAuditor : public core::LookupAuditor
+{
+  public:
+    /** @param throw_at 1-based audit count that throws (0 = never). */
+    explicit ThrowingAuditor(std::uint64_t throw_at)
+        : throw_at_(throw_at)
+    {}
+
+    void audit(const core::ProbeMeter &meter,
+               const mem::L2AccessView &view,
+               const core::LookupInput &in,
+               const core::LookupResult &res) override;
+
+    std::uint64_t
+    audited() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::uint64_t throw_at_;
+};
+
+} // namespace exec
+} // namespace assoc
+
+#endif // ASSOC_EXEC_FAULT_H

@@ -72,6 +72,69 @@ jsonNum(double v)
 
 } // namespace
 
+namespace {
+
+/** The shared per-run body: identity, miss ratios, scheme means. */
+void
+writeRunBody(std::ostream &os, const sim::RunSpec &spec,
+             const sim::RunOutput &out)
+{
+    os << "      \"l1\": \"" << jsonEscape(spec.hier.l1.name())
+       << "\",\n";
+    os << "      \"l2\": \"" << jsonEscape(spec.hier.l2.name())
+       << "\",\n";
+    os << "      \"wb_optimization\": "
+       << (spec.wb_optimization ? "true" : "false") << ",\n";
+    os << "      \"l1_miss_ratio\": "
+       << jsonNum(out.stats.l1MissRatio()) << ",\n";
+    os << "      \"global_miss_ratio\": "
+       << jsonNum(out.stats.globalMissRatio()) << ",\n";
+    os << "      \"local_miss_ratio\": "
+       << jsonNum(out.stats.localMissRatio()) << ",\n";
+    os << "      \"write_back_fraction\": "
+       << jsonNum(out.stats.writeBackFraction()) << ",\n";
+    os << "      \"schemes\": [";
+    for (std::size_t s = 0; s < out.probes.size(); ++s) {
+        const core::ProbeStats &p = out.probes[s];
+        if (s)
+            os << ",";
+        os << "\n        {\"name\": \"" << jsonEscape(out.names[s])
+           << "\", "
+           << "\"hits_mean\": " << jsonNum(p.hitsMean()) << ", "
+           << "\"read_in_hits_mean\": "
+           << jsonNum(p.read_in_hits.mean()) << ", "
+           << "\"read_in_misses_mean\": "
+           << jsonNum(p.read_in_misses.mean()) << ", "
+           << "\"total_mean\": " << jsonNum(p.totalMean()) << "}";
+    }
+    if (!out.probes.empty())
+        os << "\n      ";
+    os << "]";
+    if (!out.f.empty()) {
+        os << ",\n      \"f\": [";
+        for (std::size_t k = 0; k < out.f.size(); ++k)
+            os << (k ? ", " : "") << jsonNum(out.f[k]);
+        os << "]";
+    }
+}
+
+void
+writeErrorObject(std::ostream &os, const Error &e)
+{
+    os << "      \"error\": {\"code\": \"" << errorCodeName(e.code())
+       << "\", \"message\": \"" << jsonEscape(e.message()) << "\"";
+    if (!e.context().empty()) {
+        os << ", \"context\": [";
+        for (std::size_t i = 0; i < e.context().size(); ++i)
+            os << (i ? ", " : "") << "\""
+               << jsonEscape(e.context()[i]) << "\"";
+        os << "]";
+    }
+    os << "}";
+}
+
+} // namespace
+
 void
 writeSweepJson(std::ostream &os,
                const std::vector<sim::RunSpec> &specs,
@@ -81,50 +144,52 @@ writeSweepJson(std::ostream &os,
             "writeSweepJson: specs and outputs differ in length");
     os << "{\n  \"runs\": [\n";
     for (std::size_t i = 0; i < outs.size(); ++i) {
-        const sim::RunSpec &spec = specs[i];
-        const sim::RunOutput &out = outs[i];
         os << "    {\n";
-        os << "      \"l1\": \"" << jsonEscape(spec.hier.l1.name())
-           << "\",\n";
-        os << "      \"l2\": \"" << jsonEscape(spec.hier.l2.name())
-           << "\",\n";
-        os << "      \"wb_optimization\": "
-           << (spec.wb_optimization ? "true" : "false") << ",\n";
-        os << "      \"l1_miss_ratio\": "
-           << jsonNum(out.stats.l1MissRatio()) << ",\n";
-        os << "      \"global_miss_ratio\": "
-           << jsonNum(out.stats.globalMissRatio()) << ",\n";
-        os << "      \"local_miss_ratio\": "
-           << jsonNum(out.stats.localMissRatio()) << ",\n";
-        os << "      \"write_back_fraction\": "
-           << jsonNum(out.stats.writeBackFraction()) << ",\n";
-        os << "      \"schemes\": [";
-        for (std::size_t s = 0; s < out.probes.size(); ++s) {
-            const core::ProbeStats &p = out.probes[s];
-            if (s)
-                os << ",";
-            os << "\n        {\"name\": \""
-               << jsonEscape(out.names[s]) << "\", "
-               << "\"hits_mean\": " << jsonNum(p.hitsMean()) << ", "
-               << "\"read_in_hits_mean\": "
-               << jsonNum(p.read_in_hits.mean()) << ", "
-               << "\"read_in_misses_mean\": "
-               << jsonNum(p.read_in_misses.mean()) << ", "
-               << "\"total_mean\": " << jsonNum(p.totalMean())
-               << "}";
-        }
-        if (!out.probes.empty())
-            os << "\n      ";
-        os << "]";
-        if (!out.f.empty()) {
-            os << ",\n      \"f\": [";
-            for (std::size_t k = 0; k < out.f.size(); ++k)
-                os << (k ? ", " : "") << jsonNum(out.f[k]);
-            os << "]";
-        }
+        writeRunBody(os, specs[i], outs[i]);
         os << "\n    }" << (i + 1 < outs.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+}
+
+void
+writeSweepJson(std::ostream &os,
+               const std::vector<sim::RunSpec> &specs,
+               const SweepResult &result)
+{
+    panicIf(specs.size() != result.jobs.size(),
+            "writeSweepJson: specs and job results differ in length");
+    os << "{\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        const JobResult &job = result.jobs[i];
+        os << "    {\n";
+        os << "      \"status\": \"" << jobStatusName(job.status)
+           << "\",\n";
+        os << "      \"attempts\": " << job.attempts << ",\n";
+        if (job.from_journal)
+            os << "      \"from_journal\": true,\n";
+        if (job.ok()) {
+            writeRunBody(os, specs[i], job.output);
+        } else {
+            // Identity only: the statistics never materialized.
+            os << "      \"l1\": \""
+               << jsonEscape(specs[i].hier.l1.name()) << "\",\n";
+            os << "      \"l2\": \""
+               << jsonEscape(specs[i].hier.l2.name()) << "\",\n";
+            os << "      \"wb_optimization\": "
+               << (specs[i].wb_optimization ? "true" : "false")
+               << ",\n";
+            writeErrorObject(os, job.error);
+        }
+        os << "\n    }"
+           << (i + 1 < result.jobs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"failures\": " << result.failures() << ",\n";
+    os << "  \"cancelled\": " << result.cancelled() << ",\n";
+    os << "  \"resumed\": " << result.resumed << ",\n";
+    os << "  \"interrupted\": "
+       << (result.interrupted ? "true" : "false") << "\n";
+    os << "}\n";
 }
 
 } // namespace exec

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/job_result.h"
 #include "sim/runner.h"
 
 namespace assoc {
@@ -69,6 +70,17 @@ std::string jsonEscape(const std::string &s);
 void writeSweepJson(std::ostream &os,
                     const std::vector<sim::RunSpec> &specs,
                     const std::vector<sim::RunOutput> &outs);
+
+/**
+ * Checked-sweep variant: every run additionally carries "status"
+ * ("ok" / "failed" / "cancelled") and "attempts"; failed and
+ * cancelled runs carry an "error" object ({code, message, context})
+ * instead of statistics. The trailing summary records the failure /
+ * cancellation counts and whether the sweep was interrupted.
+ */
+void writeSweepJson(std::ostream &os,
+                    const std::vector<sim::RunSpec> &specs,
+                    const SweepResult &result);
 
 } // namespace exec
 } // namespace assoc

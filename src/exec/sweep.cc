@@ -1,11 +1,27 @@
 #include "exec/sweep.h"
 
 #include <algorithm>
+#include <chrono>
+#include <mutex>
 
+#include "exec/fault.h"
+#include "exec/journal.h"
 #include "exec/thread_pool.h"
+#include "util/logging.h"
 
 namespace assoc {
 namespace exec {
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
 
 TraceFactory
 atumTraceFactory(const trace::AtumLikeConfig &cfg)
@@ -61,6 +77,173 @@ runSweep(const std::vector<sim::RunSpec> &specs,
     }
     runJobs(std::move(jobs), opts);
     return outs;
+}
+
+namespace {
+
+/** Map any exception from one attempt onto an Error. */
+Error
+errorFromAttempt()
+{
+    try {
+        throw;
+    } catch (const ErrorException &e) {
+        return e.error();
+    } catch (const PanicError &e) {
+        return Error::internal(e.what());
+    } catch (const FatalError &e) {
+        return Error::usage(e.what());
+    } catch (const std::exception &e) {
+        return Error::internal(e.what());
+    } catch (...) {
+        return Error::internal("unknown exception");
+    }
+}
+
+/** Run one slot with retry, timing, and fault hooks. */
+JobResult
+runOneJob(const std::vector<sim::RunSpec> &specs,
+          const TraceFactory &make_trace, const SweepOptions &opts,
+          std::size_t i)
+{
+    JobResult res;
+    unsigned attempts_allowed = 1 + opts.max_retries;
+    for (unsigned attempt = 1; attempt <= attempts_allowed; ++attempt) {
+        if (opts.cancel && opts.cancel->cancelled()) {
+            if (res.status != JobStatus::Failed) {
+                res.status = JobStatus::Cancelled;
+                res.error = Error::cancelled(
+                    "job " + std::to_string(i) +
+                    " cancelled before attempt " +
+                    std::to_string(attempt));
+            }
+            return res;
+        }
+        res.attempts = attempt;
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            if (opts.inject)
+                opts.inject->onJobStart(i, attempt);
+            std::unique_ptr<trace::TraceSource> src = make_trace(i);
+            res.output = sim::runTrace(*src, specs[i]);
+            res.status = JobStatus::Ok;
+            res.error = Error();
+        } catch (...) {
+            res.status = JobStatus::Failed;
+            res.error = errorFromAttempt().withContext(
+                "job " + std::to_string(i) + " attempt " +
+                std::to_string(attempt));
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        res.wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0)
+                .count());
+        if (res.ok())
+            break;
+        if (!opts.retry_all_errors && !res.error.transient())
+            break;
+    }
+    if (opts.inject)
+        opts.inject->onJobDone(i);
+    return res;
+}
+
+} // namespace
+
+SweepResult
+runSweepChecked(const std::vector<sim::RunSpec> &specs,
+                const TraceFactory &make_trace, const SweepOptions &opts)
+{
+    SweepResult result;
+    result.jobs.resize(specs.size());
+
+    // Restore finished slots from the resume journal, if any.
+    std::vector<bool> have(specs.size(), false);
+    if (!opts.resume_path.empty()) {
+        Expected<JournalData> data = readJournal(opts.resume_path);
+        if (!data)
+            throwError(Error(data.error())
+                           .withContext("resuming sweep from '" +
+                                        opts.resume_path + "'"));
+        if (data.value().spec_hash != opts.spec_hash)
+            throwError(Error::data(
+                "journal '" + opts.resume_path +
+                "' was written for a different sweep (spec hash " +
+                std::to_string(data.value().spec_hash) + " vs " +
+                std::to_string(opts.spec_hash) + ")"));
+        for (auto &[idx, out] : data.value().entries) {
+            if (idx >= specs.size())
+                continue; // stale entry from a larger sweep shape
+            JobResult &slot = result.jobs[idx];
+            slot.status = JobStatus::Ok;
+            slot.output = std::move(out);
+            slot.from_journal = true;
+            slot.attempts = 0;
+            have[idx] = true;
+            ++result.resumed;
+        }
+    }
+
+    // Open the journal we append new completions to. When both
+    // --journal and --resume are given, the fresh journal also
+    // receives the restored slots, producing a compacted, complete
+    // checkpoint.
+    JournalWriter writer;
+    std::mutex journal_mutex;
+    const std::string &sink = !opts.journal_path.empty()
+                                  ? opts.journal_path
+                                  : opts.resume_path;
+    if (!sink.empty()) {
+        bool append = opts.journal_path.empty();
+        Error e = writer.open(sink, opts.spec_hash, specs.size(),
+                              append);
+        if (e.failed())
+            throwError(std::move(e));
+        if (!opts.journal_path.empty()) {
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                if (!have[i])
+                    continue;
+                Error ae = writer.append(i, result.jobs[i].output);
+                if (ae.failed())
+                    throwError(std::move(ae));
+            }
+        }
+    }
+
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (have[i]) {
+            if (opts.progress)
+                opts.progress->tick();
+            continue;
+        }
+        jobs.push_back([&specs, &make_trace, &opts, &result, &writer,
+                        &journal_mutex, i] {
+            JobResult r = runOneJob(specs, make_trace, opts, i);
+            if (r.ok() && writer.isOpen()) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                Error e = writer.append(i, r.output);
+                if (e.failed())
+                    warn(e.text()); // the result itself is still good
+            }
+            result.jobs[i] = std::move(r);
+        });
+    }
+
+    // Jobs never throw (every attempt's exception is folded into the
+    // slot), so runJobs' first-exception rethrow stays dormant and
+    // the pool always drains fully.
+    SweepOptions pool_opts;
+    pool_opts.jobs = opts.jobs;
+    pool_opts.progress = opts.progress;
+    runJobs(std::move(jobs), pool_opts);
+
+    for (const JobResult &j : result.jobs)
+        if (j.status == JobStatus::Cancelled)
+            result.interrupted = true;
+    return result;
 }
 
 } // namespace exec

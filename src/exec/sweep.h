@@ -29,14 +29,19 @@
 #define ASSOC_EXEC_SWEEP_H
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "exec/job_result.h"
 #include "exec/report.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
 
 namespace assoc {
 namespace exec {
+
+class CancelToken;
+class FaultInjector;
 
 /** How a sweep is executed. */
 struct SweepOptions
@@ -48,6 +53,31 @@ struct SweepOptions
     /** Optional completed-job sink (ticked once per job, from the
      *  worker that finished it). Not owned. */
     ProgressMeter *progress = nullptr;
+
+    // --- fault tolerance; honored by runSweepChecked() only ---
+
+    /** Extra attempts per job after the first fails. Only transient
+     *  (Io) errors are retried unless retry_all_errors is set;
+     *  retries are deterministic — the factory rebuilds the same
+     *  trace, so a genuinely deterministic failure fails again. */
+    unsigned max_retries = 1;
+    /** Retry every failure class, not just transient Io errors. */
+    bool retry_all_errors = false;
+    /** Fault source for tests/fuzzing (not owned; may be null). */
+    FaultInjector *inject = nullptr;
+    /** Cooperative cancellation (not owned; may be null). Jobs not
+     *  yet started when it trips are marked Cancelled; running jobs
+     *  drain normally. */
+    CancelToken *cancel = nullptr;
+    /** Write a fresh checkpoint journal here ("" = none). */
+    std::string journal_path;
+    /** Resume from this journal: slots it holds are restored
+     *  verbatim and only the rest run ("" = none). New completions
+     *  are appended to it. */
+    std::string resume_path;
+    /** Spec/trace identity hash stamped into the journal header and
+     *  validated on resume (see hashSpecs()). */
+    std::uint64_t spec_hash = 0;
 };
 
 /**
@@ -83,6 +113,26 @@ runSweep(const std::vector<sim::RunSpec> &specs,
  */
 void runJobs(std::vector<std::function<void()>> jobs,
              const SweepOptions &opts = {});
+
+/**
+ * Fault-isolated sweep: like runSweep(), but each slot records its
+ * own JobResult instead of the first exception aborting the whole
+ * run. Per job: bounded deterministic retry (opts.max_retries, Io
+ * errors only by default), wall-time measurement, optional journal
+ * checkpointing and resume, and cooperative cancellation.
+ *
+ * Slots completed by earlier attempts are bit-identical to what the
+ * serial path produces — isolation only wraps the job boundary, it
+ * never alters the simulation.
+ *
+ * Throws ErrorException only for caller mistakes (unreadable resume
+ * journal, spec-hash mismatch, unwritable journal path); job
+ * failures are reported in the result, never thrown.
+ */
+SweepResult
+runSweepChecked(const std::vector<sim::RunSpec> &specs,
+                const TraceFactory &make_trace,
+                const SweepOptions &opts = {});
 
 } // namespace exec
 } // namespace assoc

@@ -56,6 +56,14 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
         out.coherency_invalidations = remote.invalidations();
     }
 
+    // Distinguish "stream ended" from "stream died": a reader that
+    // stopped on a malformed record must fail the run, not quietly
+    // produce statistics over a prefix.
+    if (src.failed()) {
+        Error e(src.error());
+        throwError(std::move(e.withContext("streaming the trace")));
+    }
+
     out.stats = hier.stats();
     for (const auto &meter : meters) {
         out.names.push_back(meter->name());

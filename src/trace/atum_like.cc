@@ -7,14 +7,25 @@
 namespace assoc {
 namespace trace {
 
+Error
+validateConfig(const AtumLikeConfig &cfg)
+{
+    if (cfg.segments == 0)
+        return Error::usage("AtumLikeGenerator: zero segments");
+    if (cfg.refs_per_segment == 0)
+        return Error::usage("AtumLikeGenerator: zero refs per segment");
+    if (cfg.processes == 0 || cfg.processes > 60)
+        return Error::usage(
+            "AtumLikeGenerator: processes must be in [1, 60]");
+    return Error();
+}
+
 AtumLikeGenerator::AtumLikeGenerator(const AtumLikeConfig &cfg)
     : cfg_(cfg)
 {
-    fatalIf(cfg_.segments == 0, "AtumLikeGenerator: zero segments");
-    fatalIf(cfg_.refs_per_segment == 0,
-            "AtumLikeGenerator: zero refs per segment");
-    fatalIf(cfg_.processes == 0 || cfg_.processes > 60,
-            "AtumLikeGenerator: processes must be in [1, 60]");
+    Error e = validateConfig(cfg_);
+    if (e.failed())
+        throwError(std::move(e));
     reset();
 }
 

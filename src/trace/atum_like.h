@@ -73,8 +73,16 @@ struct AtumLikeConfig
 };
 
 /**
+ * Check a configuration without constructing a generator. Returns a
+ * Usage error describing the first invalid field, or ok.
+ */
+Error validateConfig(const AtumLikeConfig &cfg);
+
+/**
  * The generator. A resettable TraceSource: reset() replays the
  * identical stream (it is a pure function of the config seed).
+ * The constructor throws ErrorException (a FatalError) when
+ * validateConfig() rejects @p cfg.
  */
 class AtumLikeGenerator : public TraceSource
 {

@@ -70,10 +70,16 @@ writeBin(TraceSource &src, const std::string &path)
     return n;
 }
 
-BinTraceSource::BinTraceSource(const std::string &path) : path_(path)
+BinTraceSource::BinTraceSource(const std::string &path, ErrorPolicy policy)
+    : path_(path), policy_(policy)
 {
     in_.open(path_, std::ios::binary);
-    fatalIf(!in_, "cannot open binary trace '" + path_ + "'");
+    if (!in_) {
+        header_error_ =
+            Error::io("cannot open binary trace '" + path_ + "'");
+        error_ = header_error_;
+        return;
+    }
     readHeader();
 }
 
@@ -82,48 +88,150 @@ BinTraceSource::readHeader()
 {
     std::array<char, kHeaderBytes> header{};
     in_.read(header.data(), header.size());
-    fatalIf(in_.gcount() != static_cast<std::streamsize>(kHeaderBytes),
-            "'" + path_ + "' is too short to be a binary trace");
-    fatalIf(std::memcmp(header.data(), kMagic, 4) != 0,
-            "'" + path_ + "' has a bad magic number");
+    if (in_.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+        header_error_ =
+            Error::data("'" + path_ + "' is too short to be a binary "
+                        "trace (" + std::to_string(in_.gcount()) +
+                        " bytes, header needs " +
+                        std::to_string(kHeaderBytes) + ")");
+        error_ = header_error_;
+        return;
+    }
+    if (std::memcmp(header.data(), kMagic, 4) != 0) {
+        header_error_ =
+            Error::data("'" + path_ + "' has a bad magic number");
+        error_ = header_error_;
+        return;
+    }
     std::uint32_t version = getU32(header.data() + 4);
-    fatalIf(version != kVersion, "'" + path_ + "' has version " +
-            std::to_string(version) + "; expected " +
-            std::to_string(kVersion));
-    count_ = static_cast<std::uint64_t>(getU32(header.data() + 8)) |
-             (static_cast<std::uint64_t>(getU32(header.data() + 12))
-              << 32);
+    if (version != kVersion) {
+        header_error_ =
+            Error::data("'" + path_ + "' has version " +
+                        std::to_string(version) + "; expected " +
+                        std::to_string(kVersion));
+        error_ = header_error_;
+        return;
+    }
+    claimed_ = static_cast<std::uint64_t>(getU32(header.data() + 8)) |
+               (static_cast<std::uint64_t>(getU32(header.data() + 12))
+                << 32);
+
+    // Validate the claimed count against the actual file size so
+    // truncation is reported at open, with byte-exact context.
+    in_.clear();
+    in_.seekg(0, std::ios::end);
+    std::uint64_t size = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(static_cast<std::streamoff>(kHeaderBytes));
+    std::uint64_t body = size - kHeaderBytes;
+    std::uint64_t whole = body / kRecordBytes;
+    std::uint64_t expect = kHeaderBytes + claimed_ * kRecordBytes;
+
+    count_ = claimed_;
+    clamp_skips_ = 0;
+    if (size < expect) {
+        Error e = Error::data(
+            "'" + path_ + "' is truncated: header claims " +
+            std::to_string(claimed_) + " records (" +
+            std::to_string(expect) + " bytes) but the file holds " +
+            std::to_string(size) + " bytes (" + std::to_string(whole) +
+            " complete records)");
+        if (policy_.mode == ErrorMode::Skip &&
+            claimed_ - whole <= policy_.max_skips) {
+            clamp_skips_ = claimed_ - whole;
+            warn(e.text() + " (clamping to the complete records)");
+            count_ = whole;
+        } else {
+            if (policy_.mode == ErrorMode::Skip)
+                e.withContext("skip budget is " +
+                              std::to_string(policy_.max_skips));
+            header_error_ = std::move(e);
+            error_ = header_error_;
+            count_ = 0;
+            return;
+        }
+    } else if (size > expect && policy_.mode == ErrorMode::Strict) {
+        header_error_ =
+            Error::data("'" + path_ + "' has " +
+                        std::to_string(size - expect) +
+                        " trailing bytes beyond the last record");
+        error_ = header_error_;
+        count_ = 0;
+        return;
+    }
+    skipped_ = clamp_skips_;
     pos_ = 0;
+}
+
+bool
+BinTraceSource::tolerate(const std::string &what)
+{
+    Error e = Error::data("'" + path_ + "': " + what);
+    e.withContext("record " + std::to_string(pos_) + " (offset " +
+                  std::to_string(kHeaderBytes + pos_ * kRecordBytes) +
+                  ")");
+    if (policy_.mode == ErrorMode::Skip) {
+        ++skipped_;
+        if (skipped_ <= policy_.max_skips) {
+            if (skipped_ == clamp_skips_ + 1)
+                warn(e.text() + " (skipping; further skips silent)");
+            return true;
+        }
+        error_ = Error::data("'" + path_ + "': gave up after skipping " +
+                             std::to_string(policy_.max_skips) +
+                             " bad records")
+                     .withContext("last: " + e.text());
+        return false;
+    }
+    error_ = std::move(e);
+    return false;
 }
 
 bool
 BinTraceSource::next(MemRef &ref)
 {
-    if (pos_ >= count_)
-        return false;
-    std::array<char, kRecordBytes> rec{};
-    in_.read(rec.data(), rec.size());
-    fatalIf(in_.gcount() != static_cast<std::streamsize>(kRecordBytes),
-            "'" + path_ + "' is truncated (header claims " +
-            std::to_string(count_) + " records)");
-    ref.addr = getU32(rec.data());
-    std::uint8_t t = static_cast<std::uint8_t>(rec[4]);
-    fatalIf(t > static_cast<std::uint8_t>(RefType::Flush),
-            "'" + path_ + "': bad record type " + std::to_string(t));
-    ref.type = static_cast<RefType>(t);
-    ref.pid = static_cast<std::uint8_t>(rec[5]);
-    ++pos_;
-    return true;
+    while (error_.ok() && pos_ < count_) {
+        std::array<char, kRecordBytes> rec{};
+        in_.read(rec.data(), rec.size());
+        if (in_.gcount() != static_cast<std::streamsize>(kRecordBytes)) {
+            // The file shrank after the open-time size check.
+            error_ = Error::io(
+                "'" + path_ + "': short read at record " +
+                std::to_string(pos_) + " (header claims " +
+                std::to_string(claimed_) + " records)");
+            return false;
+        }
+        std::uint8_t t = static_cast<std::uint8_t>(rec[4]);
+        if (t > static_cast<std::uint8_t>(RefType::Flush)) {
+            if (tolerate("bad record type " + std::to_string(t))) {
+                ++pos_;
+                continue;
+            }
+            return false;
+        }
+        ref.addr = getU32(rec.data());
+        ref.type = static_cast<RefType>(t);
+        ref.pid = static_cast<std::uint8_t>(rec[5]);
+        ++pos_;
+        return true;
+    }
+    return false;
 }
 
 void
 BinTraceSource::reset()
 {
+    // Open/header failures are permanent; rewinding cannot cure them.
+    error_ = header_error_;
+    if (error_.failed())
+        return;
     in_.clear();
     in_.seekg(kHeaderBytes);
     pos_ = 0;
-    fatalIf(!in_.good(), "cannot rewind binary trace '" + path_ + "'");
+    skipped_ = clamp_skips_;
+    if (!in_.good())
+        error_ = Error::io("cannot rewind binary trace '" + path_ + "'");
 }
 
 } // namespace trace
 } // namespace assoc
+

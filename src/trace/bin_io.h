@@ -4,6 +4,13 @@
  *
  * Layout: 16-byte header (magic "ASTR", u32 version, u64 count),
  * then count records of {u32 addr (little endian), u8 type, u8 pid}.
+ *
+ * The reader validates magic, version, and the header's record count
+ * against the actual file size up front, so truncation is a
+ * structured Error at open rather than a surprise mid-stream. Under
+ * ErrorMode::Skip a truncated tail is clamped off (counted in
+ * skippedRecords()); ErrorMode::Strict additionally rejects trailing
+ * bytes beyond the last claimed record.
  */
 
 #ifndef ASSOC_TRACE_BIN_IO_H
@@ -13,6 +20,7 @@
 #include <string>
 
 #include "trace/trace_source.h"
+#include "util/error.h"
 
 namespace assoc {
 namespace trace {
@@ -25,22 +33,40 @@ std::uint64_t writeBin(TraceSource &src, const std::string &path);
 class BinTraceSource : public TraceSource
 {
   public:
-    /** Open @p path; calls fatal() on bad magic/version. */
-    explicit BinTraceSource(const std::string &path);
+    /**
+     * Open @p path and validate the header. Problems (missing file,
+     * bad magic/version, size mismatch) are recorded in error()
+     * rather than thrown.
+     */
+    explicit BinTraceSource(const std::string &path,
+                            ErrorPolicy policy = ErrorPolicy());
 
     bool next(MemRef &ref) override;
     void reset() override;
 
-    /** Number of references in the file (from the header). */
+    const Error &error() const override { return error_; }
+    std::uint64_t skippedRecords() const override { return skipped_; }
+
+    /** References this source will stream (clamped under Skip). */
     std::uint64_t count() const { return count_; }
+
+    /** Record count claimed by the file header. */
+    std::uint64_t claimedCount() const { return claimed_; }
 
   private:
     void readHeader();
+    bool tolerate(const std::string &what);
 
     std::string path_;
+    ErrorPolicy policy_;
     std::ifstream in_;
+    std::uint64_t claimed_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t pos_ = 0;
+    std::uint64_t clamp_skips_ = 0; ///< records lost to truncation
+    std::uint64_t skipped_ = 0;
+    Error header_error_; ///< permanent open/validation failure
+    Error error_;
 };
 
 } // namespace trace

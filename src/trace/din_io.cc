@@ -26,21 +26,16 @@ labelOf(RefType t)
     return 0;
 }
 
-RefType
-typeOf(int label, const std::string &path, std::uint64_t line)
+/** Parse a decimal token fully; false on junk. */
+bool
+parseUint(const std::string &tok, std::uint64_t &out)
 {
-    switch (label) {
-      case 0:
-        return RefType::Read;
-      case 1:
-        return RefType::Write;
-      case 2:
-        return RefType::Ifetch;
-      case 4:
-        return RefType::Flush;
-      default:
-        fatal(path + ":" + std::to_string(line) +
-              ": unknown din label " + std::to_string(label));
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(tok, &pos, 10);
+        return pos == tok.size();
+    } catch (const std::logic_error &) {
+        return false;
     }
 }
 
@@ -63,41 +58,126 @@ writeDin(TraceSource &src, const std::string &path)
     fatalIf(!out.good(), "error writing '" + path + "'");
 }
 
-DinTraceSource::DinTraceSource(const std::string &path) : path_(path)
+DinTraceSource::DinTraceSource(const std::string &path, ErrorPolicy policy)
+    : path_(path), policy_(policy)
 {
     in_.open(path_);
-    fatalIf(!in_, "cannot open din trace '" + path_ + "'");
+    if (!in_)
+        error_ = Error::io("cannot open din trace '" + path_ + "'");
+}
+
+bool
+DinTraceSource::tolerate(const std::string &what, const std::string &text)
+{
+    Error e = Error::data(path_ + ":" + std::to_string(line_) + ": " +
+                          what);
+    e.withContext("reading line '" + text + "'");
+    if (policy_.mode == ErrorMode::Skip) {
+        ++skipped_;
+        if (skipped_ <= policy_.max_skips) {
+            if (skipped_ == 1)
+                warn(e.text() + " (skipping; further skips silent)");
+            return true;
+        }
+        error_ = Error::data(path_ + ": gave up after skipping " +
+                             std::to_string(policy_.max_skips) +
+                             " malformed lines")
+                     .withContext("last: " + e.text());
+        return false;
+    }
+    error_ = std::move(e);
+    return false;
 }
 
 bool
 DinTraceSource::next(MemRef &ref)
 {
+    if (error_.failed())
+        return false;
     std::string line;
     while (std::getline(in_, line)) {
         ++line_;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream iss(line);
-        int label = -1;
-        std::string addr_hex;
-        unsigned pid = 0;
-        iss >> label >> addr_hex;
-        fatalIf(iss.fail(), path_ + ":" + std::to_string(line_) +
-                ": malformed din line '" + line + "'");
-        iss >> pid; // optional third column
+        std::string label_tok, addr_tok, pid_tok, extra_tok;
+        iss >> label_tok >> addr_tok;
+        if (addr_tok.empty()) {
+            if (tolerate("malformed din line", line))
+                continue;
+            return false;
+        }
+        iss >> pid_tok; // optional third column
+        bool have_extra = static_cast<bool>(iss >> extra_tok);
+
+        std::uint64_t label = 0;
+        if (!parseUint(label_tok, label)) {
+            if (tolerate("malformed din line", line))
+                continue;
+            return false;
+        }
+        RefType type;
+        switch (label) {
+          case 0: type = RefType::Read; break;
+          case 1: type = RefType::Write; break;
+          case 2: type = RefType::Ifetch; break;
+          case 4: type = RefType::Flush; break;
+          default:
+            if (tolerate("unknown din label " + std::to_string(label),
+                         line))
+                continue;
+            return false;
+        }
+
         std::uint64_t addr = 0;
+        bool addr_ok = false;
         try {
             std::size_t pos = 0;
-            addr = std::stoull(addr_hex, &pos, 16);
-            fatalIf(pos != addr_hex.size(), path_ + ":" +
-                    std::to_string(line_) + ": bad address '" +
-                    addr_hex + "'");
+            addr = std::stoull(addr_tok, &pos, 16);
+            addr_ok = pos == addr_tok.size();
         } catch (const std::logic_error &) {
-            fatal(path_ + ":" + std::to_string(line_) +
-                  ": bad address '" + addr_hex + "'");
+            addr_ok = false;
         }
+        if (!addr_ok) {
+            if (tolerate("bad address '" + addr_tok + "'", line))
+                continue;
+            return false;
+        }
+
+        std::uint64_t pid = 0;
+        if (!pid_tok.empty() && !parseUint(pid_tok, pid)) {
+            // Historically a junk third column left pid at 0; only
+            // Strict rejects it.
+            if (policy_.mode == ErrorMode::Strict) {
+                if (tolerate("bad pid '" + pid_tok + "'", line))
+                    continue;
+                return false;
+            }
+            pid = 0;
+        }
+
+        if (policy_.mode == ErrorMode::Strict) {
+            if (have_extra) {
+                if (tolerate("trailing junk '" + extra_tok + "'", line))
+                    continue;
+                return false;
+            }
+            if (addr > 0xffffffffull) {
+                if (tolerate("address '" + addr_tok +
+                             "' exceeds 32 bits", line))
+                    continue;
+                return false;
+            }
+            if (pid > 0xff) {
+                if (tolerate("pid " + std::to_string(pid) +
+                             " exceeds 8 bits", line))
+                    continue;
+                return false;
+            }
+        }
+
         ref.addr = static_cast<Addr>(addr);
-        ref.type = typeOf(label, path_, line_);
+        ref.type = type;
         ref.pid = static_cast<std::uint8_t>(pid);
         return true;
     }
@@ -110,7 +190,10 @@ DinTraceSource::reset()
     in_.clear();
     in_.seekg(0);
     line_ = 0;
-    fatalIf(!in_.good(), "cannot rewind din trace '" + path_ + "'");
+    skipped_ = 0;
+    error_ = Error();
+    if (!in_.good())
+        error_ = Error::io("cannot rewind din trace '" + path_ + "'");
 }
 
 } // namespace trace

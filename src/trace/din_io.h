@@ -8,6 +8,12 @@
  * reserved 3 for its own purposes) and allow an optional third
  * column carrying the process id. Lines starting with '#' are
  * comments.
+ *
+ * Malformed lines are reported as recoverable Errors with file:line
+ * and the offending text, governed by an ErrorPolicy: FailFast stops
+ * at the first bad line, Skip tolerates up to max_skips of them,
+ * Strict additionally rejects trailing columns, non-numeric pids,
+ * and out-of-range addresses/pids that FailFast silently truncates.
  */
 
 #ifndef ASSOC_TRACE_DIN_IO_H
@@ -17,6 +23,7 @@
 #include <string>
 
 #include "trace/trace_source.h"
+#include "util/error.h"
 
 namespace assoc {
 namespace trace {
@@ -28,16 +35,33 @@ void writeDin(TraceSource &src, const std::string &path);
 class DinTraceSource : public TraceSource
 {
   public:
-    /** Open @p path; calls fatal() when unreadable. */
-    explicit DinTraceSource(const std::string &path);
+    /**
+     * Open @p path. An unreadable file is recorded as an Io error —
+     * check error() (or let sim::runTrace surface it) rather than
+     * expecting a throw.
+     */
+    explicit DinTraceSource(const std::string &path,
+                            ErrorPolicy policy = ErrorPolicy());
 
     bool next(MemRef &ref) override;
     void reset() override;
 
+    const Error &error() const override { return error_; }
+    std::uint64_t skippedRecords() const override { return skipped_; }
+
   private:
+    /**
+     * Handle one malformed line per the policy.
+     * @return true when the line may be skipped and reading resumes.
+     */
+    bool tolerate(const std::string &what, const std::string &text);
+
     std::string path_;
+    ErrorPolicy policy_;
     std::ifstream in_;
     std::uint64_t line_ = 0;
+    std::uint64_t skipped_ = 0;
+    Error error_;
 };
 
 } // namespace trace

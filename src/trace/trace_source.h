@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/memref.h"
+#include "util/error.h"
 
 namespace assoc {
 namespace trace {
@@ -28,13 +29,44 @@ class TraceSource
     /**
      * Produce the next reference.
      * @param ref output record, valid only when true is returned.
-     * @return false at end of trace.
+     * @return false at end of trace, or when the source failed —
+     *         callers distinguish the two via error().
      */
     virtual bool next(MemRef &ref) = 0;
 
     /** Rewind to the beginning; the same stream replays. */
     virtual void reset() = 0;
+
+    /**
+     * Status of the stream. File-backed sources record malformed
+     * input here (per their ErrorPolicy) instead of throwing;
+     * in-memory sources are always ok.
+     */
+    virtual const Error &error() const { return okError(); }
+
+    /** True when the stream stopped on an error rather than EOF. */
+    bool failed() const { return error().failed(); }
+
+    /** Malformed records tolerated so far (ErrorMode::Skip). */
+    virtual std::uint64_t skippedRecords() const { return 0; }
+
+  protected:
+    /** Shared "no error" singleton for sources that cannot fail. */
+    static const Error &
+    okError()
+    {
+        static const Error ok;
+        return ok;
+    }
 };
+
+/** Throw the source's Error when streaming stopped on a failure. */
+inline void
+throwIfFailed(const TraceSource &src)
+{
+    if (src.failed())
+        throwError(Error(src.error()));
+}
 
 /** Trace source over an in-memory vector (tests, small traces). */
 class VectorTraceSource : public TraceSource

@@ -1,0 +1,94 @@
+#include "util/error.h"
+
+#include <exception>
+#include <iostream>
+
+namespace assoc {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "ok";
+      case ErrorCode::Usage: return "usage";
+      case ErrorCode::Data: return "data";
+      case ErrorCode::Io: return "io";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+int
+exitCode(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return 0;
+      case ErrorCode::Usage: return 1;
+      case ErrorCode::Data: return 2;
+      case ErrorCode::Io: return 2;
+      case ErrorCode::Cancelled: return 130; // 128 + SIGINT
+      case ErrorCode::Internal: return 3;
+    }
+    return 3;
+}
+
+std::string
+Error::text() const
+{
+    if (ok())
+        return "ok";
+    std::string s = std::string(errorCodeName(code_)) + " error: " +
+                    message_;
+    if (!context_.empty()) {
+        s += " [";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            if (i)
+                s += "; ";
+            s += "while " + context_[i];
+        }
+        s += "]";
+    }
+    return s;
+}
+
+void
+throwError(Error err)
+{
+    throw ErrorException(std::move(err));
+}
+
+Expected<ErrorMode>
+errorModeFromString(const std::string &s)
+{
+    if (s == "fail-fast" || s == "failfast")
+        return ErrorMode::FailFast;
+    if (s == "skip")
+        return ErrorMode::Skip;
+    if (s == "strict")
+        return ErrorMode::Strict;
+    return Error::usage("unknown error mode '" + s +
+                        "' (want fail-fast|skip|strict)");
+}
+
+int
+guardedMain(const std::string &prog, const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const ErrorException &e) {
+        std::cerr << prog << ": " << e.what() << "\n";
+        return exitCode(e.error().code());
+    } catch (const FatalError &e) {
+        std::cerr << prog << ": " << e.what() << "\n";
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << prog << ": internal error: " << e.what() << "\n";
+        return 3;
+    } catch (const std::exception &e) {
+        std::cerr << prog << ": internal error: " << e.what() << "\n";
+        return 3;
+    }
+}
+
+} // namespace assoc

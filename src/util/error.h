@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Structured, recoverable errors.
+ *
+ * Complements logging.h: fatal()/panic() abort a computation by
+ * throwing, which is right for command-line argument validation and
+ * internal invariants, but wrong for data-plane failures (a corrupt
+ * trace record, one bad job in a 100-point sweep) where the caller
+ * wants to decide whether to skip, retry, or give up. Those paths
+ * report an Error value instead.
+ *
+ * Error carries a coarse ErrorCode classifying the failure, a
+ * human-readable message, and a context chain (innermost first) that
+ * call sites extend as the error propagates outward. exitCode() maps
+ * codes onto the process exit-code convention shared by every tool
+ * and bench in this repo:
+ *
+ *   0   success
+ *   1   usage error (bad flags, invalid configuration)
+ *   2   data error  (corrupt/truncated/unreadable input)
+ *   3   internal error (a bug in this library)
+ *   130 interrupted (SIGINT; 128 + signal number, shell convention)
+ */
+
+#ifndef ASSOC_UTIL_ERROR_H
+#define ASSOC_UTIL_ERROR_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace assoc {
+
+/** Coarse failure classification; determines the process exit code. */
+enum class ErrorCode {
+    None,      ///< not an error
+    Usage,     ///< bad flags or invalid configuration
+    Data,      ///< malformed or inconsistent input data
+    Io,        ///< the environment failed us (open/read/write);
+               ///< considered transient and hence retry-eligible
+    Cancelled, ///< interrupted (SIGINT or an explicit cancel)
+    Internal,  ///< an internal invariant was violated
+};
+
+/** Short lowercase name ("usage", "data", ...) for messages/JSON. */
+const char *errorCodeName(ErrorCode code);
+
+/** Map an ErrorCode onto the shared tool exit-code convention. */
+int exitCode(ErrorCode code);
+
+/**
+ * A recoverable error value: code + message + context chain.
+ *
+ * A default-constructed Error means "no error" (ok() is true), so
+ * the type doubles as an always-present status slot in readers.
+ */
+class Error
+{
+  public:
+    Error() = default;
+
+    Error(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Error usage(std::string m)
+    {
+        return Error(ErrorCode::Usage, std::move(m));
+    }
+    static Error data(std::string m)
+    {
+        return Error(ErrorCode::Data, std::move(m));
+    }
+    static Error io(std::string m)
+    {
+        return Error(ErrorCode::Io, std::move(m));
+    }
+    static Error cancelled(std::string m)
+    {
+        return Error(ErrorCode::Cancelled, std::move(m));
+    }
+    static Error internal(std::string m)
+    {
+        return Error(ErrorCode::Internal, std::move(m));
+    }
+
+    bool ok() const { return code_ == ErrorCode::None; }
+    bool failed() const { return !ok(); }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+    const std::vector<std::string> &context() const { return context_; }
+
+    /** Io errors are environmental and worth one deterministic retry. */
+    bool transient() const { return code_ == ErrorCode::Io; }
+
+    /** Append one context frame (innermost first). Chainable. */
+    Error &
+    withContext(std::string frame)
+    {
+        context_.push_back(std::move(frame));
+        return *this;
+    }
+
+    /** Full rendering: "data error: <msg> [while a; while b]". */
+    std::string text() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::None;
+    std::string message_;
+    std::vector<std::string> context_;
+};
+
+/**
+ * Exception carrier for an Error crossing a boundary that cannot
+ * return one (constructors, deep call stacks). Derives from
+ * FatalError so existing catch sites and tests keep working; new
+ * code catches ErrorException first to recover the full Error.
+ */
+class ErrorException : public FatalError
+{
+  public:
+    explicit ErrorException(Error err)
+        : FatalError(err.text()), error_(std::move(err))
+    {}
+
+    const Error &error() const { return error_; }
+
+  private:
+    Error error_;
+};
+
+/** Throw @p err wrapped in an ErrorException. */
+[[noreturn]] void throwError(Error err);
+
+/**
+ * Minimal Expected: either a value or an Error. Deliberately tiny —
+ * just enough to return parse results without exceptions.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}
+    Expected(Error err) : error_(std::move(err)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const T &value() const { return *value_; }
+    T &value() { return *value_; }
+    T take() { return std::move(*value_); }
+
+    const Error &error() const { return error_; }
+
+  private:
+    std::optional<T> value_;
+    Error error_;
+};
+
+/** How a reader reacts to malformed records in its input. */
+enum class ErrorMode {
+    FailFast, ///< stop with a structured error at the first bad record
+    Skip,     ///< skip bad records, up to ErrorPolicy::max_skips
+    Strict,   ///< FailFast, plus reject oddities FailFast tolerates
+              ///< (trailing junk, out-of-range fields)
+};
+
+/** Parse "fail-fast" / "skip" / "strict"; Usage error otherwise. */
+Expected<ErrorMode> errorModeFromString(const std::string &s);
+
+/** Reader-side error policy: mode + skip budget. */
+struct ErrorPolicy {
+    ErrorMode mode = ErrorMode::FailFast;
+    std::uint64_t max_skips = 100; ///< Skip mode gives up past this
+};
+
+/**
+ * Run a tool body with the shared exit-code convention applied:
+ * ErrorException exits with exitCode(code), FatalError with 1,
+ * PanicError with 3, any other exception with 3. The error text is
+ * printed to stderr prefixed with @p prog.
+ */
+int guardedMain(const std::string &prog, const std::function<int()> &body);
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_ERROR_H

@@ -43,6 +43,23 @@ class MeanAccum
     /** Sum of samples. */
     double sum() const { return sum_; }
 
+    /** Sum of squared samples (raw state, for serialization). */
+    double sumSquares() const { return sumsq_; }
+
+    /**
+     * Rebuild an accumulator from its raw state. Used by the sweep
+     * checkpoint journal to round-trip accumulators bit-exactly.
+     */
+    static MeanAccum
+    fromRaw(double sum, double sumsq, std::uint64_t n)
+    {
+        MeanAccum a;
+        a.sum_ = sum;
+        a.sumsq_ = sumsq;
+        a.n_ = n;
+        return a;
+    }
+
     /** Mean (0 when empty). */
     double
     mean() const

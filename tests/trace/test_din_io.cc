@@ -90,39 +90,125 @@ TEST_F(DinIoTest, PidColumnIsOptional)
     EXPECT_EQ(r.pid, 0);
 }
 
-TEST_F(DinIoTest, UnknownLabelIsFatal)
+TEST_F(DinIoTest, UnknownLabelStopsTheStreamWithAnError)
 {
     std::ofstream out(path_);
-    out << "9 100\n";
+    out << "0 100 1\n9 200\n";
     out.close();
     DinTraceSource in(path_);
     MemRef r;
-    EXPECT_THROW(in.next(r), FatalError);
+    ASSERT_TRUE(in.next(r)); // the good line before the bad one
+    EXPECT_FALSE(in.next(r));
+    ASSERT_TRUE(in.failed());
+    EXPECT_EQ(in.error().code(), ErrorCode::Data);
+    // The report carries file:line and the offending text.
+    EXPECT_NE(in.error().text().find(":2:"), std::string::npos)
+        << in.error().text();
+    EXPECT_NE(in.error().text().find("9 200"), std::string::npos)
+        << in.error().text();
 }
 
-TEST_F(DinIoTest, MalformedLineIsFatal)
+TEST_F(DinIoTest, UnknownLabelIsSkippableByPolicy)
+{
+    std::ofstream out(path_);
+    out << "0 100 1\n9 200\n1 300 2\n";
+    out.close();
+    ErrorPolicy policy;
+    policy.mode = ErrorMode::Skip;
+    DinTraceSource in(path_, policy);
+    MemRef r;
+    ASSERT_TRUE(in.next(r));
+    EXPECT_EQ(r.addr, 0x100u);
+    ASSERT_TRUE(in.next(r)); // bad line skipped, stream continues
+    EXPECT_EQ(r.addr, 0x300u);
+    EXPECT_FALSE(in.next(r));
+    EXPECT_FALSE(in.failed());
+    EXPECT_EQ(in.skippedRecords(), 1u);
+}
+
+TEST_F(DinIoTest, MalformedLineStopsTheStreamWithAnError)
 {
     std::ofstream out(path_);
     out << "not a trace\n";
     out.close();
     DinTraceSource in(path_);
     MemRef r;
-    EXPECT_THROW(in.next(r), FatalError);
+    EXPECT_FALSE(in.next(r));
+    ASSERT_TRUE(in.failed());
+    EXPECT_EQ(in.error().code(), ErrorCode::Data);
 }
 
-TEST_F(DinIoTest, BadAddressIsFatal)
+TEST_F(DinIoTest, BadAddressStopsTheStreamWithAnError)
 {
     std::ofstream out(path_);
     out << "0 zzz\n";
     out.close();
     DinTraceSource in(path_);
     MemRef r;
-    EXPECT_THROW(in.next(r), FatalError);
+    EXPECT_FALSE(in.next(r));
+    ASSERT_TRUE(in.failed());
+    EXPECT_EQ(in.error().code(), ErrorCode::Data);
 }
 
-TEST(DinIo, MissingFileIsFatal)
+TEST_F(DinIoTest, SkipModeGivesUpPastTheCap)
 {
-    EXPECT_THROW(DinTraceSource("/nonexistent/trace.din"), FatalError);
+    std::ofstream out(path_);
+    for (int i = 0; i < 5; ++i)
+        out << "junk line " << i << "\n";
+    out << "0 100 1\n";
+    out.close();
+    ErrorPolicy policy;
+    policy.mode = ErrorMode::Skip;
+    policy.max_skips = 3;
+    DinTraceSource in(path_, policy);
+    MemRef r;
+    EXPECT_FALSE(in.next(r));
+    ASSERT_TRUE(in.failed());
+    EXPECT_EQ(in.error().code(), ErrorCode::Data);
+}
+
+TEST_F(DinIoTest, StrictModeRejectsTrailingColumns)
+{
+    std::ofstream out(path_);
+    out << "0 100 1 extra\n";
+    out.close();
+
+    DinTraceSource lax(path_); // fail-fast tolerates the old quirk
+    MemRef r;
+    ASSERT_TRUE(lax.next(r));
+    EXPECT_EQ(r.addr, 0x100u);
+
+    ErrorPolicy policy;
+    policy.mode = ErrorMode::Strict;
+    DinTraceSource strict(path_, policy);
+    EXPECT_FALSE(strict.next(r));
+    ASSERT_TRUE(strict.failed());
+    EXPECT_EQ(strict.error().code(), ErrorCode::Data);
+}
+
+TEST_F(DinIoTest, ResetClearsARecoverableError)
+{
+    std::ofstream out(path_);
+    out << "0 100 1\nnot a trace\n";
+    out.close();
+    DinTraceSource in(path_);
+    MemRef r;
+    ASSERT_TRUE(in.next(r));
+    EXPECT_FALSE(in.next(r));
+    ASSERT_TRUE(in.failed());
+    in.reset();
+    EXPECT_FALSE(in.failed());
+    ASSERT_TRUE(in.next(r));
+    EXPECT_EQ(r.addr, 0x100u);
+}
+
+TEST(DinIo, MissingFileIsAnIoError)
+{
+    DinTraceSource in("/nonexistent/trace.din");
+    ASSERT_TRUE(in.failed());
+    EXPECT_EQ(in.error().code(), ErrorCode::Io);
+    MemRef r;
+    EXPECT_FALSE(in.next(r));
 }
 
 } // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace assoc {
+namespace {
+
+TEST(Error, DefaultIsOk)
+{
+    Error e;
+    EXPECT_TRUE(e.ok());
+    EXPECT_FALSE(e.failed());
+    EXPECT_EQ(e.code(), ErrorCode::None);
+    EXPECT_FALSE(e.transient());
+}
+
+TEST(Error, FactoriesSetTheCode)
+{
+    EXPECT_EQ(Error::usage("u").code(), ErrorCode::Usage);
+    EXPECT_EQ(Error::data("d").code(), ErrorCode::Data);
+    EXPECT_EQ(Error::io("i").code(), ErrorCode::Io);
+    EXPECT_EQ(Error::cancelled("c").code(), ErrorCode::Cancelled);
+    EXPECT_EQ(Error::internal("b").code(), ErrorCode::Internal);
+}
+
+TEST(Error, OnlyIoIsTransient)
+{
+    EXPECT_TRUE(Error::io("i").transient());
+    EXPECT_FALSE(Error::usage("u").transient());
+    EXPECT_FALSE(Error::data("d").transient());
+    EXPECT_FALSE(Error::cancelled("c").transient());
+    EXPECT_FALSE(Error::internal("b").transient());
+}
+
+TEST(Error, TextRendersCodeMessageAndContext)
+{
+    Error e = Error::data("bad record");
+    e.withContext("reading line 7").withContext("streaming t.din");
+    EXPECT_EQ(e.text(),
+              "data error: bad record [while reading line 7; "
+              "while streaming t.din]");
+}
+
+TEST(Error, TextWithoutContextIsJustCodeAndMessage)
+{
+    EXPECT_EQ(Error::io("disk on fire").text(),
+              "io error: disk on fire");
+}
+
+TEST(Error, ContextIsInnermostFirst)
+{
+    Error e = Error::data("x");
+    e.withContext("inner");
+    e.withContext("outer");
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.context()[0], "inner");
+    EXPECT_EQ(e.context()[1], "outer");
+}
+
+TEST(Error, ExitCodeConvention)
+{
+    EXPECT_EQ(exitCode(ErrorCode::None), 0);
+    EXPECT_EQ(exitCode(ErrorCode::Usage), 1);
+    EXPECT_EQ(exitCode(ErrorCode::Data), 2);
+    EXPECT_EQ(exitCode(ErrorCode::Io), 2);
+    EXPECT_EQ(exitCode(ErrorCode::Cancelled), 130);
+    EXPECT_EQ(exitCode(ErrorCode::Internal), 3);
+}
+
+TEST(Error, CodeNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::None), "ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Usage), "usage");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Data), "data");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Io), "io");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+TEST(ErrorException, IsAFatalErrorAndCarriesTheError)
+{
+    try {
+        throwError(Error::data("boom").withContext("ctx"));
+        FAIL() << "throwError returned";
+    } catch (const FatalError &e) {
+        // Legacy catch sites still work ...
+        const auto *ee = dynamic_cast<const ErrorException *>(&e);
+        ASSERT_NE(ee, nullptr);
+        // ... and the structured error survives the trip.
+        EXPECT_EQ(ee->error().code(), ErrorCode::Data);
+        EXPECT_EQ(ee->error().message(), "boom");
+        EXPECT_EQ(std::string(e.what()),
+                  "data error: boom [while ctx]");
+    }
+}
+
+TEST(Expected, HoldsAValue)
+{
+    Expected<int> v(42);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(static_cast<bool>(v));
+    EXPECT_EQ(v.value(), 42);
+    EXPECT_EQ(v.take(), 42);
+}
+
+TEST(Expected, HoldsAnError)
+{
+    Expected<int> v(Error::usage("nope"));
+    EXPECT_FALSE(v.ok());
+    EXPECT_EQ(v.error().code(), ErrorCode::Usage);
+    EXPECT_EQ(v.error().message(), "nope");
+}
+
+TEST(ErrorMode, ParsesAllSpellings)
+{
+    EXPECT_EQ(errorModeFromString("fail-fast").value(),
+              ErrorMode::FailFast);
+    EXPECT_EQ(errorModeFromString("failfast").value(),
+              ErrorMode::FailFast);
+    EXPECT_EQ(errorModeFromString("skip").value(), ErrorMode::Skip);
+    EXPECT_EQ(errorModeFromString("strict").value(),
+              ErrorMode::Strict);
+    Expected<ErrorMode> bad = errorModeFromString("explode");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code(), ErrorCode::Usage);
+}
+
+TEST(GuardedMain, MapsOutcomesToExitCodes)
+{
+    EXPECT_EQ(guardedMain("t", []() -> int { return 0; }), 0);
+    EXPECT_EQ(guardedMain("t", []() -> int { return 7; }), 7);
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              throwError(Error::data("d"));
+                          }),
+              2);
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              throwError(Error::cancelled("c"));
+                          }),
+              130);
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              fatal("old-style fatal");
+                              return 0;
+                          }),
+              1);
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              panic("bug");
+                              return 0;
+                          }),
+              3);
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              throw std::runtime_error("other");
+                          }),
+              3);
+}
+
+} // namespace
+} // namespace assoc

@@ -14,15 +14,21 @@
  *   fuzz_diff --seed=1 --config=123            # replay one case
  *   fuzz_diff --inject=naive-skip              # harness self-test
  *   fuzz_diff --digest --iterations=50         # determinism digest
+ *   fuzz_diff --inject-faults --iterations=200 # fault campaign
+ *
+ * Exit codes follow the repository convention: 0 ok, 1 usage or a
+ * failing campaign, 2 data, 3 internal.
  */
 
 #include <iostream>
 
+#include "check/fault_campaign.h"
 #include "check/fuzz.h"
 #include "exec/sweep.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
 #include "util/argparse.h"
+#include "util/error.h"
 #include "util/logging.h"
 
 namespace {
@@ -120,11 +126,39 @@ main(int argc, char **argv)
     args.addSwitch("digest",
                    "print determinism digests (fuzz + trace + "
                    "parallel sweep) and exit");
+    args.addSwitch("inject-faults",
+                   "run the fault-injection campaign (corrupted "
+                   "traces, failing jobs, cancel + resume) instead "
+                   "of the scheme fuzzer");
     args.addSwitch("quiet", "suppress the summary line");
     if (!args.parse(argc, argv))
         return 0;
 
-    try {
+    return guardedMain("fuzz_diff", [&]() -> int {
+        if (args.getBool("inject-faults")) {
+            check::FaultCampaignOptions opt;
+            opt.seed = args.getUint("seed");
+            opt.iterations = args.getUint("iterations");
+            if (args.given("config")) {
+                opt.have_only_case = true;
+                opt.only_case = args.getUint("config");
+            }
+            opt.max_failures = static_cast<unsigned>(
+                args.getUint("max-failures"));
+            opt.log = &std::cerr;
+
+            check::FaultCampaignSummary sum =
+                check::runFaultCampaign(opt);
+            if (!args.getBool("quiet")) {
+                std::cout << "fuzz_diff: " << sum.cases_run
+                          << " fault cases, " << sum.faults_injected
+                          << " faults injected, "
+                          << sum.failures.size()
+                          << " contract violation(s)\n";
+            }
+            return sum.ok() ? 0 : 1;
+        }
+
         check::FuzzOptions opt;
         opt.seed = args.getUint("seed");
         opt.iterations = args.getUint("iterations");
@@ -152,8 +186,5 @@ main(int argc, char **argv)
                       << sum.failures.size() << " failing case(s)\n";
         }
         return sum.ok() ? 0 : 1;
-    } catch (const FatalError &e) {
-        std::cerr << "fuzz_diff: " << e.what() << "\n";
-        return 2;
-    }
+    });
 }
