@@ -16,6 +16,7 @@
 #include "core/scheme.h"
 #include "core/transform.h"
 #include "mem/hierarchy.h"
+#include "sim/runner.h"
 #include "trace/atum_like.h"
 #include "util/rng.h"
 
@@ -187,6 +188,57 @@ BM_CacheFillEvict(benchmark::State &state)
 BENCHMARK(BM_CacheFillEvict);
 
 void
+BM_CacheTouch(benchmark::State &state)
+{
+    mem::WriteBackCache cache(
+        mem::CacheGeometry(262144, 32, static_cast<std::uint32_t>(
+                                           state.range(0))));
+    const unsigned a = cache.geom().assoc();
+    Pcg32 rng(8);
+    // Fully warm one stretch of sets so touch() always promotes a
+    // valid way through the packed recency word.
+    for (std::uint32_t set = 0; set < 256; ++set)
+        for (unsigned w = 0; w < a; ++w)
+            cache.fill(static_cast<mem::BlockAddr>(
+                           set + (w + 1) * cache.geom().sets()),
+                       false);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        cache.touch(static_cast<std::uint32_t>(i & 255),
+                    static_cast<unsigned>(rng.below(a)));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_CacheTouch)->Arg(4)->Arg(16);
+
+void
+BM_CacheSnapshotSet(benchmark::State &state)
+{
+    mem::WriteBackCache cache(
+        mem::CacheGeometry(262144, 32, static_cast<std::uint32_t>(
+                                           state.range(0))));
+    const unsigned a = cache.geom().assoc();
+    for (unsigned w = 0; w < a; ++w)
+        cache.fill(static_cast<mem::BlockAddr>(
+                       (w + 1) * cache.geom().sets()),
+                   false);
+    std::vector<std::uint32_t> tags(a);
+    std::vector<std::uint8_t> valid(a);
+    std::vector<std::uint8_t> order(a);
+    for (auto _ : state) {
+        cache.snapshotSet(0, tags.data(), valid.data(), order.data());
+        benchmark::DoNotOptimize(tags.data());
+        benchmark::DoNotOptimize(valid.data());
+        benchmark::DoNotOptimize(order.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_CacheSnapshotSet)->Arg(4)->Arg(16);
+
+void
 BM_TraceGeneration(benchmark::State &state)
 {
     trace::AtumLikeConfig cfg;
@@ -204,22 +256,39 @@ BM_TraceGeneration(benchmark::State &state)
 
 BENCHMARK(BM_TraceGeneration);
 
+/** 100k AtumLike references materialized once, replayed from memory
+ *  so the hierarchy benchmarks time the hierarchy, not the trace
+ *  generator (BM_TraceGeneration prices that separately). */
+const std::vector<trace::MemRef> &
+replayRefs()
+{
+    static const std::vector<trace::MemRef> refs = [] {
+        trace::AtumLikeConfig cfg;
+        cfg.segments = 1;
+        cfg.refs_per_segment = 100000;
+        trace::AtumLikeGenerator gen(cfg);
+        std::vector<trace::MemRef> v;
+        trace::MemRef r;
+        while (gen.next(r))
+            v.push_back(r);
+        return v;
+    }();
+    return refs;
+}
+
 void
 BM_HierarchySimulation(benchmark::State &state)
 {
-    trace::AtumLikeConfig cfg;
-    cfg.segments = 1;
-    cfg.refs_per_segment = 100000;
-    trace::AtumLikeGenerator gen(cfg);
+    const std::vector<trace::MemRef> &refs = replayRefs();
     mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
                               mem::CacheGeometry(262144, 32, 4),
                               true};
     mem::TwoLevelHierarchy hier(hcfg);
-    trace::MemRef r;
+    std::size_t i = 0;
     for (auto _ : state) {
-        if (!gen.next(r))
-            gen.reset();
-        hier.access(r);
+        hier.access(refs[i]);
+        if (++i == refs.size())
+            i = 0;
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -229,10 +298,7 @@ BENCHMARK(BM_HierarchySimulation);
 void
 BM_HierarchyWithMeters(benchmark::State &state)
 {
-    trace::AtumLikeConfig cfg;
-    cfg.segments = 1;
-    cfg.refs_per_segment = 100000;
-    trace::AtumLikeGenerator gen(cfg);
+    const std::vector<trace::MemRef> &refs = replayRefs();
     mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
                               mem::CacheGeometry(262144, 32, 4),
                               true};
@@ -246,16 +312,41 @@ BM_HierarchyWithMeters(benchmark::State &state)
         meters.push_back(s.makeMeter());
         hier.addObserver(meters.back().get());
     }
-    trace::MemRef r;
+    std::size_t i = 0;
     for (auto _ : state) {
-        if (!gen.next(r))
-            gen.reset();
-        hier.access(r);
+        hier.access(refs[i]);
+        if (++i == refs.size())
+            i = 0;
     }
     state.SetItemsProcessed(state.iterations());
 }
 
 BENCHMARK(BM_HierarchyWithMeters);
+
+void
+BM_EndToEndTrace(benchmark::State &state)
+{
+    // The full experiment pipeline a bench_* table regeneration
+    // runs: trace synthesis + hierarchy + three metered schemes per
+    // iteration, via the same sim::runTrace entry point.
+    trace::AtumLikeConfig cfg;
+    cfg.segments = 1;
+    cfg.refs_per_segment = 100000;
+    trace::AtumLikeGenerator gen(cfg);
+    sim::RunSpec spec;
+    core::SchemeSpec naive, mru;
+    naive.kind = core::SchemeKind::Naive;
+    mru.kind = core::SchemeKind::Mru;
+    spec.schemes = {naive, mru, core::SchemeSpec::paperPartial(4)};
+    for (auto _ : state) {
+        sim::RunOutput out = sim::runTrace(gen, spec);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            cfg.refs_per_segment);
+}
+
+BENCHMARK(BM_EndToEndTrace)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

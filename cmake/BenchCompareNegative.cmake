@@ -1,0 +1,45 @@
+# Negative self-test for the bench_compare perf gate: a synthetic
+# current run 10x slower than its baseline must make the tool exit 1.
+#
+# Variables: TOOL (bench_compare executable), WORKDIR. BASELINE is
+# accepted but unused; the synthetic pair keeps the test independent
+# of the committed numbers.
+
+set(base ${WORKDIR}/bench_neg_baseline.json)
+set(curr ${WORKDIR}/bench_neg_current.json)
+
+file(WRITE ${base} [=[
+{
+  "context": {"date": "seed"},
+  "benchmarks": [
+    {"name": "BM_Synthetic", "run_type": "iteration",
+     "real_time": 10.0, "cpu_time": 10.0, "time_unit": "ns"}
+  ]
+}
+]=])
+
+file(WRITE ${curr} [=[
+{
+  "context": {"date": "regressed"},
+  "benchmarks": [
+    {"name": "BM_Synthetic", "run_type": "iteration",
+     "real_time": 100.0, "cpu_time": 100.0, "time_unit": "ns"}
+  ]
+}
+]=])
+
+execute_process(
+    COMMAND ${TOOL} ${base} ${curr} --max-ratio=2.0
+    WORKING_DIRECTORY ${WORKDIR}
+    OUTPUT_VARIABLE out
+    RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "bench_compare should exit 1 on a 10x regression, "
+            "got rc=${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "REGRESSION")
+    message(FATAL_ERROR
+            "bench_compare output lacks the REGRESSION marker:\n${out}")
+endif()

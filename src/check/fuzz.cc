@@ -439,8 +439,8 @@ runCase(const FuzzCase &c, BugInjection inject,
         out.accesses = auditor.audited();
 
         if (!aborted) {
-            checkAllMruOrders(hier.l1(), out.log);
-            checkAllMruOrders(hier.l2(), out.log);
+            checkAllRecencyOrders(hier.l1(), out.log);
+            checkAllRecencyOrders(hier.l2(), out.log);
             if (inclusionGuaranteed(c.hier))
                 checkInclusion(hier, out.log);
             for (std::size_t i = 0; i < meters.size(); ++i)

@@ -197,18 +197,21 @@ partialCandidateMask(const core::PartialConfig &cfg,
     return mask;
 }
 
+namespace {
+
+/** Shared soundness scan for one way order of one set. */
 bool
-checkMruOrderIntegrity(const mem::WriteBackCache &cache,
-                       std::uint32_t set, ViolationLog &log)
+checkOneOrder(const mem::WriteBackCache &cache, std::uint32_t set,
+              const std::vector<std::uint8_t> &order,
+              const char *label, ViolationLog &log)
 {
-    const auto &order = cache.mruOrder(set);
     const unsigned a = cache.geom().assoc();
     std::uint64_t before = log.count();
 
     if (order.size() != a) {
-        log.add("set " + std::to_string(set) + ": recency order has " +
-                std::to_string(order.size()) + " entries, want " +
-                std::to_string(a));
+        log.add("set " + std::to_string(set) + ": " + label +
+                " order has " + std::to_string(order.size()) +
+                " entries, want " + std::to_string(a));
         return false;
     }
     std::uint64_t seen = 0;
@@ -216,8 +219,8 @@ checkMruOrderIntegrity(const mem::WriteBackCache &cache,
     for (unsigned i = 0; i < a; ++i) {
         unsigned w = order[i];
         if (w >= a || (seen & (std::uint64_t{1} << w))) {
-            log.add("set " + std::to_string(set) +
-                    ": recency order is not a permutation (entry " +
+            log.add("set " + std::to_string(set) + ": " + label +
+                    " order is not a permutation (entry " +
                     std::to_string(i) + " = " + std::to_string(w) +
                     ")");
             return false;
@@ -229,10 +232,37 @@ checkMruOrderIntegrity(const mem::WriteBackCache &cache,
         else if (tail)
             log.add("set " + std::to_string(set) + ": valid way " +
                     std::to_string(w) +
-                    " sits behind an invalid frame in the recency "
-                    "order");
+                    " sits behind an invalid frame in the " + label +
+                    " order");
     }
     return log.count() == before;
+}
+
+} // namespace
+
+bool
+checkMruOrderIntegrity(const mem::WriteBackCache &cache,
+                       std::uint32_t set, ViolationLog &log)
+{
+    return checkOneOrder(cache, set, cache.mruOrder(set), "recency",
+                         log);
+}
+
+bool
+checkFifoOrderIntegrity(const mem::WriteBackCache &cache,
+                        std::uint32_t set, ViolationLog &log)
+{
+    return checkOneOrder(cache, set, cache.fifoOrder(set), "fill-age",
+                         log);
+}
+
+bool
+checkRecencyOrders(const mem::WriteBackCache &cache, std::uint32_t set,
+                   ViolationLog &log)
+{
+    bool mru = checkMruOrderIntegrity(cache, set, log);
+    bool fifo = checkFifoOrderIntegrity(cache, set, log);
+    return mru && fifo;
 }
 
 bool
@@ -241,6 +271,16 @@ checkAllMruOrders(const mem::WriteBackCache &cache, ViolationLog &log)
     bool ok = true;
     for (std::uint32_t set = 0; set < cache.geom().sets(); ++set)
         ok = checkMruOrderIntegrity(cache, set, log) && ok;
+    return ok;
+}
+
+bool
+checkAllRecencyOrders(const mem::WriteBackCache &cache,
+                      ViolationLog &log)
+{
+    bool ok = true;
+    for (std::uint32_t set = 0; set < cache.geom().sets(); ++set)
+        ok = checkRecencyOrders(cache, set, log) && ok;
     return ok;
 }
 
@@ -396,8 +436,9 @@ InvariantAuditor::audit(const core::ProbeMeter &meter,
         }
     }
 
-    // 5. LRU-stack integrity of the accessed set.
-    checkMruOrderIntegrity(*view.cache, view.set, *log_);
+    // 5. LRU-stack integrity of the accessed set, for both the
+    // recency and the fill-age order.
+    checkRecencyOrders(*view.cache, view.set, *log_);
 }
 
 } // namespace check

@@ -124,9 +124,27 @@ std::uint64_t partialCandidateMask(const core::PartialConfig &cfg,
 bool checkMruOrderIntegrity(const mem::WriteBackCache &cache,
                             std::uint32_t set, ViolationLog &log);
 
+/**
+ * Same soundness check for the fill-age (FIFO) order of @p set:
+ * a permutation of [0, assoc) whose invalid frames form a suffix.
+ * Invalidation demotes the freed frame in *both* orders, so the
+ * suffix invariant must hold for each (victimWay() under the Fifo
+ * policy reads the fill-age tail directly).
+ */
+bool checkFifoOrderIntegrity(const mem::WriteBackCache &cache,
+                             std::uint32_t set, ViolationLog &log);
+
+/** Both per-set order checks (recency and fill-age) for @p set. */
+bool checkRecencyOrders(const mem::WriteBackCache &cache,
+                        std::uint32_t set, ViolationLog &log);
+
 /** checkMruOrderIntegrity over every set of @p cache. */
 bool checkAllMruOrders(const mem::WriteBackCache &cache,
                        ViolationLog &log);
+
+/** checkRecencyOrders (MRU + fill-age) over every set. */
+bool checkAllRecencyOrders(const mem::WriteBackCache &cache,
+                           ViolationLog &log);
 
 /**
  * Check GF(2) soundness of @p xf on @p samples random t-bit tags

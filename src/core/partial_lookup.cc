@@ -22,17 +22,28 @@ PartialLookup::name() const
     return n;
 }
 
+void
+PartialLookup::validate(unsigned a) const
+{
+    const unsigned s = cfg_.subsets;
+    fatalIf(s > a || a % s != 0,
+            "subset count must divide the associativity");
+    fatalIf((a / s) * cfg_.field_bits > cfg_.tag_bits,
+            "k * (a/s) exceeds the tag width " +
+                std::to_string(cfg_.tag_bits));
+    validated_assoc_ = a;
+}
+
 LookupResult
 PartialLookup::lookup(const LookupInput &in) const
 {
     const unsigned a = in.assoc;
     const unsigned s = cfg_.subsets;
-    fatalIf(s > a || a % s != 0,
-            "subset count must divide the associativity");
+    // Validate once per (config, associativity) pair, not per
+    // access: every set of one cache shares the associativity.
+    if (a != validated_assoc_)
+        validate(a);
     const unsigned g = a / s; // ways per subset
-    fatalIf(g * cfg_.field_bits > cfg_.tag_bits,
-            "k * (a/s) exceeds the tag width " +
-                std::to_string(cfg_.tag_bits));
 
     LookupResult res;
 

@@ -55,8 +55,15 @@ class PartialLookup : public LookupStrategy
     const TagTransform &transform() const { return *xform_; }
 
   private:
+    /** Config validation against one associativity (subset count
+     *  divides a, g*k fits the tag width). Hot lookups skip it once
+     *  an associativity has been validated; like the meters' scratch
+     *  buffers, the memoization assumes one thread per instance. */
+    void validate(unsigned assoc) const;
+
     PartialConfig cfg_;
     std::unique_ptr<TagTransform> xform_;
+    mutable unsigned validated_assoc_ = 0;
 };
 
 } // namespace core

@@ -61,20 +61,24 @@ ProbeMeter::observe(const mem::L2AccessView &view)
         return;
     }
 
-    tags_.resize(a);
-    valid_.resize(a);
-    for (unsigned w = 0; w < a; ++w) {
-        const mem::Line &l = cache.line(view.set, static_cast<int>(w));
-        valid_[w] = l.valid ? 1 : 0;
-        tags_[w] = sliceTag(cache.geom().fullTagOf(l.block),
-                            cfg_.tag_bits);
+    // The hierarchy hands every observer one decoded snapshot of
+    // the set (full tags, valid flags, MRU order); this meter only
+    // slices tags down to its own stored width t. When t covers the
+    // full tag the slice is the identity and the snapshot plane is
+    // fed to the strategy as-is.
+    const std::uint32_t *stored = view.full_tags;
+    if (cfg_.tag_bits < cache.geom().fullTagBits()) {
+        tags_.resize(a);
+        for (unsigned w = 0; w < a; ++w)
+            tags_[w] = sliceTag(view.full_tags[w], cfg_.tag_bits);
+        stored = tags_.data();
     }
 
     LookupInput in;
     in.assoc = a;
-    in.stored_tags = tags_.data();
-    in.valid = valid_.data();
-    in.mru_order = cache.mruOrder(view.set).data();
+    in.stored_tags = stored;
+    in.valid = view.valid;
+    in.mru_order = view.mru_order;
     in.incoming_tag = sliceTag(view.full_tag, cfg_.tag_bits);
 
     LookupResult res = strategy_->lookup(in);
@@ -113,8 +117,9 @@ MruDistanceMeter::observe(const mem::L2AccessView &view)
 {
     if (view.type != mem::L2ReqType::ReadIn || view.hit_way < 0)
         return;
-    const auto &order = view.cache->mruOrder(view.set);
-    for (unsigned i = 0; i < order.size(); ++i) {
+    const std::uint8_t *order = view.mru_order;
+    const unsigned a = view.cache->geom().assoc();
+    for (unsigned i = 0; i < a; ++i) {
         if (order[i] == static_cast<std::uint8_t>(view.hit_way)) {
             hist_.record(i + 1); // distance is 1-based
             return;

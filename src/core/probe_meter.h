@@ -109,9 +109,10 @@ class ProbeMeter : public mem::L2Observer
     ProbeStats stats_;
     LookupAuditor *auditor_ = nullptr;
 
-    // Scratch buffers reused across observations.
+    /** Scratch for t-bit sliced tags, reused across observations
+     *  (unused when t covers the full tag width: the hierarchy's
+     *  snapshot plane is then passed through untouched). */
     mutable std::vector<std::uint32_t> tags_;
-    mutable std::vector<std::uint8_t> valid_;
 };
 
 /**

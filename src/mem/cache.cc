@@ -1,7 +1,8 @@
 #include "mem/cache.h"
 
 #include <algorithm>
-#include <numeric>
+#include <bit>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -24,20 +25,82 @@ replPolicyName(ReplPolicy policy)
     return "unknown";
 }
 
+namespace {
+
+/** A 1 in the low bit of each 4-bit slot. */
+constexpr std::uint64_t kNibbleLsb = 0x1111111111111111ull;
+/** A 1 in the high bit of each 4-bit slot. */
+constexpr std::uint64_t kNibbleMsb = 0x8888888888888888ull;
+
+/** Mask covering packed slots [0, n), n <= 16. */
+inline std::uint64_t
+slotMask(unsigned n)
+{
+    return n >= 16 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << (4 * n)) - 1);
+}
+
+/**
+ * Position of the slot holding @p way among the first @p a slots of
+ * @p w. SWAR zero-nibble scan: XOR against the broadcast way turns
+ * the match into a zero nibble; borrow propagation can only set
+ * false-positive bits *above* the lowest true zero, so the lowest
+ * set bit of the detector is always the first match.
+ */
+inline unsigned
+slotFind(std::uint64_t w, unsigned a, unsigned way)
+{
+    std::uint64_t x = (w ^ (way * kNibbleLsb)) | ~slotMask(a);
+    std::uint64_t zero = (x - kNibbleLsb) & ~x & kNibbleMsb;
+    panicIf(zero == 0, "way missing from packed recency order");
+    return static_cast<unsigned>(std::countr_zero(zero)) / 4;
+}
+
+/** Move the slot at @p pos to slot 0, shifting [0, pos) up one. */
+inline std::uint64_t
+slotPromote(std::uint64_t w, unsigned pos)
+{
+    std::uint64_t way = (w >> (4 * pos)) & 0xf;
+    std::uint64_t below = w & slotMask(pos);
+    std::uint64_t above = w & ~slotMask(pos + 1);
+    return above | (below << 4) | way;
+}
+
+/** Move the slot at @p pos to slot a-1, shifting (pos, a) down. */
+inline std::uint64_t
+slotDemote(std::uint64_t w, unsigned pos, unsigned a)
+{
+    std::uint64_t way = (w >> (4 * pos)) & 0xf;
+    std::uint64_t low = w & slotMask(pos);
+    std::uint64_t high = w & ~slotMask(a);
+    std::uint64_t mid = (w & (slotMask(a) & ~slotMask(pos + 1))) >> 4;
+    return high | (way << (4 * (a - 1))) | mid | low;
+}
+
+} // namespace
+
 WriteBackCache::WriteBackCache(const CacheGeometry &geom,
                                ReplPolicy policy, std::uint64_t seed)
     : geom_(geom), policy_(policy), rng_(seed, 0xbadc0de),
-      lines_(static_cast<std::size_t>(geom.sets()) * geom.assoc()),
-      mru_(geom.sets()), fifo_(geom.sets()), plru_(geom.sets(), 0)
+      assoc_(geom.assoc()), vwords_((geom.assoc() + 63) / 64),
+      packed_(geom.assoc() <= 16),
+      blocks_(static_cast<std::size_t>(geom.sets()) * geom.assoc(), 0),
+      valid_(static_cast<std::size_t>(geom.sets()) * vwords_, 0),
+      dirty_(static_cast<std::size_t>(geom.sets()) * vwords_, 0),
+      plru_(geom.sets(), 0)
 {
     fatalIf(geom_.assoc() > 255, "associativity above 255 unsupported");
     fatalIf(policy_ == ReplPolicy::TreePlru && geom_.assoc() > 64,
             "tree PLRU supports associativity up to 64");
-    for (std::uint32_t set = 0; set < geom_.sets(); ++set) {
-        mru_[set].resize(geom_.assoc());
-        fifo_[set].resize(geom_.assoc());
-        resetOrder(set);
+    if (packed_) {
+        mru_packed_.assign(geom_.sets(), 0);
+        fifo_packed_.assign(geom_.sets(), 0);
+    } else {
+        mru_wide_.assign(blocks_.size(), 0);
+        fifo_wide_.assign(blocks_.size(), 0);
     }
+    for (std::uint32_t set = 0; set < geom_.sets(); ++set)
+        resetOrder(set);
 }
 
 void
@@ -48,34 +111,113 @@ WriteBackCache::resetOrder(std::uint32_t set)
     // physical way order across sets (a real cache's power-on LRU
     // state has no such correlation, and the serial schemes' scan
     // costs would otherwise be biased).
-    auto &order = mru_[set];
-    std::uint32_t a = geom_.assoc();
-    for (std::uint32_t i = 0; i < a; ++i)
-        order[i] = static_cast<std::uint8_t>((i + set) % a);
-    fifo_[set] = order;
+    if (packed_) {
+        std::uint64_t w = 0;
+        for (unsigned i = 0; i < assoc_; ++i)
+            w |= static_cast<std::uint64_t>((i + set) % assoc_)
+                 << (4 * i);
+        mru_packed_[set] = w;
+        fifo_packed_[set] = w;
+    } else {
+        std::uint8_t *mru = &mru_wide_[index(set, 0)];
+        std::uint8_t *fifo = &fifo_wide_[index(set, 0)];
+        for (unsigned i = 0; i < assoc_; ++i)
+            mru[i] = static_cast<std::uint8_t>((i + set) % assoc_);
+        std::memcpy(fifo, mru, assoc_);
+    }
 }
 
 int
 WriteBackCache::findWay(BlockAddr b) const
 {
     std::uint32_t set = geom_.setOf(b);
-    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
-        const Line &l = lines_[index(set, static_cast<int>(w))];
-        if (l.valid && l.block == b)
-            return static_cast<int>(w);
+    // Direct-mapped fast path: one bit, one compare.
+    if (assoc_ == 1)
+        return ((valid_[set] & 1) != 0 && blocks_[set] == b) ? 0
+                                                             : -1;
+    const BlockAddr *blk = &blocks_[index(set, 0)];
+    const std::uint64_t *vw =
+        &valid_[static_cast<std::size_t>(set) * vwords_];
+    for (unsigned i = 0; i < vwords_; ++i) {
+        std::uint64_t m = vw[i];
+        while (m != 0) {
+            unsigned w =
+                i * 64 + static_cast<unsigned>(std::countr_zero(m));
+            if (blk[w] == b)
+                return static_cast<int>(w);
+            m &= m - 1;
+        }
     }
     return -1;
 }
 
 void
+WriteBackCache::orderPromote(std::vector<std::uint64_t> &packed,
+                             std::vector<std::uint8_t> &wide,
+                             std::uint32_t set, unsigned way)
+{
+    if (packed_) {
+        std::uint64_t w = packed[set];
+        packed[set] = slotPromote(w, slotFind(w, assoc_, way));
+        return;
+    }
+    std::uint8_t *order = &wide[index(set, 0)];
+    std::uint8_t *it = static_cast<std::uint8_t *>(
+        std::memchr(order, static_cast<int>(way), assoc_));
+    panicIf(it == nullptr, "way missing from recency order");
+    std::memmove(order + 1, order, static_cast<std::size_t>(it - order));
+    order[0] = static_cast<std::uint8_t>(way);
+}
+
+void
+WriteBackCache::orderDemote(std::vector<std::uint64_t> &packed,
+                            std::vector<std::uint8_t> &wide,
+                            std::uint32_t set, unsigned way)
+{
+    if (packed_) {
+        std::uint64_t w = packed[set];
+        packed[set] = slotDemote(w, slotFind(w, assoc_, way), assoc_);
+        return;
+    }
+    std::uint8_t *order = &wide[index(set, 0)];
+    std::uint8_t *it = static_cast<std::uint8_t *>(
+        std::memchr(order, static_cast<int>(way), assoc_));
+    panicIf(it == nullptr, "way missing from recency order");
+    std::memmove(it, it + 1,
+                 static_cast<std::size_t>(order + assoc_ - it) - 1);
+    order[assoc_ - 1] = static_cast<std::uint8_t>(way);
+}
+
+unsigned
+WriteBackCache::orderBack(const std::vector<std::uint64_t> &packed,
+                          const std::vector<std::uint8_t> &wide,
+                          std::uint32_t set) const
+{
+    if (packed_)
+        return static_cast<unsigned>(
+            (packed[set] >> (4 * (assoc_ - 1))) & 0xf);
+    return wide[index(set, 0) + assoc_ - 1];
+}
+
+void
+WriteBackCache::orderDecode(const std::vector<std::uint64_t> &packed,
+                            const std::vector<std::uint8_t> &wide,
+                            std::uint32_t set, std::uint8_t *out) const
+{
+    if (packed_) {
+        std::uint64_t w = packed[set];
+        for (unsigned i = 0; i < assoc_; ++i)
+            out[i] = static_cast<std::uint8_t>((w >> (4 * i)) & 0xf);
+        return;
+    }
+    std::memcpy(out, &wide[index(set, 0)], assoc_);
+}
+
+void
 WriteBackCache::makeMru(std::uint32_t set, int way)
 {
-    auto &order = mru_[set];
-    auto it = std::find(order.begin(), order.end(),
-                        static_cast<std::uint8_t>(way));
-    panicIf(it == order.end(), "way missing from recency order");
-    order.erase(it);
-    order.insert(order.begin(), static_cast<std::uint8_t>(way));
+    orderPromote(mru_packed_, mru_wide_, set,
+                 static_cast<unsigned>(way));
 }
 
 void
@@ -114,19 +256,21 @@ WriteBackCache::plruVictim(std::uint32_t set) const
 void
 WriteBackCache::touch(std::uint32_t set, int way)
 {
-    panicIf(way < 0 || static_cast<std::uint32_t>(way) >= geom_.assoc(),
+    panicIf(way < 0 || static_cast<std::uint32_t>(way) >= assoc_,
             "touch: bad way");
+    if (assoc_ == 1)
+        return; // a one-entry order cannot change
     makeMru(set, way);
-    if (policy_ == ReplPolicy::TreePlru && geom_.assoc() > 1)
+    if (policy_ == ReplPolicy::TreePlru)
         plruTouch(set, way);
 }
 
 void
 WriteBackCache::setDirty(std::uint32_t set, int way)
 {
-    Line &l = lines_[index(set, way)];
-    panicIf(!l.valid, "setDirty on an invalid line");
-    l.dirty = true;
+    unsigned w = static_cast<unsigned>(way);
+    panicIf(!validBit(set, w), "setDirty on an invalid line");
+    dirty_[maskIndex(set, w)] |= std::uint64_t{1} << (w & 63);
 }
 
 int
@@ -137,18 +281,19 @@ WriteBackCache::victimWay(std::uint32_t set) const
     // only leave it by being filled), so the back of the order is
     // an empty frame whenever one exists (a miss can fill any empty
     // block frame of the set), under every policy.
-    int back = static_cast<int>(mru_[set].back());
-    if (!lines_[index(set, back)].valid)
-        return back;
+    unsigned back = orderBack(mru_packed_, mru_wide_, set);
+    if (!validBit(set, back))
+        return static_cast<int>(back);
     switch (policy_) {
       case ReplPolicy::Lru:
-        return back;
+        return static_cast<int>(back);
       case ReplPolicy::Fifo:
-        return static_cast<int>(fifo_[set].back());
+        return static_cast<int>(orderBack(fifo_packed_, fifo_wide_,
+                                          set));
       case ReplPolicy::Random:
-        return static_cast<int>(rng_.below(geom_.assoc()));
+        return static_cast<int>(rng_.below(assoc_));
       case ReplPolicy::TreePlru:
-        return geom_.assoc() == 1 ? 0 : plruVictim(set);
+        return assoc_ == 1 ? 0 : plruVictim(set);
     }
     panic("bad replacement policy");
 }
@@ -161,30 +306,31 @@ WriteBackCache::fill(BlockAddr b, bool dirty)
     FillResult res;
     res.way = victimWay(set);
 
-    Line &l = lines_[index(set, res.way)];
-    if (l.valid) {
+    unsigned w = static_cast<unsigned>(res.way);
+    std::size_t mi = maskIndex(set, w);
+    std::uint64_t bit = std::uint64_t{1} << (w & 63);
+    std::size_t idx = index(set, res.way);
+    if (valid_[mi] & bit) {
         res.evicted = true;
-        res.victim_block = l.block;
-        res.victim_dirty = l.dirty;
+        res.victim_block = blocks_[idx];
+        res.victim_dirty = (dirty_[mi] & bit) != 0;
         ++evictions_;
-        if (l.dirty)
+        if (res.victim_dirty)
             ++dirty_evictions_;
     }
-    l.block = b;
-    l.valid = true;
-    l.dirty = dirty;
+    blocks_[idx] = b;
+    valid_[mi] |= bit;
+    if (dirty)
+        dirty_[mi] |= bit;
+    else
+        dirty_[mi] &= ~bit;
     ++fills_;
     makeMru(set, res.way);
 
     // Fill-age bookkeeping (drives the Fifo policy; cheap enough to
     // maintain unconditionally).
-    auto &ages = fifo_[set];
-    auto it = std::find(ages.begin(), ages.end(),
-                        static_cast<std::uint8_t>(res.way));
-    panicIf(it == ages.end(), "way missing from fill-age order");
-    ages.erase(it);
-    ages.insert(ages.begin(), static_cast<std::uint8_t>(res.way));
-    if (policy_ == ReplPolicy::TreePlru && geom_.assoc() > 1)
+    orderPromote(fifo_packed_, fifo_wide_, set, w);
+    if (policy_ == ReplPolicy::TreePlru && assoc_ > 1)
         plruTouch(set, res.way);
     return res;
 }
@@ -196,39 +342,77 @@ WriteBackCache::invalidate(BlockAddr b)
     if (way < 0)
         return false;
     std::uint32_t set = geom_.setOf(b);
-    Line &l = lines_[index(set, way)];
-    bool was_dirty = l.dirty;
-    l.valid = false;
-    l.dirty = false;
-    // Demote the invalidated way to the LRU end so empty frames are
-    // reused first.
-    auto &order = mru_[set];
-    auto it = std::find(order.begin(), order.end(),
-                        static_cast<std::uint8_t>(way));
-    order.erase(it);
-    order.push_back(static_cast<std::uint8_t>(way));
+    unsigned w = static_cast<unsigned>(way);
+    std::size_t mi = maskIndex(set, w);
+    std::uint64_t bit = std::uint64_t{1} << (w & 63);
+    bool was_dirty = (dirty_[mi] & bit) != 0;
+    valid_[mi] &= ~bit;
+    dirty_[mi] &= ~bit;
+    // Demote the invalidated way to the LRU/oldest end of *both*
+    // orders so empty frames are reused first and invalid frames
+    // stay a suffix of the fill-age order too (victimWay() under
+    // Fifo and the order checkers rely on the suffix invariant).
+    orderDemote(mru_packed_, mru_wide_, set, w);
+    orderDemote(fifo_packed_, fifo_wide_, set, w);
     return was_dirty;
 }
 
 void
 WriteBackCache::flush()
 {
-    for (auto &l : lines_) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
     for (std::uint32_t set = 0; set < geom_.sets(); ++set)
         resetOrder(set);
     std::fill(plru_.begin(), plru_.end(), 0);
+}
+
+std::vector<std::uint8_t>
+WriteBackCache::mruOrder(std::uint32_t set) const
+{
+    std::vector<std::uint8_t> out(assoc_);
+    orderDecode(mru_packed_, mru_wide_, set, out.data());
+    return out;
+}
+
+std::vector<std::uint8_t>
+WriteBackCache::fifoOrder(std::uint32_t set) const
+{
+    std::vector<std::uint8_t> out(assoc_);
+    orderDecode(fifo_packed_, fifo_wide_, set, out.data());
+    return out;
+}
+
+void
+WriteBackCache::snapshotSet(std::uint32_t set,
+                            std::uint32_t *full_tags,
+                            std::uint8_t *valid,
+                            std::uint8_t *mru) const
+{
+    if (full_tags != nullptr) {
+        const BlockAddr *blk = &blocks_[index(set, 0)];
+        for (unsigned w = 0; w < assoc_; ++w)
+            full_tags[w] = geom_.fullTagOf(blk[w]);
+    }
+    if (valid != nullptr) {
+        const std::uint64_t *vw =
+            &valid_[static_cast<std::size_t>(set) * vwords_];
+        for (unsigned w = 0; w < assoc_; ++w)
+            valid[w] =
+                static_cast<std::uint8_t>((vw[w >> 6] >> (w & 63)) & 1);
+    }
+    if (mru != nullptr)
+        orderDecode(mru_packed_, mru_wide_, set, mru);
 }
 
 unsigned
 WriteBackCache::validCount(std::uint32_t set) const
 {
     unsigned n = 0;
-    for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
-        if (lines_[index(set, static_cast<int>(w))].valid)
-            ++n;
+    const std::uint64_t *vw =
+        &valid_[static_cast<std::size_t>(set) * vwords_];
+    for (unsigned i = 0; i < vwords_; ++i)
+        n += popcount(vw[i]);
     return n;
 }
 

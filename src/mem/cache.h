@@ -8,6 +8,18 @@
  * observers in src/core, which read this state before each access
  * commits — that separation lets one simulation pass price every
  * lookup scheme of the paper on an identical reference stream.
+ *
+ * Storage layout (the simulation hot path — see docs/PERFORMANCE.md):
+ *  - Line state is structure-of-arrays: one contiguous block-address
+ *    plane plus per-set valid/dirty bitmasks, so findWay() is a
+ *    bit-scan over the valid mask instead of a stride over structs.
+ *  - The per-set MRU and fill-age (FIFO) orders are packed into one
+ *    std::uint64_t of 4-bit way slots each when assoc <= 16 (slot 0
+ *    = most recent); promotion and demotion are shift/mask updates.
+ *    Larger associativities fall back to flat byte arrays.
+ * Both layouts are observationally identical to the original
+ * vector-of-Line / vector-of-vector representation (enforced by the
+ * randomized equivalence tests in tests/mem/test_recency_packed.cc).
  */
 
 #ifndef ASSOC_MEM_CACHE_H
@@ -22,7 +34,11 @@
 namespace assoc {
 namespace mem {
 
-/** One cache line (tag state only; data is not modeled). */
+/**
+ * One cache line (tag state only; data is not modeled). Lines are
+ * stored structure-of-arrays internally; this struct is the
+ * per-line *view* that line() materializes for observers and tests.
+ */
 struct Line
 {
     BlockAddr block = 0; ///< block address stored here
@@ -113,7 +129,10 @@ class WriteBackCache
     int victimWay(std::uint32_t set) const;
 
     /**
-     * Drop block @p b if present.
+     * Drop block @p b if present. The freed frame is demoted to the
+     * tail of both the MRU and the fill-age orders so empty frames
+     * always form a suffix of each (the invariant victimWay() and
+     * the src/check order checkers rely on).
      * @return true when the invalidated line was valid and dirty.
      */
     bool invalidate(BlockAddr b);
@@ -121,22 +140,41 @@ class WriteBackCache
     /** Invalidate every line and reset recency state. */
     void flush();
 
-    /** Read one line (for observers and tests). */
-    const Line &
+    /** Read one line (decoded view; for observers and tests). */
+    Line
     line(std::uint32_t set, int way) const
     {
-        return lines_[index(set, way)];
+        std::size_t i = index(set, way);
+        Line l;
+        l.block = blocks_[i];
+        l.valid = validBit(set, static_cast<unsigned>(way));
+        l.dirty = dirtyBit(set, static_cast<unsigned>(way));
+        return l;
     }
 
     /**
      * Recency order of @p set: way indices from most- to least-
-     * recently used. Invalid ways occupy the tail.
+     * recently used. Invalid ways occupy the tail. Decoded from the
+     * packed representation: a snapshot, not a live reference.
      */
-    const std::vector<std::uint8_t> &
-    mruOrder(std::uint32_t set) const
-    {
-        return mru_[set];
-    }
+    std::vector<std::uint8_t> mruOrder(std::uint32_t set) const;
+
+    /**
+     * Fill-age order of @p set: way indices from youngest to oldest
+     * fill. Invalid ways occupy the tail (see invalidate()).
+     */
+    std::vector<std::uint8_t> fifoOrder(std::uint32_t set) const;
+
+    /**
+     * Decode the pre-access state of @p set into caller scratch
+     * buffers of assoc() elements each: full (untruncated) tags,
+     * 0/1 valid flags and the MRU order. This is the hot-path
+     * export used by TwoLevelHierarchy to hand lookup schemes a
+     * core::LookupInput-compatible view without per-way line()
+     * calls. Any pointer may be null to skip that plane.
+     */
+    void snapshotSet(std::uint32_t set, std::uint32_t *full_tags,
+                     std::uint8_t *valid, std::uint8_t *mru) const;
 
     /** Number of valid lines in @p set. */
     unsigned validCount(std::uint32_t set) const;
@@ -150,12 +188,47 @@ class WriteBackCache
     std::size_t
     index(std::uint32_t set, int way) const
     {
-        return static_cast<std::size_t>(set) * geom_.assoc() +
+        return static_cast<std::size_t>(set) * assoc_ +
                static_cast<std::size_t>(way);
+    }
+
+    bool
+    validBit(std::uint32_t set, unsigned way) const
+    {
+        return (valid_[maskIndex(set, way)] >> (way & 63)) & 1;
+    }
+
+    bool
+    dirtyBit(std::uint32_t set, unsigned way) const
+    {
+        return (dirty_[maskIndex(set, way)] >> (way & 63)) & 1;
+    }
+
+    std::size_t
+    maskIndex(std::uint32_t set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set) * vwords_ + (way >> 6);
     }
 
     void makeMru(std::uint32_t set, int way);
     void resetOrder(std::uint32_t set);
+
+    /** Move @p way to the front (MRU / youngest) of one order. */
+    void orderPromote(std::vector<std::uint64_t> &packed,
+                      std::vector<std::uint8_t> &wide,
+                      std::uint32_t set, unsigned way);
+    /** Move @p way to the back (LRU / oldest) of one order. */
+    void orderDemote(std::vector<std::uint64_t> &packed,
+                     std::vector<std::uint8_t> &wide,
+                     std::uint32_t set, unsigned way);
+    /** Way at the back of one order. */
+    unsigned orderBack(const std::vector<std::uint64_t> &packed,
+                       const std::vector<std::uint8_t> &wide,
+                       std::uint32_t set) const;
+    /** Decode one order into @p out (assoc bytes). */
+    void orderDecode(const std::vector<std::uint64_t> &packed,
+                     const std::vector<std::uint8_t> &wide,
+                     std::uint32_t set, std::uint8_t *out) const;
 
     void plruTouch(std::uint32_t set, int way);
     int plruVictim(std::uint32_t set) const;
@@ -163,10 +236,29 @@ class WriteBackCache
     CacheGeometry geom_;
     ReplPolicy policy_;
     mutable Pcg32 rng_; ///< Random-policy victim draws
-    std::vector<Line> lines_;
-    std::vector<std::vector<std::uint8_t>> mru_;
-    /** Fill-age order per set (front = youngest), Fifo policy. */
-    std::vector<std::vector<std::uint8_t>> fifo_;
+
+    unsigned assoc_;  ///< cached geom_.assoc()
+    unsigned vwords_; ///< 64-bit mask words per set
+    bool packed_;     ///< 4-bit packed orders (assoc <= 16)
+
+    /** Block-address plane, sets * assoc contiguous entries.
+     *  Invalid frames keep their last block (or 0 when never
+     *  filled), matching the historical Line semantics. */
+    std::vector<BlockAddr> blocks_;
+    /** Valid bitmasks, vwords_ words per set. */
+    std::vector<std::uint64_t> valid_;
+    /** Dirty bitmasks, vwords_ words per set. */
+    std::vector<std::uint64_t> dirty_;
+
+    /** Packed MRU order (assoc <= 16): 4-bit way slots, slot 0 =
+     *  most recently used. One word per set. */
+    std::vector<std::uint64_t> mru_packed_;
+    /** Packed fill-age order (front = youngest), Fifo policy. */
+    std::vector<std::uint64_t> fifo_packed_;
+    /** Fallback orders for assoc > 16: flat sets * assoc bytes. */
+    std::vector<std::uint8_t> mru_wide_;
+    std::vector<std::uint8_t> fifo_wide_;
+
     /** Tree-PLRU direction bits, one word per set (TreePlru). */
     std::vector<std::uint64_t> plru_;
 

@@ -25,16 +25,19 @@ CacheGeometry::CacheGeometry(std::uint32_t size_bytes,
 }
 
 std::string
+sizeLabel(std::uint32_t bytes)
+{
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        return std::to_string(bytes / (1024 * 1024)) + "M";
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "K";
+    return std::to_string(bytes) + "B";
+}
+
+std::string
 CacheGeometry::name() const
 {
-    auto sz = [](std::uint32_t bytes) -> std::string {
-        if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
-            return std::to_string(bytes / (1024 * 1024)) + "M";
-        if (bytes >= 1024 && bytes % 1024 == 0)
-            return std::to_string(bytes / 1024) + "K";
-        return std::to_string(bytes);
-    };
-    std::string n = sz(size_) + "-" + std::to_string(block_);
+    std::string n = sizeLabel(size_) + "-" + std::to_string(block_);
     if (assoc_ != 1)
         n += " " + std::to_string(assoc_) + "-way";
     return n;

@@ -23,6 +23,13 @@ using trace::Addr;
 using BlockAddr = std::uint32_t;
 
 /**
+ * Compact byte-size label in the paper's notation: "512B", "4K",
+ * "2M". The single formatter behind both CacheGeometry::name() and
+ * sim::cacheName(), so report labels and bench labels always agree.
+ */
+std::string sizeLabel(std::uint32_t bytes);
+
+/**
  * Geometry of one cache level. All three parameters must be powers
  * of two and size must be divisible by block * assoc.
  */

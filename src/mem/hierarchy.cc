@@ -46,6 +46,8 @@ HierarchyStats::hintAccuracy() const
 
 TwoLevelHierarchy::TwoLevelHierarchy(const HierarchyConfig &cfg)
     : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2, cfg.l2_replacement),
+      scratch_tags_(cfg.l2.assoc()), scratch_valid_(cfg.l2.assoc()),
+      scratch_order_(cfg.l2.assoc()),
       way_hint_(static_cast<std::size_t>(cfg.l1.sets()) *
                     cfg.l1.assoc(),
                 -1)
@@ -69,8 +71,18 @@ TwoLevelHierarchy::setMemorySide(MemorySide *mem)
 }
 
 void
-TwoLevelHierarchy::notify(const L2AccessView &view)
+TwoLevelHierarchy::notify(L2AccessView &view)
 {
+    if (observers_.empty())
+        return;
+    // Decode the accessed set once for every observer: the packed
+    // cache state becomes the flat per-way planes core::LookupInput
+    // expects, and meters stop re-reading lines per strategy.
+    l2_.snapshotSet(view.set, scratch_tags_.data(),
+                    scratch_valid_.data(), scratch_order_.data());
+    view.full_tags = scratch_tags_.data();
+    view.valid = scratch_valid_.data();
+    view.mru_order = scratch_order_.data();
     for (L2Observer *obs : observers_)
         obs->observe(view);
 }
@@ -79,21 +91,24 @@ int
 TwoLevelHierarchy::l2ReadIn(BlockAddr l2_block)
 {
     ++stats_.read_ins;
+    std::uint32_t set = cfg_.l2.setOf(l2_block);
     int way = l2_.findWay(l2_block);
 
-    L2AccessView view;
-    view.type = L2ReqType::ReadIn;
-    view.set = cfg_.l2.setOf(l2_block);
-    view.block = l2_block;
-    view.full_tag = cfg_.l2.fullTagOf(l2_block);
-    view.cache = &l2_;
-    view.hit_way = way;
-    view.hint_way = -1;
-    notify(view);
+    if (!observers_.empty()) {
+        L2AccessView view;
+        view.type = L2ReqType::ReadIn;
+        view.set = set;
+        view.block = l2_block;
+        view.full_tag = cfg_.l2.fullTagOf(l2_block);
+        view.cache = &l2_;
+        view.hit_way = way;
+        view.hint_way = -1;
+        notify(view);
+    }
 
     if (way >= 0) {
         ++stats_.read_in_hits;
-        l2_.touch(view.set, way);
+        l2_.touch(set, way);
         return way;
     }
     ++stats_.read_in_misses;
@@ -140,17 +155,20 @@ void
 TwoLevelHierarchy::l2WriteBack(BlockAddr l2_block, int hint_way)
 {
     ++stats_.write_backs;
+    std::uint32_t set = cfg_.l2.setOf(l2_block);
     int way = l2_.findWay(l2_block);
 
-    L2AccessView view;
-    view.type = L2ReqType::WriteBack;
-    view.set = cfg_.l2.setOf(l2_block);
-    view.block = l2_block;
-    view.full_tag = cfg_.l2.fullTagOf(l2_block);
-    view.cache = &l2_;
-    view.hit_way = way;
-    view.hint_way = hint_way;
-    notify(view);
+    if (!observers_.empty()) {
+        L2AccessView view;
+        view.type = L2ReqType::WriteBack;
+        view.set = set;
+        view.block = l2_block;
+        view.full_tag = cfg_.l2.fullTagOf(l2_block);
+        view.cache = &l2_;
+        view.hit_way = way;
+        view.hint_way = hint_way;
+        notify(view);
+    }
 
     if (hint_way >= 0) {
         if (way == hint_way)
@@ -161,8 +179,8 @@ TwoLevelHierarchy::l2WriteBack(BlockAddr l2_block, int hint_way)
 
     if (way >= 0) {
         ++stats_.write_back_hits;
-        l2_.setDirty(view.set, way);
-        l2_.touch(view.set, way);
+        l2_.setDirty(set, way);
+        l2_.touch(set, way);
         return;
     }
     // The block was replaced in the level two while still live in
@@ -222,35 +240,27 @@ TwoLevelHierarchy::access(const trace::MemRef &ref)
     BlockAddr l2_block = cfg_.l2.blockAddrOf(ref.addr);
     int l2_way = l2ReadIn(l2_block);
 
-    // Identify the victim line after the read-in (whose inclusion
-    // invalidations may have emptied level-one frames) but before
-    // filling, capturing its dirty state, address and level-two
-    // way hint.
-    int victim_way = l1_.victimWay(l1_set);
-    const Line &victim = l1_.line(l1_set, victim_way);
-    bool victim_needs_wb = victim.valid && victim.dirty;
-    BlockAddr victim_l2_block = 0;
-    int victim_hint = -1;
-    if (victim_needs_wb) {
-        trace::Addr victim_byte = cfg_.l1.byteAddrOf(victim.block);
-        victim_l2_block = cfg_.l2.blockAddrOf(victim_byte);
-        victim_hint =
-            way_hint_[static_cast<std::size_t>(l1_set) *
-                          cfg_.l1.assoc() +
-                      victim_way];
-    }
-
+    // The fill happens after the read-in (whose inclusion
+    // invalidations may have emptied level-one frames); the
+    // FillResult carries the displaced victim's address and dirty
+    // state, and its frame's level-two way hint is read before the
+    // slot is overwritten with the new block's.
     bool fill_dirty = ref.isWrite() &&
                       cfg_.write_policy == L1WritePolicy::WriteBack;
     FillResult fr = l1_.fill(l1_block, fill_dirty);
-    panicIf(fr.way != victim_way, "level-one victim way changed");
-    way_hint_[static_cast<std::size_t>(l1_set) * cfg_.l1.assoc() +
-              fr.way] = static_cast<std::int16_t>(l2_way);
+    std::size_t hint_idx =
+        static_cast<std::size_t>(l1_set) * cfg_.l1.assoc() +
+        static_cast<std::size_t>(fr.way);
+    int victim_hint = way_hint_[hint_idx];
+    way_hint_[hint_idx] = static_cast<std::int16_t>(l2_way);
 
     // Then the write-back of the displaced dirty block (write-back
     // policy only; write-through lines are never dirty).
-    if (victim_needs_wb)
-        l2WriteBack(victim_l2_block, victim_hint);
+    if (fr.evicted && fr.victim_dirty) {
+        trace::Addr victim_byte =
+            cfg_.l1.byteAddrOf(fr.victim_block);
+        l2WriteBack(cfg_.l2.blockAddrOf(victim_byte), victim_hint);
+    }
 
     // A write-through store that missed the level one still goes to
     // the level two after the read-in.

@@ -35,8 +35,15 @@ enum class L2ReqType : std::uint8_t {
 
 /**
  * What an observer sees for one level-two access, *before* the
- * access updates any state. Stored tags and the recency order are
- * read through @c cache.
+ * access updates any state.
+ *
+ * The per-way planes (full_tags / valid / mru_order) are a decoded
+ * scratch view of the accessed set, produced once per access by the
+ * hierarchy and shared by every observer: they alias hierarchy
+ * scratch buffers and are only valid for the duration of observe().
+ * They carry exactly what core::LookupInput needs, so probe meters
+ * feed strategies without touching the cache's packed state; @c
+ * cache remains available for anything else (auditors, tests).
  */
 struct L2AccessView
 {
@@ -47,6 +54,13 @@ struct L2AccessView
     const WriteBackCache *cache;  ///< pre-access level-two state
     int hit_way;                  ///< way that hits, or -1 on a miss
     int hint_way;                 ///< L1's way hint (write-backs), -1 none
+
+    /** Full (untruncated) tag per way of the accessed set. */
+    const std::uint32_t *full_tags = nullptr;
+    /** 0/1 valid flag per way. */
+    const std::uint8_t *valid = nullptr;
+    /** Way indices from most- to least-recently used. */
+    const std::uint8_t *mru_order = nullptr;
 };
 
 /** Interface for lookup-cost observers (probe meters). */
@@ -221,11 +235,20 @@ class TwoLevelHierarchy
      *  block (inclusion enforcement). */
     void enforceInclusion(BlockAddr evicted_l2_block);
 
-    void notify(const L2AccessView &view);
+    /** Decode the accessed set into the scratch view planes and
+     *  deliver @p view to every observer. */
+    void notify(L2AccessView &view);
 
     HierarchyConfig cfg_;
     WriteBackCache l1_;
     WriteBackCache l2_;
+
+    // Scratch planes backing L2AccessView's decoded set view; sized
+    // to the level-two associativity, refilled once per observed
+    // access (skipped entirely when no observer is attached).
+    std::vector<std::uint32_t> scratch_tags_;
+    std::vector<std::uint8_t> scratch_valid_;
+    std::vector<std::uint8_t> scratch_order_;
 
     /** Per level-one line: which level-two way holds its block
      *  (-1 unknown). Indexed like the level-one line array. */

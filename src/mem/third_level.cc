@@ -25,7 +25,8 @@ ThirdLevelStats::writeBackFraction() const
 ThirdLevelCache::ThirdLevelCache(const CacheGeometry &l3,
                                  const CacheGeometry &l2,
                                  ReplPolicy policy)
-    : l2_geom_(l2), l3_(l3, policy)
+    : l2_geom_(l2), l3_(l3, policy), scratch_tags_(l3.assoc()),
+      scratch_valid_(l3.assoc()), scratch_order_(l3.assoc())
 {
     fatalIf(l2.blockBytes() > l3.blockBytes(),
             "level-two block size exceeds level-three block size");
@@ -45,8 +46,15 @@ ThirdLevelCache::l3BlockOf(BlockAddr l2_block) const
 }
 
 void
-ThirdLevelCache::notify(const L2AccessView &view)
+ThirdLevelCache::notify(L2AccessView &view)
 {
+    if (observers_.empty())
+        return;
+    l3_.snapshotSet(view.set, scratch_tags_.data(),
+                    scratch_valid_.data(), scratch_order_.data());
+    view.full_tags = scratch_tags_.data();
+    view.valid = scratch_valid_.data();
+    view.mru_order = scratch_order_.data();
     for (L2Observer *obs : observers_)
         obs->observe(view);
 }

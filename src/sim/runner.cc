@@ -80,11 +80,9 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
 std::string
 cacheName(std::uint32_t bytes, std::uint32_t block)
 {
-    // Sub-1 KiB caches would integer-divide to "0K"; spell them in
-    // bytes instead (e.g. "512B-16").
-    if (bytes < 1024)
-        return std::to_string(bytes) + "B-" + std::to_string(block);
-    return std::to_string(bytes / 1024) + "K-" + std::to_string(block);
+    // One shared formatter with CacheGeometry::name(): sub-1 KiB
+    // sizes are spelled in bytes ("512B-16"), larger ones in K/M.
+    return mem::sizeLabel(bytes) + "-" + std::to_string(block);
 }
 
 const std::vector<Table4Config> &

@@ -1,0 +1,339 @@
+#include "util/benchjson.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace assoc {
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader. Only the shapes
+ * google-benchmark emits are needed, but the grammar is implemented
+ * in full so a context field with an unexpected nesting never kills
+ * the parse: values we don't care about are parsed and discarded.
+ */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &text) : s_(text) {}
+
+    bool failed() const { return failed_; }
+    const std::string &message() const { return message_; }
+
+    void ws()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        ws();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    char peek()
+    {
+        ws();
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void fail(const std::string &what)
+    {
+        if (!failed_) {
+            failed_ = true;
+            message_ = what + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        out.clear();
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    break;
+                char e = s_[pos_++];
+                switch (e) {
+                case 'n': out.push_back('\n'); break;
+                case 't': out.push_back('\t'); break;
+                case 'r': out.push_back('\r'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'u':
+                    // Tolerated, not transcoded: benchmark names
+                    // are plain ASCII; keep the escape verbatim.
+                    out.push_back('?');
+                    pos_ += (pos_ + 4 <= s_.size()) ? 4 : 0;
+                    break;
+                default: out.push_back(e); break;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool parseNumber(double &out)
+    {
+        ws();
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start) {
+            fail("expected number");
+            return false;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool parseLiteral(const char *lit)
+    {
+        ws();
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (s_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        fail("bad literal");
+        return false;
+    }
+
+    /** Parse and discard one value of any type. */
+    bool skipValue()
+    {
+        switch (peek()) {
+        case '{': {
+            consume('{');
+            if (consume('}'))
+                return true;
+            do {
+                std::string key;
+                if (!parseString(key) || !consume(':') ||
+                    !skipValue())
+                    return false;
+            } while (consume(','));
+            if (!consume('}')) {
+                fail("expected }");
+                return false;
+            }
+            return true;
+        }
+        case '[': {
+            consume('[');
+            if (consume(']'))
+                return true;
+            do {
+                if (!skipValue())
+                    return false;
+            } while (consume(','));
+            if (!consume(']')) {
+                fail("expected ]");
+                return false;
+            }
+            return true;
+        }
+        case '"': {
+            std::string s;
+            return parseString(s);
+        }
+        case 't': return parseLiteral("true");
+        case 'f': return parseLiteral("false");
+        case 'n': return parseLiteral("null");
+        default: {
+            double d;
+            return parseNumber(d);
+        }
+        }
+    }
+
+    /**
+     * Parse one object of the "benchmarks" array into @p entry,
+     * keeping the known scalar fields and discarding the rest.
+     */
+    bool parseBenchEntry(BenchEntry &entry)
+    {
+        if (!consume('{')) {
+            fail("expected benchmark object");
+            return false;
+        }
+        if (consume('}'))
+            return true;
+        do {
+            std::string key;
+            if (!parseString(key) || !consume(':')) {
+                fail("expected key");
+                return false;
+            }
+            if (key == "name" || key == "run_type" ||
+                key == "time_unit") {
+                std::string val;
+                if (!parseString(val))
+                    return false;
+                if (key == "name")
+                    entry.name = val;
+                else if (key == "run_type")
+                    entry.run_type = val;
+                else
+                    entry.time_unit = val;
+            } else if (key == "real_time" || key == "cpu_time") {
+                double val;
+                if (!parseNumber(val))
+                    return false;
+                (key == "real_time" ? entry.real_time
+                                    : entry.cpu_time) = val;
+            } else if (!skipValue()) {
+                return false;
+            }
+        } while (consume(','));
+        if (!consume('}')) {
+            fail("expected }");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+    std::string message_;
+};
+
+} // namespace
+
+Error
+parseBenchJson(const std::string &text, std::vector<BenchEntry> &out)
+{
+    out.clear();
+    JsonCursor cur(text);
+    if (!cur.consume('{'))
+        return Error(ErrorCode::Data,
+                     "benchmark JSON: expected top-level object");
+    bool saw_benchmarks = false;
+    if (!cur.consume('}')) {
+        do {
+            std::string key;
+            if (!cur.parseString(key) || !cur.consume(':'))
+                break;
+            if (key == "benchmarks") {
+                saw_benchmarks = true;
+                if (!cur.consume('['))
+                    return Error(ErrorCode::Data,
+                                 "benchmark JSON: \"benchmarks\" is "
+                                 "not an array");
+                if (!cur.consume(']')) {
+                    do {
+                        BenchEntry e;
+                        if (!cur.parseBenchEntry(e))
+                            break;
+                        // Aggregate rows (mean/median/stddev from
+                        // --benchmark_repetitions) would double-count.
+                        if (e.run_type != "aggregate")
+                            out.push_back(std::move(e));
+                    } while (cur.consume(','));
+                    if (!cur.failed() && !cur.consume(']'))
+                        cur.fail("expected ]");
+                }
+            } else if (!cur.skipValue()) {
+                break;
+            }
+        } while (cur.consume(','));
+    }
+    if (cur.failed())
+        return Error(ErrorCode::Data,
+                     "benchmark JSON: " + cur.message());
+    if (!saw_benchmarks)
+        return Error(ErrorCode::Data,
+                     "benchmark JSON: no \"benchmarks\" array");
+    return Error();
+}
+
+Error
+loadBenchJson(const std::string &path, std::vector<BenchEntry> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Error(ErrorCode::Io, "cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    Error err = parseBenchJson(text.str(), out);
+    if (!err.ok())
+        err.withContext("while reading " + path);
+    return err;
+}
+
+double
+benchTimeNs(const BenchEntry &e, BenchMetric metric)
+{
+    double t = metric == BenchMetric::CpuTime ? e.cpu_time
+                                              : e.real_time;
+    if (e.time_unit == "us")
+        return t * 1e3;
+    if (e.time_unit == "ms")
+        return t * 1e6;
+    if (e.time_unit == "s")
+        return t * 1e9;
+    return t; // "ns" (and the benchmark library's default)
+}
+
+BenchComparison
+compareBench(const std::vector<BenchEntry> &baseline,
+             const std::vector<BenchEntry> &current,
+             BenchMetric metric)
+{
+    BenchComparison cmp;
+    std::map<std::string, double> base_ns;
+    for (const BenchEntry &e : baseline)
+        base_ns[e.name] = benchTimeNs(e, metric);
+    std::map<std::string, bool> seen;
+    for (const BenchEntry &e : current) {
+        auto it = base_ns.find(e.name);
+        if (it == base_ns.end()) {
+            cmp.added.push_back(e.name);
+            continue;
+        }
+        seen[e.name] = true;
+        if (it->second <= 0.0)
+            continue;
+        BenchDelta d;
+        d.name = e.name;
+        d.baseline_ns = it->second;
+        d.current_ns = benchTimeNs(e, metric);
+        d.ratio = d.current_ns / d.baseline_ns;
+        if (d.ratio > cmp.worst_ratio) {
+            cmp.worst_ratio = d.ratio;
+            cmp.worst_name = d.name;
+        }
+        cmp.deltas.push_back(std::move(d));
+    }
+    for (const auto &[name, ns] : base_ns) {
+        (void)ns;
+        if (!seen.count(name))
+            cmp.missing.push_back(name);
+    }
+    return cmp;
+}
+
+} // namespace assoc

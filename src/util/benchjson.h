@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reader and comparator for google-benchmark `--benchmark_format=json`
+ * output, used by tools/bench_compare and the CI perf gate.
+ *
+ * The parser is deliberately tolerant: it accepts any JSON document
+ * with a top-level "benchmarks" array of objects, reads the fields
+ * it knows (name, run_type, real_time, cpu_time, time_unit) and
+ * ignores everything else, so upgrades of the benchmark library
+ * (which add context fields and counters) never break the gate.
+ * Failures are reported as Error values (ErrorCode::Data), never by
+ * throwing, matching the recoverable-reader convention of
+ * trace/trace_source.h.
+ */
+
+#ifndef ASSOC_UTIL_BENCHJSON_H
+#define ASSOC_UTIL_BENCHJSON_H
+
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace assoc {
+
+/** One benchmark repetition/aggregate from the "benchmarks" array. */
+struct BenchEntry
+{
+    std::string name;      ///< e.g. "BM_CacheFindWay/4"
+    std::string run_type;  ///< "iteration" or "aggregate" ("" if absent)
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    std::string time_unit = "ns"; ///< "ns", "us", "ms" or "s"
+};
+
+/** Which per-entry time the comparison reads. */
+enum class BenchMetric { CpuTime, RealTime };
+
+/**
+ * Parse @p text as a google-benchmark JSON document.
+ * Aggregate entries (mean/median/stddev rows emitted with
+ * --benchmark_repetitions) are skipped; plain iterations are kept.
+ * @return Error(Data) on malformed JSON or a missing/ill-typed
+ *         "benchmarks" array; ok() with @p out filled otherwise.
+ */
+Error parseBenchJson(const std::string &text,
+                     std::vector<BenchEntry> &out);
+
+/** parseBenchJson on the contents of @p path (Error(Io) if unreadable). */
+Error loadBenchJson(const std::string &path,
+                    std::vector<BenchEntry> &out);
+
+/** @p e's selected metric converted to nanoseconds. */
+double benchTimeNs(const BenchEntry &e, BenchMetric metric);
+
+/** Comparison of one benchmark present in both files. */
+struct BenchDelta
+{
+    std::string name;
+    double baseline_ns = 0.0;
+    double current_ns = 0.0;
+    double ratio = 0.0; ///< current / baseline (>1 means slower)
+};
+
+/** Outcome of comparing a current run against a baseline. */
+struct BenchComparison
+{
+    std::vector<BenchDelta> deltas; ///< benchmarks in both files
+    /** In the baseline but not the current run (renamed/removed
+     *  benchmarks are reported, not failed). */
+    std::vector<std::string> missing;
+    /** In the current run but not the baseline (new benchmarks
+     *  pass trivially until the baseline is refreshed). */
+    std::vector<std::string> added;
+    double worst_ratio = 0.0;       ///< max over deltas (0 if none)
+    std::string worst_name;
+};
+
+/**
+ * Compare @p current against @p baseline on @p metric, matching
+ * entries by exact name. Baseline entries with a non-positive time
+ * are skipped (a ratio against zero is meaningless).
+ */
+BenchComparison compareBench(const std::vector<BenchEntry> &baseline,
+                             const std::vector<BenchEntry> &current,
+                             BenchMetric metric);
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_BENCHJSON_H

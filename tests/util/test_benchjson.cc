@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "util/benchjson.h"
+
+using namespace assoc;
+
+namespace {
+
+const char *kSample = R"({
+  "context": {
+    "date": "2026-08-05T00:00:00+00:00",
+    "num_cpus": 8,
+    "caches": [
+      {"type": "Data", "level": 1, "size": 49152}
+    ],
+    "load_avg": [0.5, 0.25, 0.1]
+  },
+  "benchmarks": [
+    {
+      "name": "BM_CacheFindWay/4",
+      "run_name": "BM_CacheFindWay/4",
+      "run_type": "iteration",
+      "iterations": 1000,
+      "real_time": 15.5,
+      "cpu_time": 15.4,
+      "time_unit": "ns",
+      "items_per_second": 6.5e7
+    },
+    {
+      "name": "BM_EndToEndTrace",
+      "run_type": "iteration",
+      "real_time": 12.5,
+      "cpu_time": 12.0,
+      "time_unit": "ms"
+    },
+    {
+      "name": "BM_CacheFindWay/4_mean",
+      "run_type": "aggregate",
+      "real_time": 15.6,
+      "cpu_time": 15.5,
+      "time_unit": "ns"
+    }
+  ]
+})";
+
+TEST(BenchJson, ParsesEntriesAndSkipsAggregates)
+{
+    std::vector<BenchEntry> entries;
+    Error err = parseBenchJson(kSample, entries);
+    ASSERT_TRUE(err.ok()) << err.text();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "BM_CacheFindWay/4");
+    EXPECT_DOUBLE_EQ(entries[0].cpu_time, 15.4);
+    EXPECT_EQ(entries[0].time_unit, "ns");
+    EXPECT_EQ(entries[1].name, "BM_EndToEndTrace");
+    EXPECT_EQ(entries[1].time_unit, "ms");
+}
+
+TEST(BenchJson, NormalizesTimeUnits)
+{
+    std::vector<BenchEntry> entries;
+    ASSERT_TRUE(parseBenchJson(kSample, entries).ok());
+    EXPECT_DOUBLE_EQ(benchTimeNs(entries[0], BenchMetric::CpuTime),
+                     15.4);
+    EXPECT_DOUBLE_EQ(benchTimeNs(entries[1], BenchMetric::CpuTime),
+                     12.0 * 1e6);
+    EXPECT_DOUBLE_EQ(benchTimeNs(entries[1], BenchMetric::RealTime),
+                     12.5 * 1e6);
+}
+
+TEST(BenchJson, RejectsMalformedDocuments)
+{
+    std::vector<BenchEntry> entries;
+    EXPECT_EQ(parseBenchJson("", entries).code(), ErrorCode::Data);
+    EXPECT_EQ(parseBenchJson("[]", entries).code(), ErrorCode::Data);
+    EXPECT_EQ(parseBenchJson("{\"context\": {}}", entries).code(),
+              ErrorCode::Data); // no "benchmarks" array
+    EXPECT_EQ(
+        parseBenchJson("{\"benchmarks\": 3}", entries).code(),
+        ErrorCode::Data);
+    EXPECT_EQ(parseBenchJson("{\"benchmarks\": [{\"name\": ]}",
+                             entries)
+                  .code(),
+              ErrorCode::Data);
+}
+
+TEST(BenchJson, ToleratesUnknownNestedFields)
+{
+    // A future benchmark library may nest arbitrary structures in
+    // each entry; unknown values of any shape are skipped.
+    std::vector<BenchEntry> entries;
+    Error err = parseBenchJson(
+        R"({"benchmarks": [
+             {"name": "BM_X", "cpu_time": 2.0, "real_time": 3.0,
+              "extra": {"deep": [1, {"k": null}, true]},
+              "time_unit": "ns"}
+           ]})",
+        entries);
+    ASSERT_TRUE(err.ok()) << err.text();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(entries[0].cpu_time, 2.0);
+}
+
+TEST(BenchJson, CompareFlagsRegressionsAndNewBenchmarks)
+{
+    std::vector<BenchEntry> base{
+        {"BM_A", "iteration", 10.0, 10.0, "ns"},
+        {"BM_B", "iteration", 10.0, 10.0, "ns"},
+        {"BM_Gone", "iteration", 5.0, 5.0, "ns"},
+    };
+    std::vector<BenchEntry> curr{
+        {"BM_A", "iteration", 11.0, 11.0, "ns"},
+        {"BM_B", "iteration", 25.0, 25.0, "ns"},
+        {"BM_New", "iteration", 1.0, 1.0, "ns"},
+    };
+    BenchComparison cmp =
+        compareBench(base, curr, BenchMetric::CpuTime);
+    ASSERT_EQ(cmp.deltas.size(), 2u);
+    EXPECT_DOUBLE_EQ(cmp.deltas[0].ratio, 1.1);
+    EXPECT_DOUBLE_EQ(cmp.deltas[1].ratio, 2.5);
+    EXPECT_EQ(cmp.worst_name, "BM_B");
+    EXPECT_DOUBLE_EQ(cmp.worst_ratio, 2.5);
+    ASSERT_EQ(cmp.missing.size(), 1u);
+    EXPECT_EQ(cmp.missing[0], "BM_Gone");
+    ASSERT_EQ(cmp.added.size(), 1u);
+    EXPECT_EQ(cmp.added[0], "BM_New");
+}
+
+TEST(BenchJson, LoadReportsIoErrorForMissingFile)
+{
+    std::vector<BenchEntry> entries;
+    Error err =
+        loadBenchJson("/nonexistent/bench.json", entries);
+    EXPECT_EQ(err.code(), ErrorCode::Io);
+}
+
+} // namespace

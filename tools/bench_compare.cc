@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Compare two google-benchmark JSON files and fail on regressions.
+ *
+ *   bench_compare <baseline.json> <current.json> [--max-ratio=2.0]
+ *                 [--metric=cpu_time|real_time]
+ *
+ * Exit 0 when every benchmark present in both files stays within
+ * max-ratio of its baseline time, 1 when any exceeds it (the CI
+ * perf gate). Benchmarks only in one file are listed but never
+ * fail the run: new benchmarks pass until the committed baseline
+ * (BENCH_micro.json) is refreshed, and removed ones do not pin the
+ * baseline forever. The default 2.0 ratio is deliberately loose —
+ * shared CI runners jitter by tens of percent — so only genuine
+ * hot-path regressions trip it; see docs/PERFORMANCE.md.
+ */
+
+#include <cstdio>
+
+#include "util/argparse.h"
+#include "util/benchjson.h"
+#include "util/error.h"
+
+using namespace assoc;
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain("bench_compare", [&]() -> int {
+        ArgParser args("bench_compare",
+                       "diff two google-benchmark JSON files and "
+                       "fail on slowdowns past --max-ratio");
+        args.addFlag("max-ratio", "2.0",
+                     "fail when current/baseline time exceeds this");
+        args.addFlag("metric", "cpu_time",
+                     "which time to compare: cpu_time | real_time");
+        if (!args.parse(argc, argv))
+            return 0;
+
+        if (args.positional().size() != 2)
+            throwError(Error::usage(
+                "expected exactly two positional arguments: "
+                "<baseline.json> <current.json>"));
+        const double max_ratio = args.getDouble("max-ratio");
+        if (max_ratio <= 0.0)
+            throwError(Error::usage("--max-ratio must be > 0"));
+        const std::string metric_name = args.getString("metric");
+        BenchMetric metric;
+        if (metric_name == "cpu_time")
+            metric = BenchMetric::CpuTime;
+        else if (metric_name == "real_time")
+            metric = BenchMetric::RealTime;
+        else
+            throwError(Error::usage(
+                "--metric must be cpu_time or real_time"));
+
+        std::vector<BenchEntry> baseline, current;
+        Error err = loadBenchJson(args.positional()[0], baseline);
+        if (!err.ok())
+            throwError(err);
+        err = loadBenchJson(args.positional()[1], current);
+        if (!err.ok())
+            throwError(err);
+
+        BenchComparison cmp =
+            compareBench(baseline, current, metric);
+
+        int regressions = 0;
+        for (const BenchDelta &d : cmp.deltas) {
+            const bool bad = d.ratio > max_ratio;
+            std::printf("%-40s %10.1f -> %10.1f ns  x%.2f%s\n",
+                        d.name.c_str(), d.baseline_ns, d.current_ns,
+                        d.ratio, bad ? "  REGRESSION" : "");
+            if (bad)
+                ++regressions;
+        }
+        for (const std::string &name : cmp.missing)
+            std::printf("%-40s only in baseline (skipped)\n",
+                        name.c_str());
+        for (const std::string &name : cmp.added)
+            std::printf("%-40s new (no baseline, skipped)\n",
+                        name.c_str());
+
+        if (cmp.deltas.empty() && cmp.missing.empty() &&
+            cmp.added.empty())
+            throwError(Error::data("no benchmarks in either file"));
+
+        if (regressions > 0) {
+            std::printf("FAIL: %d benchmark(s) over x%.2f "
+                        "(worst %s x%.2f)\n",
+                        regressions, max_ratio,
+                        cmp.worst_name.c_str(), cmp.worst_ratio);
+            return 1;
+        }
+        std::printf("OK: %zu benchmark(s) within x%.2f "
+                    "(worst %s x%.2f)\n",
+                    cmp.deltas.size(), max_ratio,
+                    cmp.worst_name.c_str(), cmp.worst_ratio);
+        return 0;
+    });
+}
