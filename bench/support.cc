@@ -43,7 +43,50 @@ addCommonFlags(ArgParser &parser)
     parser.addFlag("fail-job", "",
                    "deliberately fail this job index "
                    "(fault-injection testing)");
+    parser.addFlag("job-timeout", "",
+                   "cancel any sweep job that runs longer than this "
+                   "(e.g. 30s, 500ms); a timed-out job is retried "
+                   "per --retries, then rendered as a gap (exit 4)");
+    parser.addFlag("sweep-deadline", "",
+                   "give up on the whole sweep this long after it "
+                   "starts (e.g. 5m); unfinished points become gaps "
+                   "(exit 4)");
+    parser.addFlag("mem-budget", "",
+                   "byte budget for the sweep's big allocations "
+                   "(e.g. 512M); a job pushing past it fails with a "
+                   "budget error instead of summoning the OOM "
+                   "killer (exit 4)");
 }
+
+namespace {
+
+/** Parse an empty-defaulted duration flag ("" = 0 = disabled). */
+std::uint64_t
+durationFlag(const ArgParser &parser, const std::string &name)
+{
+    std::string text = parser.getString(name);
+    if (text.empty())
+        return 0;
+    Expected<std::uint64_t> ns = parseDuration(text);
+    if (!ns.ok())
+        throwError(Error(ns.error()).withContext("--" + name));
+    return ns.value();
+}
+
+/** Parse an empty-defaulted byte-size flag ("" = 0 = disabled). */
+std::uint64_t
+byteSizeFlag(const ArgParser &parser, const std::string &name)
+{
+    std::string text = parser.getString(name);
+    if (text.empty())
+        return 0;
+    Expected<std::uint64_t> bytes = parseByteSize(text);
+    if (!bytes.ok())
+        throwError(Error(bytes.error()).withContext("--" + name));
+    return bytes.value();
+}
+
+} // namespace
 
 CommonArgs
 readCommonFlags(const ArgParser &parser)
@@ -86,6 +129,9 @@ readCommonFlags(const ArgParser &parser)
     if (parser.given("fail-job"))
         args.fail_job =
             static_cast<std::int64_t>(parser.getUint("fail-job"));
+    args.job_timeout_ns = durationFlag(parser, "job-timeout");
+    args.sweep_deadline_ns = durationFlag(parser, "sweep-deadline");
+    args.mem_budget = byteSizeFlag(parser, "mem-budget");
     return args;
 }
 
@@ -119,6 +165,9 @@ runSweepChecked(const std::vector<RunSpec> &specs,
     opts.max_retries = args.retries;
     opts.journal_path = args.journal_path;
     opts.resume_path = args.resume_path;
+    opts.job_timeout_ns = args.job_timeout_ns;
+    opts.sweep_deadline_ns = args.sweep_deadline_ns;
+    opts.mem_budget = args.mem_budget;
     trace::AtumLikeConfig tcfg = traceConfig(args);
     opts.spec_hash =
         exec::hashSpecs(specs, tcfg.seed * 1000003ull + tcfg.segments);
@@ -147,6 +196,12 @@ runSweepChecked(const std::vector<RunSpec> &specs,
             warn(label + ": job " + std::to_string(i) + " failed (" +
                  std::to_string(j.attempts) + " attempt(s)): " +
                  j.error.text());
+        else if (j.status == JobStatus::TimedOut ||
+                 j.status == JobStatus::OverBudget)
+            warn(label + ": job " + std::to_string(i) + " " +
+                 exec::jobStatusName(j.status) + " (" +
+                 std::to_string(j.attempts) + " attempt(s)): " +
+                 j.error.text());
     }
 
     if (result.interrupted) {
@@ -162,8 +217,17 @@ runSweepChecked(const std::vector<RunSpec> &specs,
                           "with --resume=" + journal);
         throwError(std::move(e));
     }
-    if (!result.allOk() && !args.keep_going) {
-        Error e(result.firstError());
+    // Resource-killed jobs (TimedOut / OverBudget) always render as
+    // gaps: a deadline cutting a sweep short is the behavior the
+    // flag asked for, not a malfunction. Only genuine failures need
+    // --keep-going to continue.
+    if (result.failures() > 0 && !args.keep_going) {
+        Error e;
+        for (const JobResult &j : result.jobs)
+            if (j.status == JobStatus::Failed) {
+                e = j.error;
+                break;
+            }
         throwError(std::move(e.withContext(
             "sweep '" + label + "' (pass --keep-going to render "
             "failed points as gaps)")));
@@ -178,10 +242,16 @@ runSweep(const std::vector<RunSpec> &specs, const CommonArgs &args,
     // Route through the checked engine so --retries / --journal /
     // --resume work for every bench; callers of this signature need
     // every output, so any failure (already reported per job) is
-    // rethrown regardless of --keep-going.
+    // rethrown regardless of --keep-going — including resource
+    // kills, which the checked path would render as gaps.
     CommonArgs strict = args;
     strict.keep_going = false;
     SweepResult result = runSweepChecked(specs, strict, label);
+    if (!result.allOk())
+        throwError(Error(result.firstError())
+                       .withContext("sweep '" + label +
+                                    "' needs every point; it cannot "
+                                    "render gaps"));
     std::vector<RunOutput> outs;
     outs.reserve(result.jobs.size());
     for (JobResult &j : result.jobs)
@@ -192,6 +262,10 @@ runSweep(const std::vector<RunSpec> &specs, const CommonArgs &args,
 int
 sweepExitCode(const SweepResult &result)
 {
+    // Resource kills outrank plain failures: exit 4 tells a driver
+    // "raise the deadline/budget", exit 2 "inspect the errors".
+    if (result.resourceKilled() > 0)
+        return 4;
     return result.failures() == 0 ? 0 : 2;
 }
 

@@ -53,6 +53,10 @@ struct CommonArgs
     std::string journal_path;   ///< --journal: fresh checkpoint file
     std::string resume_path;    ///< --resume: replay missing jobs only
     std::int64_t fail_job = -1; ///< --fail-job: inject a failure (tests)
+
+    std::uint64_t job_timeout_ns = 0;    ///< --job-timeout (0 = none)
+    std::uint64_t sweep_deadline_ns = 0; ///< --sweep-deadline (0 = none)
+    std::uint64_t mem_budget = 0;        ///< --mem-budget bytes (0 = none)
 };
 
 /** Register the shared flags on @p parser. */
@@ -86,15 +90,23 @@ std::vector<RunOutput> runSweep(const std::vector<RunSpec> &specs,
  * in use so ^C checkpoints cleanly (the sweep then throws a
  * Cancelled ErrorException, exiting 130 under guardedMain()).
  *
- * Throws when the sweep was interrupted, or when jobs failed and
+ * Honors the runaway-work flags too: --job-timeout, --sweep-deadline
+ * and --mem-budget (see docs/ROBUSTNESS.md). Jobs those kill come
+ * back TimedOut / OverBudget and always render as gaps — no
+ * --keep-going needed, since a deadline cutting a sweep short is the
+ * requested behavior, not a malfunction; sweepExitCode() still
+ * reports them via exit code 4.
+ *
+ * Throws when the sweep was interrupted, or when jobs *failed* and
  * @p args.keep_going is unset.
  */
 SweepResult runSweepChecked(const std::vector<RunSpec> &specs,
                             const CommonArgs &args,
                             const std::string &label = "sweep");
 
-/** Exit code for a finished checked sweep: 2 when any job failed
- *  (partial output), 0 otherwise. */
+/** Exit code for a finished checked sweep: 4 when any job was
+ *  timed out or over budget (resource-killed partial output), else
+ *  2 when any job failed (partial output), 0 otherwise. */
 int sweepExitCode(const SweepResult &result);
 
 /** The table cell rendered for a failed sweep point. */

@@ -21,7 +21,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/** The eight fault families, selected by case index % 8. */
+/** The eleven fault families, selected by case index % 11. */
 enum class FaultKind {
     DinCorruptFailFast,
     DinCorruptSkip,
@@ -31,7 +31,12 @@ enum class FaultKind {
     LookupThrow,
     TransientRetry,
     CancelResume,
+    Hang,
+    Slow,
+    Oom,
 };
+
+constexpr std::uint64_t kFaultKinds = 11;
 
 const char *
 kindName(FaultKind k)
@@ -53,8 +58,21 @@ kindName(FaultKind k)
         return "transient-retry";
       case FaultKind::CancelResume:
         return "cancel-resume";
+      case FaultKind::Hang:
+        return "hang";
+      case FaultKind::Slow:
+        return "slow";
+      case FaultKind::Oom:
+        return "oom";
     }
     return "?";
+}
+
+/** True when @p e (or its context chain) mentions the spec hash. */
+bool
+mentionsSpecHash(const Error &e)
+{
+    return e.text().find("job spec hash") != std::string::npos;
 }
 
 /** Per-case scratch-file set, removed on scope exit. */
@@ -468,6 +486,214 @@ caseCancelResume(Scratch &scratch, std::uint64_t case_seed,
     }
 }
 
+/**
+ * Wedge one job mid-stream (it ignores checkpoints and only a
+ * delivered cancel releases it). The watchdog must cut it loose:
+ * exactly that job TimedOut with the spec hash in its error, a stall
+ * report filed, siblings bit-identical — and a journal resume then
+ * completes the missing slot byte-identically to the clean run.
+ */
+void
+caseHang(Scratch &scratch, std::uint64_t case_seed,
+         std::uint64_t job_timeout_ns, CaseCheck &chk,
+         std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x68616e67ULL);
+    trace::AtumLikeConfig tcfg = smallTrace(case_seed, 2000);
+
+    std::vector<sim::RunSpec> specs = sweepSpecs();
+    std::vector<std::string> want = baselineOutputs(specs, tcfg);
+    std::string journal = scratch.file("hang.journal");
+    std::uint64_t hash = exec::hashSpecs(specs, tcfg.seed);
+
+    std::size_t bad = rng.below(3);
+    exec::FaultPlan plan;
+    plan.seed = case_seed;
+    plan.runaway = exec::RunawayKind::Hang;
+    plan.runaway_job = static_cast<std::int64_t>(bad);
+    plan.runaway_at = 100 + rng.below(1000);
+    exec::FaultInjector inject(plan);
+
+    exec::SweepOptions opt;
+    opt.jobs = 2;
+    opt.max_retries = 0; // a retried hang just hangs again
+    opt.inject = &inject;
+    opt.job_timeout_ns =
+        job_timeout_ns != 0 ? job_timeout_ns : 50ull * 1000 * 1000;
+    opt.watchdog.sample_ns = 1000 * 1000;
+    opt.watchdog.log = false;
+    opt.journal_path = journal;
+    opt.spec_hash = hash;
+    exec::SweepResult run = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt);
+    faults += 1;
+
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        const exec::JobResult &job = run.jobs[i];
+        if (i == bad) {
+            chk.require(job.status == exec::JobStatus::TimedOut,
+                        std::string("hung job is ") +
+                            exec::jobStatusName(job.status) +
+                            ", want timed-out");
+            chk.require(job.error.code() == ErrorCode::Timeout,
+                        std::string("hung job error is ") +
+                            errorCodeName(job.error.code()) +
+                            ", want timeout");
+            chk.require(mentionsSpecHash(job.error),
+                        "timed-out job error lacks the spec hash: " +
+                            job.error.text());
+            chk.require(job.attempts == 1,
+                        "hung job was retried with max_retries=0");
+            continue;
+        }
+        chk.require(job.ok(), "sibling job " + std::to_string(i) +
+                                  " was poisoned by the hang: " +
+                                  job.error.text());
+        if (job.ok())
+            chk.require(exec::encodeRunOutput(job.output) == want[i],
+                        "sibling of a hung job is not bit-identical "
+                        "to the serial run");
+    }
+    bool saw_stall = false;
+    for (const exec::StallReport &s : run.stalls)
+        saw_stall = saw_stall || s.job == bad;
+    chk.require(saw_stall,
+                "watchdog filed no stall report for the hung job");
+    chk.require(!run.interrupted,
+                "timeout misreported as an interrupt");
+
+    // Resume without the injector: only the killed slot re-runs, and
+    // the merged result matches the clean run byte for byte.
+    exec::SweepOptions opt2;
+    opt2.jobs = 1;
+    opt2.resume_path = journal;
+    opt2.spec_hash = hash;
+    exec::SweepResult second = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt2);
+    chk.require(second.resumed == specs.size() - 1,
+                "resume restored " + std::to_string(second.resumed) +
+                    " jobs, journal should hold " +
+                    std::to_string(specs.size() - 1));
+    for (std::size_t i = 0; i < second.jobs.size(); ++i) {
+        const exec::JobResult &job = second.jobs[i];
+        chk.require(job.ok(), "resumed job " + std::to_string(i) +
+                                  " failed: " + job.error.text());
+        if (job.ok())
+            chk.require(exec::encodeRunOutput(job.output) == want[i],
+                        "resumed output " + std::to_string(i) +
+                            " is not bit-identical to the clean run");
+    }
+}
+
+/** A slow but progressing job must NOT be killed: the watchdog is
+ *  armed, yet every slot completes on the first attempt with output
+ *  bit-identical to the serial run. */
+void
+caseSlow(std::uint64_t case_seed, CaseCheck &chk,
+         std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x736c6f77ULL);
+    trace::AtumLikeConfig tcfg = smallTrace(case_seed, 2000);
+
+    std::vector<sim::RunSpec> specs = sweepSpecs();
+    std::vector<std::string> want = baselineOutputs(specs, tcfg);
+
+    std::size_t bad = rng.below(3);
+    exec::FaultPlan plan;
+    plan.seed = case_seed;
+    plan.runaway = exec::RunawayKind::Slow;
+    plan.runaway_job = static_cast<std::int64_t>(bad);
+    plan.runaway_at = rng.below(500);
+    plan.slow_every = 64;
+    plan.slow_ns = 20000;
+    exec::FaultInjector inject(plan);
+
+    exec::SweepOptions opt;
+    opt.jobs = 1 + rng.below(2);
+    opt.inject = &inject;
+    opt.job_timeout_ns = 10ull * 1000 * 1000 * 1000; // generous 10s
+    opt.watchdog.log = false;
+    exec::SweepResult run = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt);
+    faults += 1;
+
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        const exec::JobResult &job = run.jobs[i];
+        chk.require(job.ok() && job.attempts == 1,
+                    "slow job " + std::to_string(i) +
+                        " did not complete first try: " +
+                        job.error.text());
+        if (job.ok())
+            chk.require(exec::encodeRunOutput(job.output) == want[i],
+                        "slowed sweep output " + std::to_string(i) +
+                            " is not bit-identical to the serial "
+                            "run");
+    }
+    chk.require(run.stalls.empty(),
+                "watchdog reported a stall for a progressing job");
+}
+
+/** A job ballooning past its memory budget must fail OverBudget on
+ *  the first attempt (budgets are deterministic — never retried),
+ *  with siblings bit-identical. */
+void
+caseOom(std::uint64_t case_seed, CaseCheck &chk,
+        std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x6f6f6dULL);
+    trace::AtumLikeConfig tcfg = smallTrace(case_seed, 2000);
+
+    std::vector<sim::RunSpec> specs = sweepSpecs();
+    std::vector<std::string> want = baselineOutputs(specs, tcfg);
+
+    std::size_t bad = rng.below(3);
+    exec::FaultPlan plan;
+    plan.seed = case_seed;
+    plan.runaway = exec::RunawayKind::Oom;
+    plan.runaway_job = static_cast<std::int64_t>(bad);
+    plan.runaway_at = 100 + rng.below(1000);
+    plan.oom_bytes = 64ull << 20;
+    exec::FaultInjector inject(plan);
+
+    exec::SweepOptions opt;
+    opt.jobs = 1 + rng.below(2);
+    opt.max_retries = 1; // must NOT be spent on a budget failure
+    opt.inject = &inject;
+    opt.job_mem_budget = 4ull << 20;
+    exec::SweepResult run = exec::runSweepChecked(
+        specs, exec::atumTraceFactory(tcfg), opt);
+    faults += 1;
+
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        const exec::JobResult &job = run.jobs[i];
+        if (i == bad) {
+            chk.require(job.status == exec::JobStatus::OverBudget,
+                        std::string("ballooning job is ") +
+                            exec::jobStatusName(job.status) +
+                            ", want over-budget");
+            chk.require(job.error.code() == ErrorCode::Budget,
+                        std::string("ballooning job error is ") +
+                            errorCodeName(job.error.code()) +
+                            ", want budget");
+            chk.require(job.attempts == 1,
+                        "deterministic budget failure was retried");
+            chk.require(mentionsSpecHash(job.error),
+                        "over-budget job error lacks the spec hash: " +
+                            job.error.text());
+            continue;
+        }
+        chk.require(job.ok(), "sibling job " + std::to_string(i) +
+                                  " was poisoned by the balloon: " +
+                                  job.error.text());
+        if (job.ok())
+            chk.require(exec::encodeRunOutput(job.output) == want[i],
+                        "sibling of a ballooning job is not "
+                        "bit-identical to the serial run");
+    }
+    chk.require(!run.interrupted,
+                "budget failure misreported as an interrupt");
+}
+
 } // namespace
 
 FaultCampaignSummary
@@ -498,7 +724,7 @@ runFaultCampaign(const FaultCampaignOptions &opt)
         std::uint64_t case_seed =
             SplitMix64(opt.seed ^ (i * 0x9E3779B97F4A7C15ULL))
                 .next();
-        FaultKind kind = static_cast<FaultKind>(i % 8);
+        FaultKind kind = static_cast<FaultKind>(i % kFaultKinds);
         Scratch scratch(dir);
         CaseCheck chk;
 
@@ -530,6 +756,16 @@ runFaultCampaign(const FaultCampaignOptions &opt)
             caseCancelResume(scratch, case_seed, chk,
                              sum.faults_injected);
             break;
+          case FaultKind::Hang:
+            caseHang(scratch, case_seed, opt.job_timeout_ns, chk,
+                     sum.faults_injected);
+            break;
+          case FaultKind::Slow:
+            caseSlow(case_seed, chk, sum.faults_injected);
+            break;
+          case FaultKind::Oom:
+            caseOom(case_seed, chk, sum.faults_injected);
+            break;
         }
         ++sum.cases_run;
 
@@ -547,7 +783,11 @@ runFaultCampaign(const FaultCampaignOptions &opt)
                     *opt.log << "  " << v << "\n";
                 *opt.log << "  repro: fuzz_diff --inject-faults"
                          << " --seed=" << opt.seed
-                         << " --config=" << i << "\n";
+                         << " --config=" << i;
+                if (opt.job_timeout_ns != 0)
+                    *opt.log << " --job-timeout="
+                             << opt.job_timeout_ns << "ns";
+                *opt.log << "\n";
             }
             if (sum.failures.size() >= opt.max_failures)
                 break;

@@ -6,12 +6,15 @@
  * campaign fuzzes the *failure paths* around them: corrupted and
  * truncated trace files under every ErrorPolicy, faults thrown from
  * inside a metered lookup, transient job failures that must be
- * retried, and cancellation mid-sweep followed by a journal resume.
- * Each case asserts the documented recovery contract — readers never
- * crash and report structured Data/Io errors, skip caps hold, failed
- * jobs are isolated with every surviving slot bit-identical to the
- * serial run, and a resumed sweep reproduces the uninterrupted
- * result exactly.
+ * retried, cancellation mid-sweep followed by a journal resume, and
+ * the runaway-work kinds — a wedged job the watchdog must cut loose
+ * (hang), a slow-but-progressing job that must NOT be killed (slow),
+ * and a job ballooning past its memory budget (oom). Each case
+ * asserts the documented recovery contract — readers never crash and
+ * report structured Data/Io errors, skip caps hold, failed /
+ * timed-out / over-budget jobs are isolated with every surviving
+ * slot bit-identical to the serial run, and a resumed sweep
+ * reproduces the uninterrupted result exactly.
  *
  * Everything is a pure function of (master seed, case index); every
  * failing case prints a one-line
@@ -44,6 +47,10 @@ struct FaultCampaignOptions
     std::string scratch_dir;
     /** Progress/status stream (nullptr = silent). */
     std::ostream *log = nullptr;
+    /** Per-job watchdog deadline for the hang cases, nanoseconds
+     *  (0 = a built-in 50ms). Repro lines carry it when set, so a
+     *  watchdog kill replays with the same timeout. */
+    std::uint64_t job_timeout_ns = 0;
 };
 
 /** One failed fault case. */

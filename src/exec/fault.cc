@@ -1,46 +1,14 @@
 #include "exec/fault.h"
 
-#include <csignal>
+#include <chrono>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 
 namespace assoc {
 namespace exec {
-
-namespace {
-
-volatile std::sig_atomic_t g_sigint = 0;
-
-void
-onSigint(int)
-{
-    g_sigint = 1;
-}
-
-} // namespace
-
-bool
-CancelToken::sigintSeen()
-{
-    return g_sigint != 0;
-}
-
-void
-installSigintHandler()
-{
-    static bool installed = false;
-    if (installed)
-        return;
-    std::signal(SIGINT, onSigint);
-    installed = true;
-}
-
-void
-clearSigintForTests()
-{
-    g_sigint = 0;
-}
 
 void
 FaultInjector::onJobStart(std::size_t index, unsigned attempt)
@@ -67,6 +35,167 @@ FaultInjector::onJobDone(std::size_t)
     if (cancel_ && plan_.cancel_after >= 0 &&
         done >= static_cast<std::uint64_t>(plan_.cancel_after))
         cancel_->cancel();
+}
+
+namespace {
+
+/**
+ * Trace wrapper realizing the runaway fault kinds. All behavior is
+ * a pure function of (plan, access index), so a retried attempt
+ * misbehaves identically.
+ */
+class RunawayTraceSource : public trace::TraceSource
+{
+  public:
+    RunawayTraceSource(std::unique_ptr<trace::TraceSource> inner,
+                       const FaultPlan &plan, const CancelToken *token,
+                       MemBudget *budget)
+        : inner_(std::move(inner)), plan_(plan), token_(token),
+          budget_(budget)
+    {}
+
+    bool
+    next(trace::MemRef &ref) override
+    {
+        if (error_.failed())
+            return false;
+        if (n_ == plan_.runaway_at && !engage())
+            return false;
+        if (plan_.runaway == RunawayKind::Slow &&
+            n_ >= plan_.runaway_at &&
+            (n_ - plan_.runaway_at) % plan_.slow_every == 0)
+            stall();
+        if (!inner_->next(ref))
+            return false;
+        ++n_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        n_ = 0;
+        error_ = Error();
+        balloon_.clear();
+    }
+
+    const Error &
+    error() const override
+    {
+        return error_.failed() ? error_ : inner_->error();
+    }
+
+    std::uint64_t
+    skippedRecords() const override
+    {
+        return inner_->skippedRecords();
+    }
+
+  private:
+    /** Fire the planned fault. @return true to keep streaming. */
+    bool
+    engage()
+    {
+        switch (plan_.runaway) {
+          case RunawayKind::None:
+          case RunawayKind::Slow:
+            return true;
+          case RunawayKind::Hang:
+            return hang();
+          case RunawayKind::Oom:
+            return balloon();
+        }
+        return true;
+    }
+
+    /**
+     * Model a worker stuck in non-checkpointing code: poll only for
+     * a *delivered* cancel (the watchdog's cancelTimeout, an
+     * explicit cancel, SIGINT) — never read the deadline clock
+     * ourselves — then surface the token's structured error.
+     */
+    bool
+    hang()
+    {
+        if (!token_) {
+            error_ = Error::internal(
+                "hang fault injected without a cancel token");
+            return false;
+        }
+        while (!token_->signalled())
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+        Expected<void> state = token_->checkpoint();
+        error_ = state.ok() ? Error::internal(
+                                  "hang released but token not tripped")
+                            : Error(state.error());
+        error_.withContext("hang fault at access " +
+                           std::to_string(n_));
+        return false;
+    }
+
+    /** Charge the budget in chunks until it runs out (or the plan's
+     *  balloon size is reached — then the fault fizzles, which only
+     *  happens when no budget limit is armed). */
+    bool
+    balloon()
+    {
+        constexpr std::uint64_t chunk = 1ull << 20;
+        std::uint64_t total = 0;
+        while (total < plan_.oom_bytes) {
+            Expected<MemCharge> c = MemCharge::charge(
+                budget_, chunk, "oom fault balloon");
+            if (!c.ok()) {
+                error_ = Error(c.error());
+                error_.withContext("oom fault at access " +
+                                   std::to_string(n_));
+                balloon_.clear();
+                return false;
+            }
+            if (c.value().bytes() == 0)
+                return true; // no budget attached: nothing to exhaust
+            balloon_.push_back(c.take());
+            total += chunk;
+        }
+        return true;
+    }
+
+    /** Seeded busy-wait; wall time only, never results. */
+    void
+    stall()
+    {
+        SplitMix64 rng(plan_.seed ^ n_);
+        std::uint64_t ns =
+            plan_.slow_ns / 2 + rng.next() % (plan_.slow_ns + 1);
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(ns);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+    }
+
+    std::unique_ptr<trace::TraceSource> inner_;
+    FaultPlan plan_;
+    const CancelToken *token_;
+    MemBudget *budget_;
+    std::uint64_t n_ = 0;
+    std::vector<MemCharge> balloon_;
+    Error error_;
+};
+
+} // namespace
+
+std::unique_ptr<trace::TraceSource>
+FaultInjector::wrapJobTrace(std::unique_ptr<trace::TraceSource> src,
+                            std::size_t index,
+                            const CancelToken *token,
+                            MemBudget *budget) const
+{
+    if (plan_.runaway == RunawayKind::None || plan_.runaway_job < 0 ||
+        index != static_cast<std::size_t>(plan_.runaway_job))
+        return src;
+    return std::make_unique<RunawayTraceSource>(std::move(src), plan_,
+                                                token, budget);
 }
 
 std::uint64_t

@@ -15,52 +15,31 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/probe_meter.h"
+#include "trace/trace_source.h"
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace assoc {
 namespace exec {
 
-/**
- * Cooperative cancellation flag shared between a sweep and its
- * owner. Optionally also observes the process SIGINT flag so ^C
- * cancels without any wiring at the call site.
- */
-class CancelToken
-{
-  public:
-    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+// The cancellation primitives live in util/cancel.h (runner and
+// trace readers need them without depending on exec); re-exported
+// here so existing exec:: call sites keep reading naturally.
+using assoc::CancelToken;
+using assoc::clearSigintForTests;
+using assoc::installSigintHandler;
 
-    bool
-    cancelled() const
-    {
-        if (flag_.load(std::memory_order_relaxed))
-            return true;
-        return watch_sigint_ && sigintSeen();
-    }
-
-    /** Also treat a delivered SIGINT as cancellation. */
-    void watchSigint(bool watch = true) { watch_sigint_ = watch; }
-
-    /** True when the process received SIGINT (handler installed). */
-    static bool sigintSeen();
-
-  private:
-    std::atomic<bool> flag_{false};
-    bool watch_sigint_ = false;
+/** Runaway-work fault kinds (see FaultPlan::runaway). */
+enum class RunawayKind : std::uint8_t {
+    None, ///< no runaway fault
+    Hang, ///< block mid-stream until a cancel is delivered
+    Slow, ///< inject a seeded per-access delay (output unchanged)
+    Oom,  ///< charge the memory budget until it is exhausted
 };
-
-/**
- * Install a SIGINT handler that records the signal instead of
- * killing the process (idempotent). Sweeps with a journal install
- * it so ^C drains in-flight jobs, checkpoints, and exits 130.
- */
-void installSigintHandler();
-
-/** Clear the recorded SIGINT (tests re-raise repeatedly). */
-void clearSigintForTests();
 
 /** What a FaultInjector does, all derived from the seed. */
 struct FaultPlan
@@ -79,6 +58,22 @@ struct FaultPlan
     /** Cancel the attached token after this many completed jobs
      *  (-1 = never). */
     std::int64_t cancel_after = -1;
+
+    // --- runaway faults (trace-stream wrappers) ---
+
+    /** Which runaway behavior to inject (None = nothing). */
+    RunawayKind runaway = RunawayKind::None;
+    /** Job index whose trace misbehaves (-1 = none). */
+    std::int64_t runaway_job = -1;
+    /** Access index at which the fault engages. */
+    std::uint64_t runaway_at = 1000;
+    /** Slow: stall every Nth access past the engage point. */
+    std::uint64_t slow_every = 64;
+    /** Slow: mean stall per hit, nanoseconds (seeded jitter). */
+    std::uint64_t slow_ns = 20000;
+    /** Oom: bytes the balloon tries to charge (accounting only —
+     *  no real memory is allocated). */
+    std::uint64_t oom_bytes = 1ull << 30;
 };
 
 /**
@@ -99,6 +94,20 @@ class FaultInjector
 
     /** Called when a job completes; may trip the cancel token. */
     void onJobDone(std::size_t index);
+
+    /**
+     * Wrap job @p index's trace with the planned runaway behavior
+     * (hang / slow / oom); other jobs pass through untouched.
+     * @p token is what a hang polls for release (the per-job token
+     * the watchdog cancels) and @p budget is what an oom balloon
+     * charges; both may be null, in which case the affected fault
+     * degrades to an immediate structured error rather than an
+     * unbounded stall.
+     */
+    std::unique_ptr<trace::TraceSource>
+    wrapJobTrace(std::unique_ptr<trace::TraceSource> src,
+                 std::size_t index, const CancelToken *token,
+                 MemBudget *budget) const;
 
     /** Faults thrown so far. */
     std::uint64_t injected() const

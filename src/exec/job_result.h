@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "sim/runner.h"
 #include "util/error.h"
 
@@ -23,12 +24,15 @@ namespace exec {
 
 /** Terminal state of one sweep slot. */
 enum class JobStatus {
-    Ok,        ///< output is valid
-    Failed,    ///< error describes the final attempt's failure
-    Cancelled, ///< never ran (SIGINT or explicit cancellation)
+    Ok,         ///< output is valid
+    Failed,     ///< error describes the final attempt's failure
+    Cancelled,  ///< never ran (SIGINT or explicit cancellation)
+    TimedOut,   ///< killed by a job timeout or the sweep deadline
+    OverBudget, ///< killed by a memory-budget exhaustion
 };
 
-/** "ok" / "failed" / "cancelled" (used in JSON and messages). */
+/** "ok" / "failed" / "cancelled" / "timed-out" / "over-budget"
+ *  (used in JSON and messages). */
 const char *jobStatusName(JobStatus status);
 
 /** Outcome of one sweep slot. */
@@ -51,6 +55,8 @@ struct SweepResult
 
     bool interrupted = false;   ///< a cancellation cut the sweep short
     std::uint64_t resumed = 0;  ///< slots restored from a journal
+    /** Watchdog observations (deadline misses and escalations). */
+    std::vector<StallReport> stalls;
 
     bool
     allOk() const
@@ -77,6 +83,31 @@ struct SweepResult
         for (const JobResult &j : jobs)
             n += j.status == JobStatus::Cancelled;
         return n;
+    }
+
+    std::size_t
+    timedOut() const
+    {
+        std::size_t n = 0;
+        for (const JobResult &j : jobs)
+            n += j.status == JobStatus::TimedOut;
+        return n;
+    }
+
+    std::size_t
+    overBudget() const
+    {
+        std::size_t n = 0;
+        for (const JobResult &j : jobs)
+            n += j.status == JobStatus::OverBudget;
+        return n;
+    }
+
+    /** Jobs killed by a runaway-work policy (deadline or budget). */
+    std::size_t
+    resourceKilled() const
+    {
+        return timedOut() + overBudget();
     }
 
     /** First non-ok slot's error (ok Error when allOk()). */

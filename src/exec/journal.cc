@@ -180,37 +180,55 @@ decodeAccum(TokenReader &r, MeanAccum &a)
 
 } // namespace
 
+namespace {
+
+/** Fold one spec's result-relevant fields into @p h. */
+void
+fnvMixSpec(std::uint64_t &h, const sim::RunSpec &spec)
+{
+    for (const mem::CacheGeometry *g :
+         {&spec.hier.l1, &spec.hier.l2}) {
+        fnvMix(h, g->sizeBytes());
+        fnvMix(h, g->blockBytes());
+        fnvMix(h, g->assoc());
+    }
+    fnvMix(h, spec.hier.allocate_on_wb_miss);
+    fnvMix(h, spec.hier.enforce_inclusion);
+    fnvMix(h, static_cast<std::uint64_t>(spec.hier.write_policy));
+    fnvMix(h, static_cast<std::uint64_t>(spec.hier.l2_replacement));
+    fnvMix(h, spec.schemes.size());
+    for (const core::SchemeSpec &s : spec.schemes) {
+        fnvMix(h, static_cast<std::uint64_t>(s.kind));
+        fnvMix(h, s.mru_list_len);
+        fnvMix(h, s.partial_k);
+        fnvMix(h, s.partial_subsets);
+        fnvMix(h, static_cast<std::uint64_t>(s.transform));
+        fnvMix(h, s.tag_bits);
+    }
+    fnvMix(h, spec.wb_optimization);
+    fnvMix(h, spec.with_distances);
+    fnvMix(h, doubleBits(spec.coherency_rate));
+    fnvMix(h, spec.occupancy_sample_period);
+}
+
+} // namespace
+
 std::uint64_t
 hashSpecs(const std::vector<sim::RunSpec> &specs, std::uint64_t salt)
 {
     std::uint64_t h = kFnvInit;
     fnvMix(h, salt);
     fnvMix(h, specs.size());
-    for (const sim::RunSpec &spec : specs) {
-        for (const mem::CacheGeometry *g :
-             {&spec.hier.l1, &spec.hier.l2}) {
-            fnvMix(h, g->sizeBytes());
-            fnvMix(h, g->blockBytes());
-            fnvMix(h, g->assoc());
-        }
-        fnvMix(h, spec.hier.allocate_on_wb_miss);
-        fnvMix(h, spec.hier.enforce_inclusion);
-        fnvMix(h, static_cast<std::uint64_t>(spec.hier.write_policy));
-        fnvMix(h, static_cast<std::uint64_t>(spec.hier.l2_replacement));
-        fnvMix(h, spec.schemes.size());
-        for (const core::SchemeSpec &s : spec.schemes) {
-            fnvMix(h, static_cast<std::uint64_t>(s.kind));
-            fnvMix(h, s.mru_list_len);
-            fnvMix(h, s.partial_k);
-            fnvMix(h, s.partial_subsets);
-            fnvMix(h, static_cast<std::uint64_t>(s.transform));
-            fnvMix(h, s.tag_bits);
-        }
-        fnvMix(h, spec.wb_optimization);
-        fnvMix(h, spec.with_distances);
-        fnvMix(h, doubleBits(spec.coherency_rate));
-        fnvMix(h, spec.occupancy_sample_period);
-    }
+    for (const sim::RunSpec &spec : specs)
+        fnvMixSpec(h, spec);
+    return h;
+}
+
+std::uint64_t
+hashSpec(const sim::RunSpec &spec)
+{
+    std::uint64_t h = kFnvInit;
+    fnvMixSpec(h, spec);
     return h;
 }
 
@@ -298,7 +316,7 @@ decodeRunOutput(const std::string &payload)
 }
 
 Expected<JournalData>
-readJournal(const std::string &path)
+readJournal(const std::string &path, MemBudget *budget)
 {
     std::ifstream in(path);
     if (!in)
@@ -308,8 +326,27 @@ readJournal(const std::string &path)
     std::string line;
     bool have_meta = false;
     std::uint64_t lineno = 0;
+    // Guards the reader's buffers: every journal byte read is
+    // charged until the entries are handed to the caller, so a
+    // runaway journal file fails with a budget error, not an OOM.
+    MemCharge read_charge;
+    std::uint64_t charged = 0;
     while (std::getline(in, line)) {
         ++lineno;
+        if (budget && !line.empty()) {
+            // Re-charge the running total (release first so the old
+            // and new charges never overlap).
+            read_charge.release();
+            Expected<MemCharge> c = MemCharge::charge(
+                budget, charged + line.size(),
+                "journal '" + path + "' read buffers");
+            if (!c.ok())
+                return Error(c.error())
+                    .withContext("reading journal line " +
+                                 std::to_string(lineno));
+            read_charge = c.take();
+            charged += line.size();
+        }
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream iss(line);
@@ -409,6 +446,19 @@ JournalWriter::append(std::size_t index, const sim::RunOutput &out)
     out_.flush();
     if (!out_.good())
         return Error::io("error appending to journal '" + path_ + "'");
+    return Error();
+}
+
+Error
+JournalWriter::close()
+{
+    if (!out_.is_open())
+        return Error();
+    out_.flush();
+    bool good = out_.good();
+    out_.close();
+    if (!good || !out_)
+        return Error::io("error closing journal '" + path_ + "'");
     return Error();
 }
 

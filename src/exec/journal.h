@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sim/runner.h"
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace assoc {
@@ -41,6 +42,10 @@ namespace exec {
  */
 std::uint64_t hashSpecs(const std::vector<sim::RunSpec> &specs,
                         std::uint64_t salt = 0);
+
+/** Identity hash of one spec (same fields hashSpecs() covers); what
+ *  watchdog stall reports and timeout error contexts carry. */
+std::uint64_t hashSpec(const sim::RunSpec &spec);
 
 /** Serialize one RunOutput as a single journal payload line. */
 std::string encodeRunOutput(const sim::RunOutput &out);
@@ -61,9 +66,13 @@ struct JournalData
  * Load @p path. Unreadable files and bad headers are Errors;
  * individually corrupt job lines are tolerated (counted in
  * dropped_lines) because a SIGKILL mid-append legitimately tears
- * the final line.
+ * the final line. When @p budget is given, the bytes buffered while
+ * reading (lines + decoded entries) are charged against it, so a
+ * runaway journal fails with a structured budget error instead of
+ * ballooning the process.
  */
-Expected<JournalData> readJournal(const std::string &path);
+Expected<JournalData> readJournal(const std::string &path,
+                                  MemBudget *budget = nullptr);
 
 /** Appends one digest-stamped record per completed job. */
 class JournalWriter
@@ -81,6 +90,9 @@ class JournalWriter
 
     /** Append one record and flush it to the OS. */
     Error append(std::size_t index, const sim::RunOutput &out);
+
+    /** Final flush + close (the drain path; idempotent). */
+    Error close();
 
   private:
     std::ofstream out_;

@@ -186,6 +186,9 @@ writeSweepJson(std::ostream &os,
     os << "  ],\n";
     os << "  \"failures\": " << result.failures() << ",\n";
     os << "  \"cancelled\": " << result.cancelled() << ",\n";
+    os << "  \"timed_out\": " << result.timedOut() << ",\n";
+    os << "  \"over_budget\": " << result.overBudget() << ",\n";
+    os << "  \"stalls\": " << result.stalls.size() << ",\n";
     os << "  \"resumed\": " << result.resumed << ",\n";
     os << "  \"interrupted\": "
        << (result.interrupted ? "true" : "false") << "\n";

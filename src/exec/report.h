@@ -73,10 +73,12 @@ void writeSweepJson(std::ostream &os,
 
 /**
  * Checked-sweep variant: every run additionally carries "status"
- * ("ok" / "failed" / "cancelled") and "attempts"; failed and
- * cancelled runs carry an "error" object ({code, message, context})
- * instead of statistics. The trailing summary records the failure /
- * cancellation counts and whether the sweep was interrupted.
+ * ("ok" / "failed" / "cancelled" / "timed-out" / "over-budget") and
+ * "attempts"; runs without results carry an "error" object ({code,
+ * message, context}) instead of statistics — these are the "gap
+ * rows" a deadline leaves behind. The trailing summary records the
+ * failure / cancellation / timeout / budget counts, the number of
+ * watchdog stall reports, and whether the sweep was interrupted.
  */
 void writeSweepJson(std::ostream &os,
                     const std::vector<sim::RunSpec> &specs,

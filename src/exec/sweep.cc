@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <mutex>
 
 #include "exec/fault.h"
@@ -19,6 +21,8 @@ jobStatusName(JobStatus status)
       case JobStatus::Ok: return "ok";
       case JobStatus::Failed: return "failed";
       case JobStatus::Cancelled: return "cancelled";
+      case JobStatus::TimedOut: return "timed-out";
+      case JobStatus::OverBudget: return "over-budget";
     }
     return "unknown";
 }
@@ -100,40 +104,134 @@ errorFromAttempt()
     }
 }
 
-/** Run one slot with retry, timing, and fault hooks. */
+/** Shared runaway-defense state for one checked sweep. */
+struct SweepGuards
+{
+    /** Sweep-wide token: chains to the caller's (SIGINT, explicit
+     *  cancel) and carries the sweep deadline. Null when the sweep
+     *  has no cancellation sources at all. */
+    const CancelToken *cancel = nullptr;
+    /** Global budget (null when no budget flags were given). */
+    MemBudget *budget = nullptr;
+    /** Deadline enforcement (null when no deadline flags). */
+    Watchdog *watchdog = nullptr;
+};
+
+/** Classify a failed attempt's error into a slot status. */
+JobStatus
+statusFromError(const Error &e)
+{
+    switch (e.code()) {
+      case ErrorCode::Cancelled: return JobStatus::Cancelled;
+      case ErrorCode::Timeout: return JobStatus::TimedOut;
+      case ErrorCode::Budget: return JobStatus::OverBudget;
+      default: return JobStatus::Failed;
+    }
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Run one slot with retry, timing, deadline and fault hooks. */
 JobResult
 runOneJob(const std::vector<sim::RunSpec> &specs,
           const TraceFactory &make_trace, const SweepOptions &opts,
-          std::size_t i)
+          const SweepGuards &guards, std::size_t i)
 {
     JobResult res;
+    const std::uint64_t spec_hash = hashSpec(specs[i]);
     unsigned attempts_allowed = 1 + opts.max_retries;
     for (unsigned attempt = 1; attempt <= attempts_allowed; ++attempt) {
-        if (opts.cancel && opts.cancel->cancelled()) {
+        if (guards.cancel && guards.cancel->cancelled()) {
+            // The sweep as a whole is over: deadline (TimedOut) or
+            // cancellation (Cancelled). Keep an earlier attempt's
+            // Failed status — it is more informative than "never
+            // retried".
             if (res.status != JobStatus::Failed) {
-                res.status = JobStatus::Cancelled;
-                res.error = Error::cancelled(
-                    "job " + std::to_string(i) +
-                    " cancelled before attempt " +
-                    std::to_string(attempt));
+                bool timed = guards.cancel->reason() ==
+                             CancelToken::Reason::TimedOut;
+                res.status = timed ? JobStatus::TimedOut
+                                   : JobStatus::Cancelled;
+                Error e = timed
+                              ? Error::timeout(
+                                    "sweep deadline exceeded before "
+                                    "job " + std::to_string(i) +
+                                    " attempt " +
+                                    std::to_string(attempt))
+                              : Error::cancelled(
+                                    "job " + std::to_string(i) +
+                                    " cancelled before attempt " +
+                                    std::to_string(attempt));
+                if (timed)
+                    e.withContext("job spec hash " +
+                                  hex16(spec_hash));
+                res.error = std::move(e);
             }
             return res;
         }
+
+        // Per-attempt token: the job deadline, chained to the
+        // sweep-wide token. Fresh each attempt so a retried timeout
+        // gets a full timeslice again.
+        CancelToken token;
+        token.setParent(guards.cancel);
+        if (opts.job_timeout_ns != 0)
+            token.setDeadline(Deadline::after(opts.job_timeout_ns));
+        MemBudget job_budget(opts.job_mem_budget, guards.budget);
+        MemBudget *budget =
+            (opts.job_mem_budget != 0 || guards.budget)
+                ? &job_budget
+                : nullptr;
+        bool guarded = guards.cancel != nullptr ||
+                       opts.job_timeout_ns != 0;
+
+        sim::RunSpec spec = specs[i];
+        if (guarded) {
+            spec.cancel = &token;
+            spec.checkpoint_every = opts.checkpoint_every;
+        }
+        spec.budget = budget;
+
+        if (guards.watchdog)
+            guards.watchdog->arm(i, &token, token.deadline(),
+                                 spec_hash,
+                                 "attempt " + std::to_string(attempt),
+                                 budget);
+
         res.attempts = attempt;
         auto t0 = std::chrono::steady_clock::now();
         try {
             if (opts.inject)
                 opts.inject->onJobStart(i, attempt);
             std::unique_ptr<trace::TraceSource> src = make_trace(i);
-            res.output = sim::runTrace(*src, specs[i]);
+            if (guarded)
+                src->setCancelToken(&token);
+            if (budget)
+                src->setMemBudget(budget);
+            if (opts.inject)
+                src = opts.inject->wrapJobTrace(std::move(src), i,
+                                                &token, budget);
+            res.output = sim::runTrace(*src, spec);
             res.status = JobStatus::Ok;
             res.error = Error();
         } catch (...) {
-            res.status = JobStatus::Failed;
-            res.error = errorFromAttempt().withContext(
+            Error e = errorFromAttempt().withContext(
                 "job " + std::to_string(i) + " attempt " +
                 std::to_string(attempt));
+            res.status = statusFromError(e);
+            if (res.status == JobStatus::TimedOut ||
+                res.status == JobStatus::OverBudget)
+                e.withContext("job spec hash " + hex16(spec_hash));
+            res.error = std::move(e);
         }
+        if (guards.watchdog)
+            guards.watchdog->disarm(i);
         auto t1 = std::chrono::steady_clock::now();
         res.wall_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -141,6 +239,12 @@ runOneJob(const std::vector<sim::RunSpec> &specs,
                 .count());
         if (res.ok())
             break;
+        if (res.status == JobStatus::Cancelled)
+            break; // the sweep is being torn down; don't re-run
+        if (res.status == JobStatus::OverBudget)
+            break; // deterministic: the same spec blows the same budget
+        if (res.status == JobStatus::TimedOut)
+            continue; // retryable under max_retries (load may clear)
         if (!opts.retry_all_errors && !res.error.transient())
             break;
     }
@@ -158,10 +262,27 @@ runSweepChecked(const std::vector<sim::RunSpec> &specs,
     SweepResult result;
     result.jobs.resize(specs.size());
 
+    // Sweep-wide runaway defenses. The sweep token carries the
+    // whole-sweep deadline and chains to the caller's token (SIGINT,
+    // explicit cancel); per-job tokens chain to it in runOneJob.
+    SweepGuards guards;
+    CancelToken sweep_token;
+    if (opts.cancel || opts.sweep_deadline_ns != 0) {
+        sweep_token.setParent(opts.cancel);
+        if (opts.sweep_deadline_ns != 0)
+            sweep_token.setDeadline(
+                Deadline::after(opts.sweep_deadline_ns));
+        guards.cancel = &sweep_token;
+    }
+    MemBudget global_budget(opts.mem_budget);
+    if (opts.mem_budget != 0 || opts.job_mem_budget != 0)
+        guards.budget = &global_budget;
+
     // Restore finished slots from the resume journal, if any.
     std::vector<bool> have(specs.size(), false);
     if (!opts.resume_path.empty()) {
-        Expected<JournalData> data = readJournal(opts.resume_path);
+        Expected<JournalData> data =
+            readJournal(opts.resume_path, guards.budget);
         if (!data)
             throwError(Error(data.error())
                            .withContext("resuming sweep from '" +
@@ -211,34 +332,61 @@ runSweepChecked(const std::vector<sim::RunSpec> &specs,
         }
     }
 
-    std::vector<std::function<void()>> jobs;
-    jobs.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        if (have[i]) {
-            if (opts.progress)
-                opts.progress->tick();
-            continue;
+    // Deadline enforcement. Scoped so the watchdog thread is joined
+    // before the journal drain below: once jobs are done, nothing
+    // can trip tokens or log stall lines concurrently with the
+    // final flush.
+    {
+        std::unique_ptr<Watchdog> watchdog;
+        if (opts.job_timeout_ns != 0 || opts.sweep_deadline_ns != 0) {
+            watchdog = std::make_unique<Watchdog>(opts.watchdog);
+            guards.watchdog = watchdog.get();
         }
-        jobs.push_back([&specs, &make_trace, &opts, &result, &writer,
-                        &journal_mutex, i] {
-            JobResult r = runOneJob(specs, make_trace, opts, i);
-            if (r.ok() && writer.isOpen()) {
-                std::lock_guard<std::mutex> lock(journal_mutex);
-                Error e = writer.append(i, r.output);
-                if (e.failed())
-                    warn(e.text()); // the result itself is still good
+
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (have[i]) {
+                if (opts.progress)
+                    opts.progress->tick();
+                continue;
             }
-            result.jobs[i] = std::move(r);
-        });
+            jobs.push_back([&specs, &make_trace, &opts, &guards,
+                            &result, &writer, &journal_mutex, i] {
+                JobResult r = runOneJob(specs, make_trace, opts,
+                                        guards, i);
+                if (r.ok() && writer.isOpen()) {
+                    std::lock_guard<std::mutex> lock(journal_mutex);
+                    Error e = writer.append(i, r.output);
+                    if (e.failed())
+                        warn(e.text()); // the result itself is good
+                }
+                result.jobs[i] = std::move(r);
+            });
+        }
+
+        // Jobs never throw (every attempt's exception is folded into
+        // the slot), so runJobs' first-exception rethrow stays
+        // dormant and the pool always drains fully.
+        SweepOptions pool_opts;
+        pool_opts.jobs = opts.jobs;
+        pool_opts.progress = opts.progress;
+        runJobs(std::move(jobs), pool_opts);
+
+        if (watchdog)
+            result.stalls = watchdog->reports();
     }
 
-    // Jobs never throw (every attempt's exception is folded into the
-    // slot), so runJobs' first-exception rethrow stays dormant and
-    // the pool always drains fully.
-    SweepOptions pool_opts;
-    pool_opts.jobs = opts.jobs;
-    pool_opts.progress = opts.progress;
-    runJobs(std::move(jobs), pool_opts);
+    // Drain: final flush + close under the journal mutex. A SIGINT
+    // (or watchdog grace-period escalation) that lands while workers
+    // are still appending cannot race this — appends hold the same
+    // mutex, and the pool and watchdog are both gone by now.
+    if (writer.isOpen()) {
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        Error e = writer.close();
+        if (e.failed())
+            warn(e.text());
+    }
 
     for (const JobResult &j : result.jobs)
         if (j.status == JobStatus::Cancelled)

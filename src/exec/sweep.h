@@ -34,13 +34,14 @@
 
 #include "exec/job_result.h"
 #include "exec/report.h"
+#include "exec/thread_pool.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
+#include "util/cancel.h"
 
 namespace assoc {
 namespace exec {
 
-class CancelToken;
 class FaultInjector;
 
 /** How a sweep is executed. */
@@ -78,6 +79,29 @@ struct SweepOptions
     /** Spec/trace identity hash stamped into the journal header and
      *  validated on resume (see hashSpecs()). */
     std::uint64_t spec_hash = 0;
+
+    // --- runaway-work defenses (see util/cancel.h) ---
+
+    /** Per-job deadline, nanoseconds (0 = none). A job past it is
+     *  cancelled by the watchdog, marked TimedOut, and retried once
+     *  under the normal max_retries policy (timeouts count as
+     *  transient: the machine may simply have been overloaded). */
+    std::uint64_t job_timeout_ns = 0;
+    /** Whole-sweep deadline, nanoseconds from entry (0 = none).
+     *  When it passes, running jobs are cancelled and unstarted
+     *  jobs are marked TimedOut without running. */
+    std::uint64_t sweep_deadline_ns = 0;
+    /** Global memory budget for all concurrent jobs, bytes
+     *  (0 = unlimited). */
+    std::uint64_t mem_budget = 0;
+    /** Per-job memory budget, bytes (0 = unlimited); charges also
+     *  count against mem_budget. */
+    std::uint64_t job_mem_budget = 0;
+    /** Accesses between cancellation checkpoints inside a job (see
+     *  sim::RunSpec::checkpoint_every). */
+    std::uint64_t checkpoint_every = 4096;
+    /** Watchdog sampling/escalation tuning (log=false in tests). */
+    Watchdog::Options watchdog;
 };
 
 /**

@@ -179,6 +179,21 @@ class WriteBackCache
     /** Number of valid lines in @p set. */
     unsigned validCount(std::uint32_t set) const;
 
+    /**
+     * Bytes held by the line planes (tag, valid/dirty masks and
+     * recency orders). What a MemBudget is charged for this cache;
+     * exact for the planes, which dominate every other member.
+     */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return blocks_.size() * sizeof(BlockAddr) +
+               (valid_.size() + dirty_.size() + mru_packed_.size() +
+                fifo_packed_.size() + plru_.size()) *
+                   sizeof(std::uint64_t) +
+               mru_wide_.size() + fifo_wide_.size();
+    }
+
     // --- lifetime counters ---
     std::uint64_t fills() const { return fills_; }
     std::uint64_t evictions() const { return evictions_; }

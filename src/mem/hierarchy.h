@@ -222,6 +222,17 @@ class TwoLevelHierarchy
     const WriteBackCache &l2() const { return l2_; }
     const HierarchyConfig &config() const { return cfg_; }
 
+    /** Bytes held by both levels' line planes plus the way-hint and
+     *  observer scratch planes (what a MemBudget is charged). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return l1_.footprintBytes() + l2_.footprintBytes() +
+               way_hint_.size() * sizeof(std::int16_t) +
+               scratch_tags_.size() * sizeof(std::uint32_t) +
+               scratch_valid_.size() + scratch_order_.size();
+    }
+
   private:
     /** Issue a read-in; @return the level-two way holding the block
      *  after the access. */

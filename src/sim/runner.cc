@@ -10,6 +10,25 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
 {
     mem::TwoLevelHierarchy hier(spec.hier);
 
+    // The hierarchy's line planes are the run's dominant allocation;
+    // charge them before streaming so a spec too big for its budget
+    // fails in microseconds, not after a billion accesses.
+    MemCharge hier_charge;
+    if (spec.budget) {
+        Expected<MemCharge> c = MemCharge::charge(
+            spec.budget, hier.footprintBytes(),
+            "cache hierarchy " +
+                cacheName(spec.hier.l1.sizeBytes(),
+                          spec.hier.l1.blockBytes()) +
+                "/" +
+                cacheName(spec.hier.l2.sizeBytes(),
+                          spec.hier.l2.blockBytes()));
+        if (!c.ok())
+            throwError(Error(c.error())
+                           .withContext("allocating the hierarchy"));
+        hier_charge = c.take();
+    }
+
     std::vector<std::unique_ptr<core::ProbeMeter>> meters;
     meters.reserve(spec.schemes.size());
     for (const core::SchemeSpec &scheme : spec.schemes) {
@@ -29,9 +48,12 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
 
     RunOutput out;
 
-    if (spec.coherency_rate == 0.0 &&
+    if (spec.cancel == nullptr && spec.coherency_rate == 0.0 &&
         spec.occupancy_sample_period == 0) {
-        // Fast path: plain streaming.
+        // Fast path: plain streaming, exactly as without any of the
+        // optional machinery. Cancellation checkpoints only exist on
+        // the manual loop below, so specs without a token (every
+        // benchmark) pay nothing.
         hier.run(src);
     } else {
         mem::CoherencyTraffic remote(spec.coherency_rate);
@@ -40,11 +62,32 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
         std::uint64_t n = 0;
         double occ_sum = 0.0;
         std::uint64_t occ_samples = 0;
+        const CancelToken *cancel = spec.cancel;
+        const std::uint64_t every =
+            spec.checkpoint_every ? spec.checkpoint_every : 1;
+        std::uint64_t until_checkpoint = every;
+        if (cancel) {
+            // Checkpoint zero: a token tripped before the stream
+            // starts stops the job without touching the trace.
+            Expected<void> go = cancel->checkpoint();
+            if (!go.ok())
+                throwError(Error(go.error())
+                               .withContext("before streaming"));
+        }
         while (src.next(r)) {
             hier.access(r);
             if (spec.coherency_rate > 0.0)
                 remote.step(hier);
             ++n;
+            if (cancel && --until_checkpoint == 0) {
+                until_checkpoint = every;
+                Expected<void> go = cancel->checkpoint();
+                if (!go.ok())
+                    throwError(Error(go.error())
+                                   .withContext(
+                                       "after " + std::to_string(n) +
+                                       " accesses"));
+            }
             if (spec.occupancy_sample_period != 0 &&
                 n % spec.occupancy_sample_period == 0) {
                 occ_sum += mem::l2ValidFraction(hier);

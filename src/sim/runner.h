@@ -30,6 +30,7 @@
 #include "mem/coherency.h"
 #include "mem/hierarchy.h"
 #include "trace/trace_source.h"
+#include "util/cancel.h"
 
 namespace assoc {
 namespace sim {
@@ -59,6 +60,24 @@ struct RunSpec
     /** Additional observers attached to the hierarchy (not owned),
      *  e.g. the invariant checkers in src/check. */
     std::vector<mem::L2Observer *> extra_observers;
+
+    // --- runaway-work defenses (see util/cancel.h). None of these
+    // --- influence results, so hashSpecs() ignores them.
+
+    /** Cooperative cancel/deadline token, polled every
+     *  checkpoint_every accesses (not owned; null = never stop).
+     *  When null the streaming fast path is untouched. */
+    const CancelToken *cancel = nullptr;
+    /**
+     * Accesses between cancellation checkpoints. A fixed cadence in
+     * observed accesses (not wall time) keeps cancellation latency
+     * bounded *and* deterministic: a cancel delivered before access
+     * k is honored at the same checkpoint on every machine.
+     */
+    std::uint64_t checkpoint_every = 4096;
+    /** Budget the hierarchy's plane allocations are charged to
+     *  (not owned; null = no accounting). */
+    MemBudget *budget = nullptr;
 };
 
 /** What one simulation produced. */

@@ -190,6 +190,15 @@ bool
 BinTraceSource::next(MemRef &ref)
 {
     while (error_.ok() && pos_ < count_) {
+        if (cancel_ && pos_ % kCancelStride == 0) {
+            Expected<void> go = cancel_->checkpoint();
+            if (!go.ok()) {
+                error_ = Error(go.error())
+                             .withContext("'" + path_ + "': record " +
+                                          std::to_string(pos_));
+                return false;
+            }
+        }
         std::array<char, kRecordBytes> rec{};
         in_.read(rec.data(), rec.size());
         if (in_.gcount() != static_cast<std::streamsize>(kRecordBytes)) {

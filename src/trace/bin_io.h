@@ -53,7 +53,14 @@ class BinTraceSource : public TraceSource
     /** Record count claimed by the file header. */
     std::uint64_t claimedCount() const { return claimed_; }
 
+    /** Polled every kCancelStride records; a tripped token stops the
+     *  stream with its structured error. */
+    void setCancelToken(const CancelToken *t) override { cancel_ = t; }
+
   private:
+    /** Records between cancel-token polls while streaming. */
+    static constexpr std::uint64_t kCancelStride = 1024;
+
     void readHeader();
     bool tolerate(const std::string &what);
 
@@ -63,6 +70,7 @@ class BinTraceSource : public TraceSource
     std::uint64_t claimed_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t pos_ = 0;
+    const CancelToken *cancel_ = nullptr;
     std::uint64_t clamp_skips_ = 0; ///< records lost to truncation
     std::uint64_t skipped_ = 0;
     Error header_error_; ///< permanent open/validation failure

@@ -97,6 +97,32 @@ DinTraceSource::next(MemRef &ref)
     std::string line;
     while (std::getline(in_, line)) {
         ++line_;
+        if (cancel_ && line_ % kCancelStride == 0) {
+            Expected<void> go = cancel_->checkpoint();
+            if (!go.ok()) {
+                error_ = Error(go.error())
+                             .withContext(path_ + ": line " +
+                                          std::to_string(line_));
+                return false;
+            }
+        }
+        if (budget_ && line.capacity() > line_charge_.bytes()) {
+            // Re-charge for the largest line seen so far: getline's
+            // buffer growth is this reader's only unbounded
+            // allocation (think a gigabyte with no newline).
+            std::uint64_t want = line.capacity();
+            line_charge_.release();
+            Expected<MemCharge> c = MemCharge::charge(
+                budget_, want, "din trace '" + path_ +
+                                   "' line buffer");
+            if (!c.ok()) {
+                error_ = Error(c.error())
+                             .withContext(path_ + ": line " +
+                                          std::to_string(line_));
+                return false;
+            }
+            line_charge_ = c.take();
+        }
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream iss(line);

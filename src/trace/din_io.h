@@ -49,7 +49,18 @@ class DinTraceSource : public TraceSource
     const Error &error() const override { return error_; }
     std::uint64_t skippedRecords() const override { return skipped_; }
 
+    /** Polled every kCancelStride lines; a tripped token stops the
+     *  stream with its structured error. */
+    void setCancelToken(const CancelToken *t) override { cancel_ = t; }
+
+    /** Charged for the line buffer as it grows, so a pathological
+     *  no-newline file fails with a budget error, not an OOM. */
+    void setMemBudget(MemBudget *b) override { budget_ = b; }
+
   private:
+    /** Lines between cancel-token polls while streaming. */
+    static constexpr std::uint64_t kCancelStride = 256;
+
     /**
      * Handle one malformed line per the policy.
      * @return true when the line may be skipped and reading resumes.
@@ -61,6 +72,9 @@ class DinTraceSource : public TraceSource
     std::ifstream in_;
     std::uint64_t line_ = 0;
     std::uint64_t skipped_ = 0;
+    const CancelToken *cancel_ = nullptr;
+    MemBudget *budget_ = nullptr;
+    MemCharge line_charge_;
     Error error_;
 };
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/memref.h"
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace assoc {
@@ -49,6 +50,23 @@ class TraceSource
 
     /** Malformed records tolerated so far (ErrorMode::Skip). */
     virtual std::uint64_t skippedRecords() const { return 0; }
+
+    /**
+     * Attach a cooperative cancel token (not owned; null detaches).
+     * File-backed sources poll it every few hundred records and
+     * stop with its structured error, so a cancelled job never
+     * spends minutes finishing a doomed read. In-memory sources
+     * ignore it — the simulation loop already checkpoints.
+     */
+    virtual void setCancelToken(const CancelToken *) {}
+
+    /**
+     * Attach a memory budget (not owned; null detaches). Sources
+     * with input-proportional buffers charge them here; a malformed
+     * input that balloons a buffer then fails with a structured
+     * budget error instead of an OOM.
+     */
+    virtual void setMemBudget(MemBudget *) {}
 
   protected:
     /** Shared "no error" singleton for sources that cannot fail. */

@@ -1,0 +1,225 @@
+#include "util/cancel.h"
+
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+
+namespace assoc {
+
+namespace {
+
+// Read cross-thread (workers, watchdog) and written from the signal
+// handler: must be a lock-free atomic, not a bare sig_atomic_t — the
+// latter is only safe against the handler interrupting its *own*
+// thread.
+std::atomic<int> g_sigint{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "the SIGINT latch must be async-signal-safe");
+
+void
+onSigint(int)
+{
+    g_sigint.store(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+CancelToken::sigintSeen()
+{
+    return g_sigint.load(std::memory_order_relaxed) != 0;
+}
+
+void
+installSigintHandler()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    std::signal(SIGINT, onSigint);
+    installed = true;
+}
+
+void
+clearSigintForTests()
+{
+    g_sigint.store(0, std::memory_order_relaxed);
+}
+
+Expected<void>
+MemBudget::tryCharge(std::uint64_t bytes, const std::string &what)
+{
+    // Parent first: on our own failure the parent charge must be
+    // unwound, and doing it in this order means a failing ancestor
+    // never leaves partial charges below it.
+    if (parent_) {
+        Expected<void> up = parent_->tryCharge(bytes, what);
+        if (!up.ok())
+            return up;
+    }
+    std::uint64_t cur = used_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (limit_ != 0 && cur + bytes > limit_) {
+            if (parent_)
+                parent_->release(bytes);
+            return Error::budget(
+                "memory budget exhausted: " + what + " needs " +
+                formatBytes(bytes) + " but only " +
+                formatBytes(limit_ - (cur < limit_ ? cur : limit_)) +
+                " of " + formatBytes(limit_) + " remain");
+        }
+        if (used_.compare_exchange_weak(cur, cur + bytes,
+                                        std::memory_order_relaxed))
+            break;
+    }
+    std::uint64_t now = cur + bytes;
+    std::uint64_t hi = peak_.load(std::memory_order_relaxed);
+    while (hi < now &&
+           !peak_.compare_exchange_weak(hi, now,
+                                        std::memory_order_relaxed)) {
+    }
+    return {};
+}
+
+void
+MemBudget::release(std::uint64_t bytes)
+{
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (parent_)
+        parent_->release(bytes);
+}
+
+Expected<MemCharge>
+MemCharge::charge(MemBudget *budget, std::uint64_t bytes,
+                  const std::string &what)
+{
+    MemCharge guard;
+    if (!budget)
+        return Expected<MemCharge>(std::move(guard));
+    Expected<void> ok = budget->tryCharge(bytes, what);
+    if (!ok.ok())
+        return ok.takeError();
+    guard.budget_ = budget;
+    guard.bytes_ = bytes;
+    return Expected<MemCharge>(std::move(guard));
+}
+
+namespace {
+
+/** Split "<digits><suffix>": @return false on empty/non-numeric. */
+bool
+splitNumber(const std::string &s, std::uint64_t &value,
+            std::string &suffix)
+{
+    std::size_t i = 0;
+    while (i < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    if (i == 0)
+        return false;
+    value = 0;
+    for (std::size_t k = 0; k < i; ++k) {
+        if (value > UINT64_MAX / 10)
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(s[k] - '0');
+    }
+    suffix = s.substr(i);
+    return true;
+}
+
+} // namespace
+
+Expected<std::uint64_t>
+parseDuration(const std::string &s)
+{
+    std::uint64_t value = 0;
+    std::string unit;
+    if (!splitNumber(s, value, unit))
+        return Error::usage("bad duration '" + s +
+                            "' (want e.g. 30s, 500ms, 100us)");
+    std::uint64_t scale = 0;
+    if (unit == "ns")
+        scale = 1;
+    else if (unit == "us")
+        scale = 1000;
+    else if (unit == "ms")
+        scale = 1000 * 1000;
+    else if (unit == "s")
+        scale = 1000ull * 1000 * 1000;
+    else if (unit == "m")
+        scale = 60ull * 1000 * 1000 * 1000;
+    else
+        return Error::usage("bad duration unit '" + unit + "' in '" +
+                            s + "' (want ns, us, ms, s or m)");
+    if (value != 0 && scale > UINT64_MAX / value)
+        return Error::usage("duration '" + s + "' overflows");
+    return value * scale;
+}
+
+Expected<std::uint64_t>
+parseByteSize(const std::string &s)
+{
+    std::uint64_t value = 0;
+    std::string unit;
+    if (!splitNumber(s, value, unit))
+        return Error::usage("bad byte size '" + s +
+                            "' (want e.g. 1024, 64K, 512M, 2G)");
+    std::uint64_t scale = 1;
+    if (unit == "" || unit == "B")
+        scale = 1;
+    else if (unit == "K" || unit == "KiB")
+        scale = 1024ull;
+    else if (unit == "M" || unit == "MiB")
+        scale = 1024ull * 1024;
+    else if (unit == "G" || unit == "GiB")
+        scale = 1024ull * 1024 * 1024;
+    else
+        return Error::usage("bad byte-size unit '" + unit + "' in '" +
+                            s + "' (want K, M or G)");
+    if (value != 0 && scale > UINT64_MAX / value)
+        return Error::usage("byte size '" + s + "' overflows");
+    return value * scale;
+}
+
+std::string
+formatDuration(std::uint64_t ns)
+{
+    char buf[32];
+    if (ns >= 1000ull * 1000 * 1000) {
+        std::snprintf(buf, sizeof(buf), "%.1fs",
+                      static_cast<double>(ns) / 1e9);
+    } else if (ns >= 1000 * 1000) {
+        std::snprintf(buf, sizeof(buf), "%.0fms",
+                      static_cast<double>(ns) / 1e6);
+    } else if (ns >= 1000) {
+        std::snprintf(buf, sizeof(buf), "%.0fus",
+                      static_cast<double>(ns) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluns",
+                      static_cast<unsigned long long>(ns));
+    }
+    return buf;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= 1024ull * 1024 * 1024) {
+        std::snprintf(buf, sizeof(buf), "%.1f GiB",
+                      static_cast<double>(bytes) /
+                          (1024.0 * 1024.0 * 1024.0));
+    } else if (bytes >= 1024 * 1024) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                      static_cast<double>(bytes) / (1024.0 * 1024.0));
+    } else if (bytes >= 1024) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                      static_cast<double>(bytes) / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+} // namespace assoc

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Deadlines, cooperative cancellation, and memory budgets: the
+ * primitives behind the sweep engine's runaway-work defenses.
+ *
+ * A Deadline is a steady-clock expiry instant. A CancelToken is the
+ * cooperative stop signal a long computation polls: it trips on an
+ * explicit cancel(), on a watchdog's cancelTimeout(), on its
+ * Deadline expiring, on a delivered SIGINT (when watching), or
+ * transitively through a parent token (per-job tokens chain to the
+ * sweep-wide one). Workers call checkpoint() every N units of work;
+ * a tripped token yields a structured Error::timeout() /
+ * Error::cancelled() that unwinds through the normal error path, so
+ * cancellation latency is bounded by the checkpoint cadence and
+ * nothing is ever killed mid-write.
+ *
+ * A MemBudget is byte accounting for the big allocations (cache
+ * planes, reader buffers, journal maps): charges are RAII-guarded
+ * by MemCharge and chain to a parent budget, so one job ballooning
+ * past its share fails with a structured Error::budget() instead of
+ * inviting the OOM killer to erase the whole sweep.
+ */
+
+#ifndef ASSOC_UTIL_CANCEL_H
+#define ASSOC_UTIL_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace assoc {
+
+/** A steady-clock expiry instant; default-constructed = never. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Deadline() : expiry_(Clock::time_point::max()) {}
+
+    /** A deadline that never expires (same as default construction). */
+    static Deadline never() { return Deadline(); }
+
+    /** Expire @p ns nanoseconds from now (0 = already expired). */
+    static Deadline
+    after(std::uint64_t ns)
+    {
+        Deadline d;
+        d.expiry_ = Clock::now() + std::chrono::nanoseconds(ns);
+        return d;
+    }
+
+    /** Expire at @p when. */
+    static Deadline
+    at(Clock::time_point when)
+    {
+        Deadline d;
+        d.expiry_ = when;
+        return d;
+    }
+
+    /** The sooner of two deadlines (never loses to anything). */
+    static Deadline
+    earlier(const Deadline &a, const Deadline &b)
+    {
+        return a.expiry_ <= b.expiry_ ? a : b;
+    }
+
+    bool isNever() const { return expiry_ == Clock::time_point::max(); }
+
+    bool
+    expired() const
+    {
+        return !isNever() && Clock::now() >= expiry_;
+    }
+
+    /**
+     * Nanoseconds until expiry: negative once past it, INT64_MAX
+     * when the deadline never expires.
+     */
+    std::int64_t
+    remainingNs() const
+    {
+        if (isNever())
+            return INT64_MAX;
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   expiry_ - Clock::now())
+            .count();
+    }
+
+    Clock::time_point expiry() const { return expiry_; }
+
+  private:
+    Clock::time_point expiry_;
+};
+
+/**
+ * Cooperative cancellation flag shared between a sweep and its
+ * owner. Trips explicitly (cancel / cancelTimeout), on its deadline,
+ * on SIGINT (when watching), or through a parent token. Configure
+ * (setParent / setDeadline / watchSigint) before sharing it across
+ * threads; cancel / cancelTimeout / checkpoint are thread-safe.
+ */
+class CancelToken
+{
+  public:
+    /** Why a token tripped. */
+    enum class Reason : std::uint8_t {
+        None = 0,    ///< still running
+        Cancelled,   ///< explicit cancel() or SIGINT
+        TimedOut,    ///< deadline expiry or watchdog cancelTimeout()
+    };
+
+    /** Trip the token: cancellation (SIGINT-equivalent). */
+    void
+    cancel()
+    {
+        std::uint8_t expect = 0;
+        reason_.compare_exchange_strong(
+            expect, static_cast<std::uint8_t>(Reason::Cancelled),
+            std::memory_order_relaxed);
+    }
+
+    /** Trip the token: deadline exceeded (the watchdog's verb). */
+    void
+    cancelTimeout()
+    {
+        std::uint8_t expect = 0;
+        reason_.compare_exchange_strong(
+            expect, static_cast<std::uint8_t>(Reason::TimedOut),
+            std::memory_order_relaxed);
+    }
+
+    /** Chain to @p parent: its trip (and deadline) trips this token
+     *  too. Not owned; must outlive this token. */
+    void setParent(const CancelToken *parent) { parent_ = parent; }
+
+    /** Arm a deadline; expiry makes the token report TimedOut. */
+    void setDeadline(Deadline d) { deadline_ = d; }
+
+    const Deadline &deadline() const { return deadline_; }
+
+    /** Also treat a delivered SIGINT as cancellation. */
+    void watchSigint(bool watch = true) { watch_sigint_ = watch; }
+
+    /** True when the process received SIGINT (handler installed). */
+    static bool sigintSeen();
+
+    /** Why the token is tripped (None while still running). The
+     *  first delivered reason wins; an unexpired deadline never
+     *  overrides a delivered cancel. */
+    Reason
+    reason() const
+    {
+        Reason own = static_cast<Reason>(
+            reason_.load(std::memory_order_relaxed));
+        if (own != Reason::None)
+            return own;
+        if (watch_sigint_ && sigintSeen())
+            return Reason::Cancelled;
+        if (deadline_.expired())
+            return Reason::TimedOut;
+        if (parent_)
+            return parent_->reason();
+        return Reason::None;
+    }
+
+    /** True when tripped for any reason (deadline checks included). */
+    bool cancelled() const { return reason() != Reason::None; }
+
+    /**
+     * True only when a cancel was *delivered* (explicit cancel,
+     * watchdog cancelTimeout, or SIGINT) on this token or an
+     * ancestor — deadline clocks are not consulted. This is what
+     * non-checkpointing code (and the injected hang fault) polls:
+     * it models a worker that only a watchdog can release.
+     */
+    bool
+    signalled() const
+    {
+        if (reason_.load(std::memory_order_relaxed) != 0)
+            return true;
+        if (watch_sigint_ && sigintSeen())
+            return true;
+        return parent_ && parent_->signalled();
+    }
+
+    /**
+     * The cooperative cancellation point: bump the heartbeat and
+     * report the token's state as an Expected. Cheap when running
+     * (one relaxed atomic increment + loads; the deadline clock is
+     * read only when armed), structured Error::timeout() /
+     * Error::cancelled() once tripped.
+     */
+    Expected<void>
+    checkpoint() const
+    {
+        beats_.fetch_add(1, std::memory_order_relaxed);
+        switch (reason()) {
+          case Reason::None: return {};
+          case Reason::TimedOut:
+            return Error::timeout("deadline exceeded");
+          case Reason::Cancelled:
+            if (watch_sigint_ && sigintSeen())
+                return Error::cancelled("interrupted (SIGINT)");
+            return Error::cancelled("cancelled");
+        }
+        return Error::internal("unreachable cancel reason");
+    }
+
+    /** Checkpoints taken so far (the watchdog's liveness signal). */
+    std::uint64_t
+    heartbeats() const
+    {
+        return beats_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint8_t> reason_{0};
+    mutable std::atomic<std::uint64_t> beats_{0};
+    const CancelToken *parent_ = nullptr;
+    Deadline deadline_;
+    bool watch_sigint_ = false;
+};
+
+/**
+ * Install a SIGINT handler that records the signal instead of
+ * killing the process (idempotent). Sweeps with a journal install
+ * it so ^C drains in-flight jobs, checkpoints, and exits 130.
+ */
+void installSigintHandler();
+
+/** Clear the recorded SIGINT (tests re-raise repeatedly). */
+void clearSigintForTests();
+
+/**
+ * Byte accounting for the big allocations. A limit of 0 means
+ * unlimited (accounting only). Budgets chain: charging a per-job
+ * budget also charges the sweep-global one, so both "one job
+ * ballooned" and "the fleet collectively ballooned" fail cleanly.
+ * Thread-safe.
+ */
+class MemBudget
+{
+  public:
+    explicit MemBudget(std::uint64_t limit_bytes = 0,
+                       MemBudget *parent = nullptr)
+        : limit_(limit_bytes), parent_(parent)
+    {}
+
+    /**
+     * Reserve @p bytes, or return a structured Error::budget()
+     * naming @p what when this budget (or an ancestor) would be
+     * exceeded. Nothing is charged on failure.
+     */
+    Expected<void> tryCharge(std::uint64_t bytes,
+                             const std::string &what);
+
+    /** Return @p bytes previously charged. */
+    void release(std::uint64_t bytes);
+
+    /** Bytes currently charged. */
+    std::uint64_t
+    used() const
+    {
+        return used_.load(std::memory_order_relaxed);
+    }
+
+    /** High-water mark of used(). */
+    std::uint64_t
+    peak() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
+
+    /** The limit (0 = unlimited). */
+    std::uint64_t limit() const { return limit_; }
+
+  private:
+    std::atomic<std::uint64_t> used_{0};
+    std::atomic<std::uint64_t> peak_{0};
+    std::uint64_t limit_;
+    MemBudget *parent_;
+};
+
+/**
+ * RAII guard for one MemBudget charge: releases the bytes on
+ * destruction. Move-only; a default-constructed (or moved-from)
+ * guard holds nothing. A null budget means "no accounting" and
+ * always succeeds, so call sites need no branching.
+ */
+class MemCharge
+{
+  public:
+    MemCharge() = default;
+
+    MemCharge(MemCharge &&other) noexcept
+        : budget_(other.budget_), bytes_(other.bytes_)
+    {
+        other.budget_ = nullptr;
+        other.bytes_ = 0;
+    }
+
+    MemCharge &
+    operator=(MemCharge &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            budget_ = other.budget_;
+            bytes_ = other.bytes_;
+            other.budget_ = nullptr;
+            other.bytes_ = 0;
+        }
+        return *this;
+    }
+
+    MemCharge(const MemCharge &) = delete;
+    MemCharge &operator=(const MemCharge &) = delete;
+
+    ~MemCharge() { release(); }
+
+    /** Charge @p bytes of @p what against @p budget (null = no-op). */
+    static Expected<MemCharge> charge(MemBudget *budget,
+                                      std::uint64_t bytes,
+                                      const std::string &what);
+
+    /** Return the bytes early (idempotent). */
+    void
+    release()
+    {
+        if (budget_)
+            budget_->release(bytes_);
+        budget_ = nullptr;
+        bytes_ = 0;
+    }
+
+    std::uint64_t bytes() const { return bytes_; }
+
+  private:
+    MemBudget *budget_ = nullptr;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * Parse a duration flag value into nanoseconds: a non-negative
+ * number with a required unit suffix ns/us/ms/s/m (e.g. "30s",
+ * "1ms", "500us"). Usage error otherwise.
+ */
+Expected<std::uint64_t> parseDuration(const std::string &s);
+
+/**
+ * Parse a byte-size flag value: a non-negative number with an
+ * optional K/M/G suffix (powers of 1024), e.g. "512M". Usage error
+ * otherwise.
+ */
+Expected<std::uint64_t> parseByteSize(const std::string &s);
+
+/** Compact human rendering of a nanosecond count ("1.5s", "20ms"). */
+std::string formatDuration(std::uint64_t ns);
+
+/** Compact human rendering of a byte count ("512 KiB", "2.0 GiB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_CANCEL_H

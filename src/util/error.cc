@@ -14,6 +14,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Data: return "data";
       case ErrorCode::Io: return "io";
       case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::Budget: return "budget";
       case ErrorCode::Internal: return "internal";
     }
     return "unknown";
@@ -28,6 +30,8 @@ exitCode(ErrorCode code)
       case ErrorCode::Data: return 2;
       case ErrorCode::Io: return 2;
       case ErrorCode::Cancelled: return 130; // 128 + SIGINT
+      case ErrorCode::Timeout: return 4;
+      case ErrorCode::Budget: return 4;
       case ErrorCode::Internal: return 3;
     }
     return 3;

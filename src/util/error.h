@@ -19,6 +19,7 @@
  *   1   usage error (bad flags, invalid configuration)
  *   2   data error  (corrupt/truncated/unreadable input)
  *   3   internal error (a bug in this library)
+ *   4   resource limit exceeded (deadline or memory budget)
  *   130 interrupted (SIGINT; 128 + signal number, shell convention)
  */
 
@@ -44,6 +45,8 @@ enum class ErrorCode {
     Io,        ///< the environment failed us (open/read/write);
                ///< considered transient and hence retry-eligible
     Cancelled, ///< interrupted (SIGINT or an explicit cancel)
+    Timeout,   ///< a deadline expired (job timeout, sweep deadline)
+    Budget,    ///< a memory budget was exhausted
     Internal,  ///< an internal invariant was violated
 };
 
@@ -83,6 +86,14 @@ class Error
     static Error cancelled(std::string m)
     {
         return Error(ErrorCode::Cancelled, std::move(m));
+    }
+    static Error timeout(std::string m)
+    {
+        return Error(ErrorCode::Timeout, std::move(m));
+    }
+    static Error budget(std::string m)
+    {
+        return Error(ErrorCode::Budget, std::move(m));
     }
     static Error internal(std::string m)
     {
@@ -159,6 +170,28 @@ class Expected
 
   private:
     std::optional<T> value_;
+    Error error_;
+};
+
+/**
+ * Expected<void>: a bare success/failure status. Default
+ * construction means success, so `return {};` reads as "ok" at
+ * checkpoint-style call sites.
+ */
+template <>
+class Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Error err) : error_(std::move(err)) {}
+
+    bool ok() const { return error_.ok(); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &error() const { return error_; }
+    Error takeError() { return std::move(error_); }
+
+  private:
     Error error_;
 };
 

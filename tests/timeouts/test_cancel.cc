@@ -1,0 +1,221 @@
+// Unit tests for the cancellation primitives: Deadline expiry math,
+// CancelToken reasons and chaining, SIGINT latching, and the
+// duration / byte-size flag parsers (util/cancel.h).
+
+#include "util/cancel.h"
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+namespace assoc {
+namespace {
+
+TEST(Deadline, DefaultNeverExpires)
+{
+    Deadline d;
+    EXPECT_TRUE(d.isNever());
+    EXPECT_FALSE(d.expired());
+    EXPECT_EQ(d.remainingNs(), INT64_MAX);
+    EXPECT_TRUE(Deadline::never().isNever());
+}
+
+TEST(Deadline, AfterZeroIsAlreadyExpired)
+{
+    Deadline d = Deadline::after(0);
+    EXPECT_FALSE(d.isNever());
+    EXPECT_TRUE(d.expired());
+    EXPECT_LE(d.remainingNs(), 0);
+}
+
+TEST(Deadline, FarFutureIsNotExpired)
+{
+    Deadline d = Deadline::after(3600ull * 1000 * 1000 * 1000);
+    EXPECT_FALSE(d.isNever());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingNs(), 0);
+}
+
+TEST(Deadline, EarlierPrefersTheSoonerAndNeverLoses)
+{
+    Deadline never;
+    Deadline soon = Deadline::after(1000);
+    Deadline later = Deadline::after(1000ull * 1000 * 1000 * 1000);
+    EXPECT_EQ(Deadline::earlier(soon, later).expiry(), soon.expiry());
+    EXPECT_EQ(Deadline::earlier(later, soon).expiry(), soon.expiry());
+    EXPECT_EQ(Deadline::earlier(never, soon).expiry(), soon.expiry());
+    EXPECT_TRUE(Deadline::earlier(never, never).isNever());
+}
+
+TEST(CancelToken, FreshTokenRuns)
+{
+    CancelToken t;
+    EXPECT_EQ(t.reason(), CancelToken::Reason::None);
+    EXPECT_FALSE(t.cancelled());
+    EXPECT_FALSE(t.signalled());
+    Expected<void> go = t.checkpoint();
+    EXPECT_TRUE(go.ok());
+    EXPECT_EQ(t.heartbeats(), 1u);
+}
+
+TEST(CancelToken, CancelDeliversCancelled)
+{
+    CancelToken t;
+    t.cancel();
+    EXPECT_EQ(t.reason(), CancelToken::Reason::Cancelled);
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_TRUE(t.signalled());
+    Expected<void> go = t.checkpoint();
+    ASSERT_FALSE(go.ok());
+    EXPECT_EQ(go.error().code(), ErrorCode::Cancelled);
+}
+
+TEST(CancelToken, TimeoutDeliversTimeout)
+{
+    CancelToken t;
+    t.cancelTimeout();
+    EXPECT_EQ(t.reason(), CancelToken::Reason::TimedOut);
+    EXPECT_TRUE(t.signalled());
+    Expected<void> go = t.checkpoint();
+    ASSERT_FALSE(go.ok());
+    EXPECT_EQ(go.error().code(), ErrorCode::Timeout);
+}
+
+TEST(CancelToken, FirstDeliveredReasonWins)
+{
+    CancelToken t;
+    t.cancel();
+    t.cancelTimeout(); // must not overwrite the delivered cancel
+    EXPECT_EQ(t.reason(), CancelToken::Reason::Cancelled);
+
+    CancelToken u;
+    u.cancelTimeout();
+    u.cancel();
+    EXPECT_EQ(u.reason(), CancelToken::Reason::TimedOut);
+}
+
+TEST(CancelToken, ExpiredDeadlineReportsTimeoutButNotSignalled)
+{
+    CancelToken t;
+    t.setDeadline(Deadline::after(0));
+    // cancelled() consults the clock; signalled() is delivery-only
+    // (what wedged, non-checkpointing code polls).
+    EXPECT_EQ(t.reason(), CancelToken::Reason::TimedOut);
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_FALSE(t.signalled());
+    Expected<void> go = t.checkpoint();
+    ASSERT_FALSE(go.ok());
+    EXPECT_EQ(go.error().code(), ErrorCode::Timeout);
+}
+
+TEST(CancelToken, ParentTripsChild)
+{
+    CancelToken parent, child;
+    child.setParent(&parent);
+    EXPECT_FALSE(child.cancelled());
+    parent.cancel();
+    EXPECT_EQ(child.reason(), CancelToken::Reason::Cancelled);
+    EXPECT_TRUE(child.signalled());
+}
+
+TEST(CancelToken, ParentDeadlineTripsChildAsTimeout)
+{
+    CancelToken parent, child;
+    parent.setDeadline(Deadline::after(0));
+    child.setParent(&parent);
+    EXPECT_EQ(child.reason(), CancelToken::Reason::TimedOut);
+    EXPECT_FALSE(child.signalled()); // clock, not a delivery
+}
+
+TEST(CancelToken, OwnReasonOutranksParent)
+{
+    CancelToken parent, child;
+    child.setParent(&parent);
+    child.cancelTimeout();
+    parent.cancel();
+    EXPECT_EQ(child.reason(), CancelToken::Reason::TimedOut);
+}
+
+TEST(CancelToken, SigintLatchesWhenWatching)
+{
+    installSigintHandler();
+    clearSigintForTests();
+    CancelToken watching, ignoring;
+    watching.watchSigint();
+    EXPECT_FALSE(watching.cancelled());
+
+    std::raise(SIGINT);
+    EXPECT_TRUE(CancelToken::sigintSeen());
+    EXPECT_EQ(watching.reason(), CancelToken::Reason::Cancelled);
+    EXPECT_TRUE(watching.signalled());
+    EXPECT_FALSE(ignoring.cancelled());
+
+    Expected<void> go = watching.checkpoint();
+    ASSERT_FALSE(go.ok());
+    EXPECT_EQ(go.error().code(), ErrorCode::Cancelled);
+    EXPECT_NE(go.error().message().find("SIGINT"), std::string::npos);
+    clearSigintForTests();
+}
+
+TEST(ParseDuration, AcceptsEveryUnit)
+{
+    EXPECT_EQ(parseDuration("5ns").value(), 5u);
+    EXPECT_EQ(parseDuration("7us").value(), 7000u);
+    EXPECT_EQ(parseDuration("30ms").value(), 30ull * 1000 * 1000);
+    EXPECT_EQ(parseDuration("2s").value(), 2ull * 1000 * 1000 * 1000);
+    EXPECT_EQ(parseDuration("5m").value(),
+              300ull * 1000 * 1000 * 1000);
+    EXPECT_EQ(parseDuration("0s").value(), 0u);
+}
+
+TEST(ParseDuration, RejectsJunk)
+{
+    for (const char *bad :
+         {"", "5", "s", "-1s", "1.5s", "5 s", "5sec", "1h", "x5ms"}) {
+        Expected<std::uint64_t> r = parseDuration(bad);
+        EXPECT_FALSE(r.ok()) << "accepted '" << bad << "'";
+        if (!r.ok()) {
+            EXPECT_EQ(r.error().code(), ErrorCode::Usage) << bad;
+        }
+    }
+}
+
+TEST(ParseDuration, RejectsOverflow)
+{
+    EXPECT_FALSE(parseDuration("99999999999999999999ns").ok());
+    EXPECT_FALSE(parseDuration("18446744073709551615m").ok());
+}
+
+TEST(ParseByteSize, AcceptsSuffixes)
+{
+    EXPECT_EQ(parseByteSize("0").value(), 0u);
+    EXPECT_EQ(parseByteSize("123").value(), 123u);
+    EXPECT_EQ(parseByteSize("2K").value(), 2048u);
+    EXPECT_EQ(parseByteSize("2KiB").value(), 2048u);
+    EXPECT_EQ(parseByteSize("3M").value(), 3ull << 20);
+    EXPECT_EQ(parseByteSize("1G").value(), 1ull << 30);
+    EXPECT_EQ(parseByteSize("512B").value(), 512u);
+}
+
+TEST(ParseByteSize, RejectsJunk)
+{
+    for (const char *bad : {"", "K", "-1K", "1.5M", "5 K", "5T"}) {
+        Expected<std::uint64_t> r = parseByteSize(bad);
+        EXPECT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    }
+    EXPECT_FALSE(parseByteSize("99999999999999999999").ok());
+    EXPECT_FALSE(parseByteSize("18446744073709551615K").ok());
+}
+
+TEST(Format, DurationAndBytesAreCompact)
+{
+    EXPECT_EQ(formatDuration(500), "500ns");
+    EXPECT_EQ(formatBytes(512), "512B");
+    // Exact renderings above; larger values just need the unit.
+    EXPECT_NE(formatDuration(1500ull * 1000 * 1000).find("s"),
+              std::string::npos);
+    EXPECT_NE(formatBytes(3ull << 20).find("MiB"), std::string::npos);
+}
+
+} // namespace
+} // namespace assoc

@@ -1,0 +1,199 @@
+// Unit tests for MemBudget / MemCharge: charge-release balance,
+// limits, parent chaining and unwind, RAII and move semantics, and
+// concurrent charging from many threads (util/cancel.h).
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cancel.h"
+
+namespace assoc {
+namespace {
+
+TEST(MemBudget, UnlimitedBudgetOnlyAccounts)
+{
+    MemBudget b; // limit 0 = unlimited
+    EXPECT_TRUE(b.tryCharge(1ull << 40, "huge").ok());
+    EXPECT_EQ(b.used(), 1ull << 40);
+    b.release(1ull << 40);
+    EXPECT_EQ(b.used(), 0u);
+    EXPECT_EQ(b.peak(), 1ull << 40);
+}
+
+TEST(MemBudget, LimitIsEnforcedExactly)
+{
+    MemBudget b(100);
+    EXPECT_TRUE(b.tryCharge(100, "all of it").ok());
+    Expected<void> over = b.tryCharge(1, "one more");
+    ASSERT_FALSE(over.ok());
+    EXPECT_EQ(over.error().code(), ErrorCode::Budget);
+    // Nothing was charged by the failure.
+    EXPECT_EQ(b.used(), 100u);
+    b.release(100);
+    EXPECT_TRUE(b.tryCharge(1, "fits again").ok());
+}
+
+TEST(MemBudget, ErrorNamesTheAllocationSite)
+{
+    MemBudget b(1024);
+    Expected<void> r = b.tryCharge(4096, "din trace line buffer");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("din trace line buffer"),
+              std::string::npos);
+}
+
+TEST(MemBudget, ChildChargesPropagateToParent)
+{
+    MemBudget parent(1000);
+    MemBudget child(1000, &parent);
+    EXPECT_TRUE(child.tryCharge(400, "x").ok());
+    EXPECT_EQ(child.used(), 400u);
+    EXPECT_EQ(parent.used(), 400u);
+    child.release(400);
+    EXPECT_EQ(child.used(), 0u);
+    EXPECT_EQ(parent.used(), 0u);
+}
+
+TEST(MemBudget, ChildFailureUnwindsTheParentCharge)
+{
+    MemBudget parent(10000);
+    MemBudget child(100, &parent);
+    Expected<void> r = child.tryCharge(500, "too much for the child");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(parent.used(), 0u) << "parent kept a phantom charge";
+    EXPECT_EQ(child.used(), 0u);
+}
+
+TEST(MemBudget, ParentLimitCapsTheChild)
+{
+    MemBudget parent(100);
+    MemBudget child(1000, &parent); // generous child, stingy parent
+    Expected<void> r = child.tryCharge(500, "x");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::Budget);
+    EXPECT_EQ(child.used(), 0u);
+    EXPECT_EQ(parent.used(), 0u);
+}
+
+TEST(MemCharge, ReleasesOnDestruction)
+{
+    MemBudget b(1000);
+    {
+        Expected<MemCharge> c = MemCharge::charge(&b, 600, "scoped");
+        ASSERT_TRUE(c.ok());
+        EXPECT_EQ(c.value().bytes(), 600u);
+        EXPECT_EQ(b.used(), 600u);
+    }
+    EXPECT_EQ(b.used(), 0u);
+    EXPECT_EQ(b.peak(), 600u);
+}
+
+TEST(MemCharge, NullBudgetAlwaysSucceeds)
+{
+    Expected<MemCharge> c =
+        MemCharge::charge(nullptr, 1ull << 50, "anything");
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.value().bytes(), 0u);
+}
+
+TEST(MemCharge, FailedChargeChargesNothing)
+{
+    MemBudget b(10);
+    Expected<MemCharge> c = MemCharge::charge(&b, 100, "no");
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemCharge, MoveTransfersOwnership)
+{
+    MemBudget b(1000);
+    MemCharge outer;
+    {
+        Expected<MemCharge> c = MemCharge::charge(&b, 300, "moved");
+        ASSERT_TRUE(c.ok());
+        outer = c.take();
+    } // the moved-from temporary must not release
+    EXPECT_EQ(b.used(), 300u);
+    EXPECT_EQ(outer.bytes(), 300u);
+
+    MemCharge stolen(std::move(outer));
+    EXPECT_EQ(outer.bytes(), 0u);
+    EXPECT_EQ(b.used(), 300u);
+    stolen.release();
+    EXPECT_EQ(b.used(), 0u);
+    stolen.release(); // idempotent
+    EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemCharge, MoveAssignReleasesThePreviousCharge)
+{
+    MemBudget b(1000);
+    Expected<MemCharge> first = MemCharge::charge(&b, 200, "a");
+    Expected<MemCharge> second = MemCharge::charge(&b, 300, "b");
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(b.used(), 500u);
+    MemCharge keep = first.take();
+    keep = second.take(); // drops the 200, keeps the 300
+    EXPECT_EQ(b.used(), 300u);
+}
+
+TEST(MemBudget, ConcurrentChargesBalanceAndRespectTheLimit)
+{
+    // N threads hammer one budget; every successful charge must be
+    // matched by its release, the limit must never be exceeded
+    // while held, and the final used() must return to zero.
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIters = 2000;
+    constexpr std::uint64_t kChunk = 64;
+    MemBudget b(kThreads * kChunk / 2); // contended: half fit
+
+    std::vector<std::thread> workers;
+    std::vector<std::uint64_t> wins(kThreads, 0);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&b, &wins, t] {
+            for (unsigned i = 0; i < kIters; ++i) {
+                Expected<MemCharge> c =
+                    MemCharge::charge(&b, kChunk, "worker");
+                if (c.ok())
+                    ++wins[t];
+                // guard releases at scope exit
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    EXPECT_EQ(b.used(), 0u) << "charges and releases out of balance";
+    EXPECT_LE(b.peak(), b.limit());
+    std::uint64_t total = 0;
+    for (std::uint64_t w : wins)
+        total += w;
+    EXPECT_GT(total, 0u) << "no thread ever got a charge through";
+}
+
+TEST(MemBudget, ConcurrentChildChargesBalanceInTheParent)
+{
+    MemBudget parent(1ull << 20);
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&parent] {
+            MemBudget child(1ull << 16, &parent);
+            for (unsigned i = 0; i < 1000; ++i) {
+                Expected<MemCharge> c =
+                    MemCharge::charge(&child, 128, "child worker");
+                EXPECT_TRUE(c.ok());
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(parent.used(), 0u);
+    EXPECT_GT(parent.peak(), 0u);
+}
+
+} // namespace
+} // namespace assoc

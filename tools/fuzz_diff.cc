@@ -128,8 +128,13 @@ main(int argc, char **argv)
                    "parallel sweep) and exit");
     args.addSwitch("inject-faults",
                    "run the fault-injection campaign (corrupted "
-                   "traces, failing jobs, cancel + resume) instead "
-                   "of the scheme fuzzer");
+                   "traces, failing jobs, cancel + resume, hang / "
+                   "slow / oom runaways) instead of the scheme "
+                   "fuzzer");
+    args.addFlag("job-timeout", "",
+                 "watchdog deadline for the campaign's hang cases "
+                 "(e.g. 50ms; default 50ms); failing runaway cases "
+                 "echo it in their repro line");
     args.addSwitch("quiet", "suppress the summary line");
     if (!args.parse(argc, argv))
         return 0;
@@ -146,6 +151,14 @@ main(int argc, char **argv)
             opt.max_failures = static_cast<unsigned>(
                 args.getUint("max-failures"));
             opt.log = &std::cerr;
+            if (args.given("job-timeout")) {
+                Expected<std::uint64_t> ns =
+                    parseDuration(args.getString("job-timeout"));
+                if (!ns.ok())
+                    throwError(Error(ns.error())
+                                   .withContext("--job-timeout"));
+                opt.job_timeout_ns = ns.value();
+            }
 
             check::FaultCampaignSummary sum =
                 check::runFaultCampaign(opt);
