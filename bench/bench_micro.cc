@@ -11,12 +11,15 @@
 #include <memory>
 #include <vector>
 
+#include <mutex>
+
 #include "core/mru_lookup.h"
 #include "core/partial_lookup.h"
 #include "core/scheme.h"
 #include "core/transform.h"
 #include "mem/hierarchy.h"
 #include "sim/runner.h"
+#include "svc/service.h"
 #include "trace/atum_like.h"
 #include "util/rng.h"
 
@@ -347,6 +350,113 @@ BM_EndToEndTrace(benchmark::State &state)
 }
 
 BENCHMARK(BM_EndToEndTrace)->Unit(benchmark::kMillisecond);
+
+/**
+ * Shared fixture for the concurrent-service benchmarks: one
+ * CacheService with a session per benchmark thread, rebuilt when
+ * the thread count changes. Whichever thread arrives first builds
+ * it (google-benchmark's start barrier then lines everyone up
+ * before the timed loop).
+ */
+struct SvcFixture
+{
+    // 64K / 32B / 8-way = 2048 lines; probes draw from a prefilled
+    // working set (hits, the seqlock fast path), accesses from 4x
+    // capacity (misses + evictions under the stripe locks).
+    static constexpr std::uint32_t kLines = 2048;
+    static constexpr std::uint32_t kAccessSpace = 4 * kLines;
+
+    std::mutex mu;
+    std::unique_ptr<svc::CacheService> service;
+    std::vector<svc::Session *> sessions;
+
+    svc::Session *
+    sessionFor(unsigned threads, unsigned index)
+    {
+        std::lock_guard<std::mutex> g(mu);
+        if (!service || sessions.size() != threads) {
+            Expected<std::unique_ptr<svc::CacheService>> e =
+                svc::CacheService::create(
+                    mem::CacheGeometry(65536, 32, 8));
+            if (!e.ok())
+                throw std::runtime_error(e.error().message());
+            service = e.take();
+            sessions.clear();
+            for (unsigned t = 0; t < threads; ++t) {
+                Expected<svc::Session *> s =
+                    service->openSession();
+                if (!s.ok())
+                    throw std::runtime_error(s.error().message());
+                sessions.push_back(s.take());
+            }
+            for (std::uint32_t b = 0; b < kLines; ++b)
+                sessions[0]->fill(b, false);
+        }
+        return sessions[index];
+    }
+};
+
+SvcFixture &
+svcProbeFixture()
+{
+    static SvcFixture fx;
+    return fx;
+}
+
+SvcFixture &
+svcAccessFixture()
+{
+    static SvcFixture fx;
+    return fx;
+}
+
+void
+BM_SvcProbe(benchmark::State &state)
+{
+    // Read-only lookups on a prefilled service: every probe rides
+    // the optimistic seqlock path, no stripe lock taken.
+    svc::Session *session = svcProbeFixture().sessionFor(
+        static_cast<unsigned>(state.threads()),
+        static_cast<unsigned>(state.thread_index()));
+    Pcg32 rng(0x9e0b, 7 + state.thread_index());
+    for (auto _ : state) {
+        svc::OpResult r =
+            session->probe(rng.below(SvcFixture::kLines));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SvcProbe)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void
+BM_SvcAccess(benchmark::State &state)
+{
+    // The classic service op (lookup, fill on miss) over 4x the
+    // cache capacity: stripe locks, MRU promotion, evictions.
+    svc::Session *session = svcAccessFixture().sessionFor(
+        static_cast<unsigned>(state.threads()),
+        static_cast<unsigned>(state.thread_index()));
+    Pcg32 rng(0xacce, 7 + state.thread_index());
+    for (auto _ : state) {
+        std::uint32_t b = rng.below(SvcFixture::kAccessSpace);
+        svc::OpResult r = session->access(b, (b & 7) == 0);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SvcAccess)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 } // namespace
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Correctness checks for the concurrent cache service (src/svc).
+ *
+ * Two machine-checked claims:
+ *
+ *  1. Per-set serializability. Every svc operation carries the
+ *     stripe version it observed (read-only ops) or produced
+ *     (mutating ops advance their stripe's seqlock by one). Sorting
+ *     the merged per-session histories by (version, mutation-first)
+ *     within each stripe therefore reconstructs the concurrent
+ *     execution's per-set total order; replaying that order against
+ *     a fresh single-threaded WriteBackCache must reproduce every
+ *     recorded hit/way/probe-count/eviction exactly, mutation
+ *     versions must be duplicate-free and gap-free (a duplicate
+ *     means two writers were inside one critical section), and the
+ *     replayed cache must end bit-identical to the shared engine.
+ *
+ *  2. Deterministic stats merging. Replaying one op stream
+ *     partitioned disjoint-by-set over N threads must merge to
+ *     TenantStats outcome totals bit-for-bit equal to a
+ *     single-thread run of the same stream — per-set state never
+ *     crosses a partition boundary, and every shard merge is an
+ *     exact integer/small-double sum.
+ *
+ * The fuzzer samples (geometry, policy, stripe cap, op mix, thread
+ * count) cases as pure functions of (seed, index) and runs both
+ * phases per case; failures print one-line
+ * `fuzz_diff --threads=T --seed=S --config=I` repro commands.
+ */
+
+#ifndef ASSOC_CHECK_SVC_CHECK_H
+#define ASSOC_CHECK_SVC_CHECK_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "svc/service.h"
+
+namespace assoc {
+namespace check {
+
+/** One scripted service operation (pre-generated op streams). */
+struct SvcOpSpec
+{
+    svc::OpKind kind = svc::OpKind::Access;
+    mem::BlockAddr block = 0;
+    bool is_write = false;
+};
+
+/** One sampled svc fuzz case: a pure function of its case seed. */
+struct SvcFuzzCase
+{
+    std::uint64_t case_seed = 0;
+    mem::CacheGeometry geom{1024, 16, 2};
+    svc::SvcConfig cfg;
+    unsigned threads = 2;
+    std::uint64_t ops_per_thread = 1000;
+    /** Distinct block addresses the streams draw from (small =
+     *  contended). */
+    std::uint32_t block_space = 64;
+
+    /** One-line description for failure reports. */
+    std::string describe() const;
+};
+
+/**
+ * Sample the case implied by (master seed, case index).
+ * @param threads_override force the thread count (0 = sample it);
+ *        the `--threads` flag threads through here.
+ */
+SvcFuzzCase sampleSvcCase(std::uint64_t seed, std::uint64_t index,
+                          unsigned threads_override = 0);
+
+/** Thread @p thread's deterministic op stream for case @p c. */
+std::vector<SvcOpSpec> svcOpStream(const SvcFuzzCase &c,
+                                   unsigned thread);
+
+/**
+ * Serializability check: order @p events per stripe by version and
+ * replay them against a fresh reference cache (claim 1 above).
+ * @param stripes   stripe count of the engine that ran (sets map to
+ *                  stripes by low bits).
+ * @param final_state when non-null, the engine's quiesced cache to
+ *                  compare against the replayed reference state.
+ */
+void checkSvcHistory(const mem::CacheGeometry &geom,
+                     mem::ReplPolicy policy, unsigned stripes,
+                     const std::vector<svc::HistoryEvent> &events,
+                     const mem::WriteBackCache *final_state,
+                     ViolationLog &log);
+
+/** Stats-merge invariant: @p merged (an N-thread partitioned run's
+ *  merged shards) must equal @p reference (the single-thread run)
+ *  bit-for-bit on every outcome counter. */
+void checkStatsMerge(const svc::TenantStats &merged,
+                     const svc::TenantStats &reference,
+                     ViolationLog &log);
+
+/** What running one case produced. */
+struct SvcCaseResult
+{
+    ViolationLog log;
+    std::uint64_t ops = 0;    ///< operations applied, both phases
+    std::uint64_t digest = 0; ///< FNV-1a over the serial outcomes
+};
+
+/** Run one case: the contended history phase, then the partitioned
+ *  determinism phase. Exceptions are caught and logged. */
+SvcCaseResult runSvcCase(const SvcFuzzCase &c);
+
+/** The one-line repro command for (seed, index) at @p threads. */
+std::string svcReproCommand(std::uint64_t seed, std::uint64_t index,
+                            unsigned threads);
+
+/** One failing case, ready to report. */
+struct SvcFuzzFailure
+{
+    std::uint64_t index = 0;
+    std::uint64_t case_seed = 0;
+    std::string description;
+    std::vector<std::string> messages;
+};
+
+/** Campaign parameters. */
+struct SvcFuzzOptions
+{
+    std::uint64_t seed = 1;
+    std::uint64_t iterations = 200;
+    /** Thread count for every case (0 = sample per case). */
+    unsigned threads = 0;
+    /** Run only this case index (repro mode). */
+    bool have_only_case = false;
+    std::uint64_t only_case = 0;
+    /** Stop after this many failing cases. */
+    unsigned max_failures = 1;
+    /** Progress/status stream (nullptr = silent). */
+    std::ostream *log = nullptr;
+};
+
+/** Campaign outcome. */
+struct SvcFuzzSummary
+{
+    std::uint64_t cases_run = 0;
+    std::uint64_t ops = 0;    ///< operations applied, all cases
+    std::uint64_t digest = 0; ///< order-sensitive digest of all
+                              ///< case digests
+    std::vector<SvcFuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Run the campaign described by @p opt. */
+SvcFuzzSummary runSvcFuzz(const SvcFuzzOptions &opt);
+
+} // namespace check
+} // namespace assoc
+
+#endif // ASSOC_CHECK_SVC_CHECK_H

@@ -27,6 +27,30 @@ replPolicyName(ReplPolicy policy)
 
 namespace {
 
+/**
+ * Publish one plane store as a relaxed atomic (a plain mov on
+ * mainstream ISAs). Mutators are serialized per set by the caller
+ * (src/svc's stripe locks), but probeRelaxed() readers race with
+ * these stores by design — relaxed atomics make that defined
+ * behavior and keep ThreadSanitizer quiet; the seqlock above
+ * discards any torn view.
+ */
+template <class T>
+inline void
+planeStore(T &loc, T v)
+{
+    std::atomic_ref<T>(loc).store(v, std::memory_order_relaxed);
+}
+
+/** Matching relaxed atomic load for the optimistic read path. */
+template <class T>
+inline T
+planeLoad(const T &loc)
+{
+    return std::atomic_ref<T>(const_cast<T &>(loc))
+        .load(std::memory_order_relaxed);
+}
+
 /** A 1 in the low bit of each 4-bit slot. */
 constexpr std::uint64_t kNibbleLsb = 0x1111111111111111ull;
 /** A 1 in the high bit of each 4-bit slot. */
@@ -151,6 +175,45 @@ WriteBackCache::findWay(BlockAddr b) const
     return -1;
 }
 
+int
+WriteBackCache::probeRelaxed(BlockAddr b, unsigned *probes) const
+{
+    const std::uint32_t set = geom_.setOf(b);
+    if (assoc_ == 1) {
+        *probes = 1;
+        bool hit = (planeLoad(valid_[set]) & 1) != 0 &&
+                   planeLoad(blocks_[set]) == b;
+        return hit ? 0 : -1;
+    }
+    const std::size_t base = index(set, 0);
+    const std::size_t vbase = static_cast<std::size_t>(set) * vwords_;
+    // Walk the recency order from MRU to LRU so the probe count
+    // prices the paper's serial MRU scan. A concurrently mutating
+    // writer can tear the view (duplicate or out-of-range ways);
+    // bounds are guarded so a torn decode cannot fault, and the
+    // caller's seqlock validation discards the result.
+    std::uint64_t packed_order = 0;
+    if (packed_)
+        packed_order = planeLoad(mru_packed_[set]);
+    for (unsigned pos = 0; pos < assoc_; ++pos) {
+        unsigned way =
+            packed_ ? static_cast<unsigned>((packed_order >> (4 * pos)) &
+                                            0xf)
+                    : planeLoad(mru_wide_[base + pos]);
+        if (way >= assoc_)
+            break; // torn order word; validation will reject
+        bool valid =
+            ((planeLoad(valid_[vbase + (way >> 6)]) >> (way & 63)) &
+             1) != 0;
+        if (valid && planeLoad(blocks_[base + way]) == b) {
+            *probes = pos + 1;
+            return static_cast<int>(way);
+        }
+    }
+    *probes = assoc_;
+    return -1;
+}
+
 void
 WriteBackCache::orderPromote(std::vector<std::uint64_t> &packed,
                              std::vector<std::uint8_t> &wide,
@@ -158,15 +221,19 @@ WriteBackCache::orderPromote(std::vector<std::uint64_t> &packed,
 {
     if (packed_) {
         std::uint64_t w = packed[set];
-        packed[set] = slotPromote(w, slotFind(w, assoc_, way));
+        planeStore(packed[set],
+                   slotPromote(w, slotFind(w, assoc_, way)));
         return;
     }
     std::uint8_t *order = &wide[index(set, 0)];
     std::uint8_t *it = static_cast<std::uint8_t *>(
         std::memchr(order, static_cast<int>(way), assoc_));
     panicIf(it == nullptr, "way missing from recency order");
-    std::memmove(order + 1, order, static_cast<std::size_t>(it - order));
-    order[0] = static_cast<std::uint8_t>(way);
+    // Shift [0, pos) up one slot, back to front, as atomic byte
+    // stores (memmove would be an unpublished plain write).
+    for (std::uint8_t *p = it; p != order; --p)
+        planeStore(*p, *(p - 1));
+    planeStore(order[0], static_cast<std::uint8_t>(way));
 }
 
 void
@@ -176,16 +243,17 @@ WriteBackCache::orderDemote(std::vector<std::uint64_t> &packed,
 {
     if (packed_) {
         std::uint64_t w = packed[set];
-        packed[set] = slotDemote(w, slotFind(w, assoc_, way), assoc_);
+        planeStore(packed[set],
+                   slotDemote(w, slotFind(w, assoc_, way), assoc_));
         return;
     }
     std::uint8_t *order = &wide[index(set, 0)];
     std::uint8_t *it = static_cast<std::uint8_t *>(
         std::memchr(order, static_cast<int>(way), assoc_));
     panicIf(it == nullptr, "way missing from recency order");
-    std::memmove(it, it + 1,
-                 static_cast<std::size_t>(order + assoc_ - it) - 1);
-    order[assoc_ - 1] = static_cast<std::uint8_t>(way);
+    for (std::uint8_t *p = it; p != order + assoc_ - 1; ++p)
+        planeStore(*p, *(p + 1));
+    planeStore(order[assoc_ - 1], static_cast<std::uint8_t>(way));
 }
 
 unsigned
@@ -270,7 +338,9 @@ WriteBackCache::setDirty(std::uint32_t set, int way)
 {
     unsigned w = static_cast<unsigned>(way);
     panicIf(!validBit(set, w), "setDirty on an invalid line");
-    dirty_[maskIndex(set, w)] |= std::uint64_t{1} << (w & 63);
+    std::size_t mi = maskIndex(set, w);
+    planeStore(dirty_[mi],
+               dirty_[mi] | (std::uint64_t{1} << (w & 63)));
 }
 
 int
@@ -314,17 +384,17 @@ WriteBackCache::fill(BlockAddr b, bool dirty)
         res.evicted = true;
         res.victim_block = blocks_[idx];
         res.victim_dirty = (dirty_[mi] & bit) != 0;
-        ++evictions_;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
         if (res.victim_dirty)
-            ++dirty_evictions_;
+            dirty_evictions_.fetch_add(1, std::memory_order_relaxed);
     }
-    blocks_[idx] = b;
-    valid_[mi] |= bit;
+    planeStore(blocks_[idx], b);
+    planeStore(valid_[mi], valid_[mi] | bit);
     if (dirty)
-        dirty_[mi] |= bit;
+        planeStore(dirty_[mi], dirty_[mi] | bit);
     else
-        dirty_[mi] &= ~bit;
-    ++fills_;
+        planeStore(dirty_[mi], dirty_[mi] & ~bit);
+    fills_.fetch_add(1, std::memory_order_relaxed);
     makeMru(set, res.way);
 
     // Fill-age bookkeeping (drives the Fifo policy; cheap enough to
@@ -346,8 +416,8 @@ WriteBackCache::invalidate(BlockAddr b)
     std::size_t mi = maskIndex(set, w);
     std::uint64_t bit = std::uint64_t{1} << (w & 63);
     bool was_dirty = (dirty_[mi] & bit) != 0;
-    valid_[mi] &= ~bit;
-    dirty_[mi] &= ~bit;
+    planeStore(valid_[mi], valid_[mi] & ~bit);
+    planeStore(dirty_[mi], dirty_[mi] & ~bit);
     // Demote the invalidated way to the LRU/oldest end of *both*
     // orders so empty frames are reused first and invalid frames
     // stay a suffix of the fill-age order too (victimWay() under

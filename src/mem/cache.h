@@ -20,11 +20,24 @@
  * Both layouts are observationally identical to the original
  * vector-of-Line / vector-of-vector representation (enforced by the
  * randomized equivalence tests in tests/mem/test_recency_packed.cc).
+ *
+ * Concurrency contract (the substrate of src/svc's seqlock): every
+ * mutator publishes its plane stores as relaxed std::atomic_ref
+ * stores (a plain mov on mainstream ISAs, so the single-threaded
+ * hot path is unchanged) and the lifetime counters are relaxed
+ * atomics. That makes the following discipline race-free, and
+ * ThreadSanitizer-clean: writers externally serialized *per set*
+ * (src/svc stripes a lock table over the sets), readers either
+ * holding the same lock or calling probeRelaxed() under a seqlock
+ * validation loop. flush() and the Random replacement policy are
+ * excluded — both touch cross-set state (bulk fills, the shared
+ * RNG) and may only run quiesced.
  */
 
 #ifndef ASSOC_MEM_CACHE_H
 #define ASSOC_MEM_CACHE_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -107,6 +120,22 @@ class WriteBackCache
      * @return way index, or -1 on miss. No state changes.
      */
     int findWay(BlockAddr b) const;
+
+    /**
+     * Pure lookup for the concurrent service's optimistic read path:
+     * scan @p b's set in MRU order through relaxed atomic loads, so
+     * the scan may legally race with a concurrent (per-set
+     * serialized) mutator. The result is only meaningful once the
+     * caller's seqlock validation confirms no writer intervened; a
+     * torn view never faults, it just returns an arbitrary miss/hit
+     * that validation will discard.
+     *
+     * @param probes MRU-scan cost in the paper's probe currency:
+     *        1-based position of the hit way in the recency order,
+     *        or the associativity on a miss (a full Naive scan).
+     * @return way index, or -1 on miss.
+     */
+    int probeRelaxed(BlockAddr b, unsigned *probes) const;
 
     /** Promote (set, way) to most recently used. */
     void touch(std::uint32_t set, int way);
@@ -194,10 +223,23 @@ class WriteBackCache
                mru_wide_.size() + fifo_wide_.size();
     }
 
-    // --- lifetime counters ---
-    std::uint64_t fills() const { return fills_; }
-    std::uint64_t evictions() const { return evictions_; }
-    std::uint64_t dirtyEvictions() const { return dirty_evictions_; }
+    // --- lifetime counters (relaxed atomics: exact under per-set
+    // --- serialization, monotonic snapshots while concurrent) ---
+    std::uint64_t
+    fills() const
+    {
+        return fills_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    dirtyEvictions() const
+    {
+        return dirty_evictions_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::size_t
@@ -277,9 +319,9 @@ class WriteBackCache
     /** Tree-PLRU direction bits, one word per set (TreePlru). */
     std::vector<std::uint64_t> plru_;
 
-    std::uint64_t fills_ = 0;
-    std::uint64_t evictions_ = 0;
-    std::uint64_t dirty_evictions_ = 0;
+    std::atomic<std::uint64_t> fills_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> dirty_evictions_{0};
 };
 
 } // namespace mem

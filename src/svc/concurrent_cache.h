@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The concurrent cache engine: the SoA cache model (WriteBackCache)
+ * run as a shared object behind the striped per-set seqlocks.
+ *
+ * Every operation is one atomic step on its block's set:
+ *
+ *  - probe()      read-only lookup; served by the optimistic seqlock
+ *                 path (no lock, relaxed-atomic scan, sequence
+ *                 validation) with a locked fallback after repeated
+ *                 interference;
+ *  - lookup()     lookup that promotes the hit line to MRU (locked);
+ *  - fill()       insert, evicting the set's victim when full; a
+ *                 block another client filled meanwhile is treated
+ *                 as a hit (touch + dirty merge);
+ *  - invalidate() drop the block if present;
+ *  - access()     the classic cache-service op: lookup, fill on
+ *                 miss — one critical section.
+ *
+ * Writers hold their stripe's SpinLock, so operations on the same
+ * set are totally ordered; the stripe's sequence word versions that
+ * order, and every OpResult carries the version it observed or
+ * produced. That versioned history is what the serializability
+ * checker in src/check replays (see docs/SERVICE.md).
+ *
+ * Probe pricing follows the paper: each scan walks the set's MRU
+ * order, so a hit at recency distance d costs d probes and a miss
+ * costs a full Naive scan of a probes — the same currency the
+ * ProbeMeter observers use, which is what lets per-tenant shards
+ * merge into ProbeStats (see tenant_stats.h).
+ */
+
+#ifndef ASSOC_SVC_CONCURRENT_CACHE_H
+#define ASSOC_SVC_CONCURRENT_CACHE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/cache.h"
+#include "svc/striped_locks.h"
+#include "util/cancel.h"
+#include "util/error.h"
+
+namespace assoc {
+namespace svc {
+
+/** Operation kinds a client session can issue. */
+enum class OpKind : std::uint8_t {
+    Probe,      ///< read-only lookup (seqlock fast path)
+    Lookup,     ///< lookup + MRU promotion
+    Fill,       ///< insert (or merge into a racing insert)
+    Invalidate, ///< drop if present
+    Access,     ///< lookup, fill on miss
+};
+
+/** Printable op name. */
+const char *opKindName(OpKind kind);
+
+/** What one operation did; everything a stats shard or history
+ *  event needs. */
+struct OpResult
+{
+    OpKind kind = OpKind::Probe;
+    mem::BlockAddr block = 0;
+    std::uint32_t set = 0;
+    bool is_write = false; ///< dirty flag of Fill / Access
+
+    bool hit = false;    ///< block was present when the op began
+    int way = -1;        ///< hit way, or the filled way
+    unsigned probes = 0; ///< MRU-scan cost (paper probe currency)
+
+    bool filled = false; ///< a fill happened (Fill / Access miss)
+    bool evicted = false;
+    mem::BlockAddr victim_block = 0;
+    bool victim_dirty = false; ///< evicted or invalidated line was dirty
+
+    bool mutated = false;      ///< op advanced its stripe's version
+    std::uint64_t version = 0; ///< stripe state version observed/produced
+
+    bool optimistic = false; ///< served lock-free by the seqlock path
+    unsigned retries = 0;    ///< optimistic attempts that were torn
+};
+
+/** Engine shape knobs. */
+struct ConcurrentCacheConfig
+{
+    /** Victim selection. Random is rejected: its draws come from a
+     *  shared RNG, which breaks per-set serialization. */
+    mem::ReplPolicy policy = mem::ReplPolicy::Lru;
+    /** Cap on lock stripes (power of two); 0 = one per set. */
+    unsigned max_stripes = 0;
+    /** Optimistic probe attempts before falling back to the lock. */
+    unsigned optimistic_retries = 8;
+};
+
+/** The shared concurrent cache object. */
+class ConcurrentCache
+{
+  public:
+    /**
+     * Build an engine over @p geom, charging the cache planes and
+     * the stripe table to @p budget (null = no accounting).
+     */
+    static Expected<std::unique_ptr<ConcurrentCache>>
+    create(const mem::CacheGeometry &geom,
+           const ConcurrentCacheConfig &cfg = {},
+           MemBudget *budget = nullptr);
+
+    OpResult probe(mem::BlockAddr b) const;
+    OpResult lookup(mem::BlockAddr b);
+    OpResult fill(mem::BlockAddr b, bool dirty);
+    OpResult invalidate(mem::BlockAddr b);
+    OpResult access(mem::BlockAddr b, bool is_write);
+
+    /** Dispatch @p kind (replay and benchmark convenience;
+     *  @p is_write doubles as Fill's dirty flag). */
+    OpResult apply(OpKind kind, mem::BlockAddr b, bool is_write);
+
+    /** The wrapped model. Only coherent when quiesced (no
+     *  concurrent writers); for tests and end-of-run inspection. */
+    const mem::WriteBackCache &cache() const { return cache_; }
+
+    const mem::CacheGeometry &geom() const { return cache_.geom(); }
+
+    /** Stripe count of the lock table (a power of two). */
+    unsigned stripes() const { return locks_.stripes(); }
+
+    /** Stripe index of @p set (for the history checker's
+     *  version-uniqueness invariant). */
+    unsigned stripeOf(std::uint32_t set) const
+    {
+        return locks_.stripeOf(set);
+    }
+
+    /** Bytes held by the cache planes plus the stripe table (what
+     *  create() charges to the MemBudget). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return cache_.footprintBytes() + locks_.footprintBytes();
+    }
+
+  private:
+    ConcurrentCache(const mem::CacheGeometry &geom,
+                    const ConcurrentCacheConfig &cfg);
+
+    mem::WriteBackCache cache_;
+    StripedLockTable locks_;
+    unsigned retries_;
+    MemCharge charge_;
+};
+
+} // namespace svc
+} // namespace assoc
+
+#endif // ASSOC_SVC_CONCURRENT_CACHE_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-session operation histories for the serializability checker.
+ *
+ * Each session records its own operations into a private, fixed-
+ * capacity log — no cross-thread synchronization, so recording does
+ * not perturb the interleavings it documents. The per-set order of
+ * the concurrent run is recoverable offline because every OpResult
+ * carries the stripe version it observed (read-only ops) or
+ * produced (mutating ops); checkSvcHistory in src/check sorts the
+ * merged events by version and replays them against a fresh
+ * reference cache.
+ *
+ * Capacity is fixed at construction so a CacheService can charge
+ * the log to its MemBudget up front; overflow drops further events
+ * and raises a sticky flag instead of reallocating mid-run.
+ */
+
+#ifndef ASSOC_SVC_HISTORY_H
+#define ASSOC_SVC_HISTORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/concurrent_cache.h"
+
+namespace assoc {
+namespace svc {
+
+/** One logged operation, tagged with the session that issued it. */
+struct HistoryEvent
+{
+    std::uint32_t tenant = 0; ///< issuing session's id
+    OpResult op;
+};
+
+/** One session's bounded operation log. */
+class HistoryLog
+{
+  public:
+    /** @param capacity maximum events retained (0 disables
+     *  recording entirely). */
+    explicit HistoryLog(std::size_t capacity) : capacity_(capacity)
+    {
+        events_.reserve(capacity);
+    }
+
+    /**
+     * Append one event.
+     * @return false when the log is full (the event is dropped and
+     *         overflowed() latches).
+     */
+    bool
+    record(const HistoryEvent &e)
+    {
+        if (events_.size() >= capacity_) {
+            if (capacity_ > 0) // capacity 0 = recording disabled
+                overflowed_ = true;
+            return false;
+        }
+        events_.push_back(e);
+        return true;
+    }
+
+    const std::vector<HistoryEvent> &events() const { return events_; }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** True when at least one event was dropped. */
+    bool overflowed() const { return overflowed_; }
+
+    void
+    clear()
+    {
+        events_.clear();
+        overflowed_ = false;
+    }
+
+    /** Bytes reserved for the log (what a MemBudget is charged). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(capacity_) *
+               sizeof(HistoryEvent);
+    }
+
+  private:
+    std::size_t capacity_;
+    bool overflowed_ = false;
+    std::vector<HistoryEvent> events_;
+};
+
+} // namespace svc
+} // namespace assoc
+
+#endif // ASSOC_SVC_HISTORY_H

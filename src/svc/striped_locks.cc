@@ -1,0 +1,34 @@
+#include "svc/striped_locks.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace assoc {
+namespace svc {
+
+namespace {
+
+/** Largest power of two <= v (v >= 1). */
+unsigned
+floorPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p <= v / 2)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+StripedLockTable::StripedLockTable(std::uint32_t sets,
+                                   unsigned max_stripes)
+{
+    fatalIf(sets == 0 || (sets & (sets - 1)) != 0,
+            "stripe table needs a power-of-two set count");
+    unsigned want = max_stripes == 0 ? sets : floorPow2(max_stripes);
+    count_ = want < sets ? want : sets;
+    stripes_ = std::make_unique<SetStripe[]>(count_);
+}
+
+} // namespace svc
+} // namespace assoc

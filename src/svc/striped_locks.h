@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The striped per-set lock/seqlock table behind the concurrent
+ * cache service.
+ *
+ * Limited associativity makes every critical section tiny — a
+ * bounded scan plus a couple of plane stores over one set's few
+ * cache lines — which is exactly the property "Limited Associativity
+ * Makes Concurrent Software Caches a Breeze" (Adas & Einziger)
+ * exploits: with the critical section that small, one cheap
+ * spinlock per set stripe is enough, and read-only probes can skip
+ * locking entirely through a per-stripe sequence counter (seqlock).
+ *
+ * Each stripe is one cache line: a SpinLock serializing writers and
+ * an even/odd sequence word versioning the stripe's sets. Writers
+ * hold the lock, bump the sequence to odd, publish their relaxed
+ * plane stores, and bump back to even (writeBegin / writeEnd).
+ * Optimistic readers snapshot the sequence, scan through relaxed
+ * atomic loads, and retry when the sequence moved (see
+ * docs/SERVICE.md for the full protocol).
+ */
+
+#ifndef ASSOC_SVC_STRIPED_LOCKS_H
+#define ASSOC_SVC_STRIPED_LOCKS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/spinlock.h"
+
+namespace assoc {
+namespace svc {
+
+/** One lock stripe; padded to a cache line to stop false sharing
+ *  between stripes under concurrent writers. */
+struct alignas(64) SetStripe
+{
+    SpinLock lock;                  ///< serializes writers
+    std::atomic<std::uint64_t> seq{0}; ///< even = stable, odd = writing
+};
+
+/**
+ * Begin a write on @p s (the stripe lock must be held): make the
+ * sequence odd, then fence so the plane stores that follow cannot
+ * be observed with the old even sequence.
+ * @return the pre-write sequence value, to pass to writeEnd().
+ */
+inline std::uint64_t
+writeBegin(SetStripe &s)
+{
+    std::uint64_t v = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(v + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    return v;
+}
+
+/**
+ * Finish a write on @p s: publish the new even sequence (release,
+ * pairing with readers' acquire loads).
+ * @return the stripe's new state version (sequence / 2).
+ */
+inline std::uint64_t
+writeEnd(SetStripe &s, std::uint64_t pre)
+{
+    s.seq.store(pre + 2, std::memory_order_release);
+    return (pre + 2) >> 1;
+}
+
+/**
+ * The stripe table: a power-of-two array of SetStripe mapped over
+ * the cache's sets by low index bits. Defaults to one stripe per
+ * set (the strongest striping the geometry admits); a cap trades
+ * footprint for cross-set serialization.
+ */
+class StripedLockTable
+{
+  public:
+    /**
+     * @param sets number of cache sets (a power of two).
+     * @param max_stripes cap on the stripe count, rounded down to a
+     *        power of two; 0 means one stripe per set.
+     */
+    StripedLockTable(std::uint32_t sets, unsigned max_stripes = 0);
+
+    /** Number of stripes (a power of two). */
+    unsigned stripes() const { return count_; }
+
+    /** Stripe index of @p set. */
+    unsigned
+    stripeOf(std::uint32_t set) const
+    {
+        return static_cast<unsigned>(set) & (count_ - 1);
+    }
+
+    /** The stripe guarding @p set. */
+    SetStripe &
+    stripeFor(std::uint32_t set) const
+    {
+        return stripes_[stripeOf(set)];
+    }
+
+    /** Bytes held by the stripe array (what a MemBudget is
+     *  charged for the lock table). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(count_) * sizeof(SetStripe);
+    }
+
+  private:
+    unsigned count_;
+    std::unique_ptr<SetStripe[]> stripes_;
+};
+
+} // namespace svc
+} // namespace assoc
+
+#endif // ASSOC_SVC_STRIPED_LOCKS_H

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/striped_locks.h"
+#include "util/logging.h"
+#include "util/spinlock.h"
+
+namespace {
+
+using namespace assoc;
+using svc::SetStripe;
+using svc::StripedLockTable;
+
+TEST(SpinLock, MutualExclusionAcrossThreads)
+{
+    SpinLock lock;
+    std::uint64_t counter = 0; // protected by lock
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 20000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&]() {
+            for (int i = 0; i < kIncrements; ++i) {
+                std::lock_guard<SpinLock> g(lock);
+                ++counter;
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(counter, std::uint64_t(kThreads) * kIncrements);
+}
+
+TEST(SpinLock, TryLockReportsContention)
+{
+    SpinLock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(StripedLockTable, DefaultsToOneStripePerSet)
+{
+    StripedLockTable table(64);
+    EXPECT_EQ(table.stripes(), 64u);
+    for (std::uint32_t set = 0; set < 64; ++set)
+        EXPECT_EQ(table.stripeOf(set), set);
+}
+
+TEST(StripedLockTable, CapRoundsDownToPowerOfTwo)
+{
+    StripedLockTable table(64, 6); // 6 -> 4 stripes
+    EXPECT_EQ(table.stripes(), 4u);
+    EXPECT_EQ(table.stripeOf(0), 0u);
+    EXPECT_EQ(table.stripeOf(5), 1u);
+    EXPECT_EQ(table.stripeOf(7), 3u);
+    // Sets 4 apart share a stripe (low-bit mapping).
+    EXPECT_EQ(table.stripeOf(3), table.stripeOf(7));
+}
+
+TEST(StripedLockTable, CapNeverExceedsSetCount)
+{
+    StripedLockTable table(8, 64);
+    EXPECT_EQ(table.stripes(), 8u);
+}
+
+TEST(StripedLockTable, RejectsNonPowerOfTwoSets)
+{
+    EXPECT_THROW(StripedLockTable(12), FatalError);
+    EXPECT_THROW(StripedLockTable(0), FatalError);
+}
+
+TEST(StripedLockTable, FootprintCoversStripeArray)
+{
+    StripedLockTable table(16);
+    EXPECT_EQ(table.footprintBytes(), 16 * sizeof(SetStripe));
+    // One cache line per stripe: padding against false sharing.
+    EXPECT_GE(sizeof(SetStripe), 64u);
+}
+
+TEST(Seqlock, WriteProtocolVersionsTheStripe)
+{
+    StripedLockTable table(4);
+    SetStripe &s = table.stripeFor(2);
+    EXPECT_EQ(s.seq.load(), 0u);
+
+    std::uint64_t pre = svc::writeBegin(s);
+    EXPECT_EQ(pre, 0u);
+    EXPECT_EQ(s.seq.load(), 1u); // odd: writer in flight
+    std::uint64_t version = svc::writeEnd(s, pre);
+    EXPECT_EQ(version, 1u);
+    EXPECT_EQ(s.seq.load(), 2u); // even: stable again
+
+    pre = svc::writeBegin(s);
+    EXPECT_EQ(svc::writeEnd(s, pre), 2u);
+    EXPECT_EQ(s.seq.load(), 4u);
+}
+
+} // namespace

@@ -15,6 +15,8 @@
  *   fuzz_diff --inject=naive-skip              # harness self-test
  *   fuzz_diff --digest --iterations=50         # determinism digest
  *   fuzz_diff --inject-faults --iterations=200 # fault campaign
+ *   fuzz_diff --threads=4 --iterations=200     # concurrent service
+ *                                              # campaign (src/svc)
  *
  * Exit codes follow the repository convention: 0 ok, 1 usage or a
  * failing campaign, 2 data, 3 internal.
@@ -24,6 +26,7 @@
 
 #include "check/fault_campaign.h"
 #include "check/fuzz.h"
+#include "check/svc_check.h"
 #include "exec/sweep.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
@@ -126,6 +129,12 @@ main(int argc, char **argv)
     args.addSwitch("digest",
                    "print determinism digests (fuzz + trace + "
                    "parallel sweep) and exit");
+    args.addFlag("threads", "",
+                 "run the concurrent service campaign (src/svc) "
+                 "with this many client threads per case instead "
+                 "of the scheme fuzzer; 0 samples 2-4 threads per "
+                 "case. Failing cases echo the flag in their repro "
+                 "line");
     args.addSwitch("inject-faults",
                    "run the fault-injection campaign (corrupted "
                    "traces, failing jobs, cancel + resume, hang / "
@@ -140,6 +149,34 @@ main(int argc, char **argv)
         return 0;
 
     return guardedMain("fuzz_diff", [&]() -> int {
+        if (args.given("threads")) {
+            check::SvcFuzzOptions opt;
+            opt.seed = args.getUint("seed");
+            opt.iterations = args.getUint("iterations");
+            opt.threads =
+                static_cast<unsigned>(args.getUint("threads"));
+            if (args.given("config")) {
+                opt.have_only_case = true;
+                opt.only_case = args.getUint("config");
+            }
+            opt.max_failures = static_cast<unsigned>(
+                args.getUint("max-failures"));
+            opt.log = &std::cerr;
+
+            check::SvcFuzzSummary sum = check::runSvcFuzz(opt);
+            if (args.getBool("digest")) {
+                std::cout << "digest svc=0x" << std::hex
+                          << sum.digest << std::dec << "\n";
+            } else if (!args.getBool("quiet")) {
+                std::cout << "fuzz_diff: " << sum.cases_run
+                          << " svc cases, " << sum.ops
+                          << " service ops applied, "
+                          << sum.failures.size()
+                          << " failing case(s)\n";
+            }
+            return sum.ok() ? 0 : 1;
+        }
+
         if (args.getBool("inject-faults")) {
             check::FaultCampaignOptions opt;
             opt.seed = args.getUint("seed");

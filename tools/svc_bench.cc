@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Multi-threaded throughput driver for the concurrent cache
+ * service (src/svc).
+ *
+ * For each requested thread count the driver builds a fresh
+ * CacheService, opens one session per client thread, pre-generates
+ * per-thread uniform-random op streams (a --probe-frac slice of
+ * read-only probes that exercise the seqlock fast path, the rest
+ * access ops with a --write-frac dirty share), replays them
+ * concurrently and reports ops/sec, speedup over the single-thread
+ * row, hit rate and seqlock behavior (optimistic share, retries,
+ * locked fallbacks).
+ *
+ *   svc_bench --threads=1,2,4,8 --ops=200000
+ *   svc_bench --threads=1,4 --verify          # + history replay
+ *   svc_bench --stripes=1                     # one global lock
+ *   svc_bench --require-scaling --min-speedup=3
+ *
+ * --verify records per-session histories and replays them through
+ * the serializability checker after each run (see docs/SERVICE.md);
+ * violations exit 1. --require-scaling turns the speedup of the
+ * largest thread count into a gate: it needs real cores, so it is
+ * opt-in rather than part of the default run (CI machines with one
+ * core would fail spuriously).
+ *
+ * Exit codes: 0 ok, 1 usage / failed verification or scaling gate,
+ * 4 budget exceeded.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "check/svc_check.h"
+#include "svc/service.h"
+#include "util/argparse.h"
+#include "util/cancel.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace assoc;
+
+mem::ReplPolicy
+policyFromString(const std::string &s)
+{
+    if (s == "lru")
+        return mem::ReplPolicy::Lru;
+    if (s == "fifo")
+        return mem::ReplPolicy::Fifo;
+    if (s == "tree-plru")
+        return mem::ReplPolicy::TreePlru;
+    fatal("unknown --policy '" + s +
+          "' (expected lru|fifo|tree-plru)");
+}
+
+std::vector<unsigned>
+parseThreadList(const std::string &s)
+{
+    std::vector<unsigned> out;
+    std::string cur;
+    for (char ch : s + ",") {
+        if (ch == ',') {
+            if (cur.empty())
+                continue;
+            int v = std::stoi(cur);
+            fatalIf(v < 1 || v > 256,
+                    "--threads entries must be in 1..256");
+            out.push_back(static_cast<unsigned>(v));
+            cur.clear();
+        } else {
+            fatalIf(ch < '0' || ch > '9',
+                    "--threads expects a comma-separated list "
+                    "of counts, e.g. 1,2,4,8");
+            cur.push_back(ch);
+        }
+    }
+    fatalIf(out.empty(), "--threads list is empty");
+    return out;
+}
+
+/** One thread's pre-generated ops (generation excluded from the
+ *  timed region). */
+std::vector<check::SvcOpSpec>
+makeStream(std::uint64_t seed, unsigned thread, std::uint64_t ops,
+           std::uint32_t block_space, double probe_frac,
+           double write_frac)
+{
+    Pcg32 rng(seed, 0xbe7c + thread);
+    std::vector<check::SvcOpSpec> stream;
+    stream.reserve(ops);
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        check::SvcOpSpec op;
+        if (rng.uniform() < probe_frac) {
+            op.kind = svc::OpKind::Probe;
+        } else {
+            op.kind = svc::OpKind::Access;
+            op.is_write = rng.chance(write_frac);
+        }
+        op.block = rng.below(block_space);
+        stream.push_back(op);
+    }
+    return stream;
+}
+
+struct RunRow
+{
+    unsigned threads = 0;
+    std::uint64_t ops = 0;
+    double seconds = 0.0;
+    double ops_per_sec = 0.0;
+    svc::TenantStats stats;
+    bool verified_ok = true;
+    std::uint64_t violations = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("svc_bench",
+                   "multi-threaded throughput driver for the "
+                   "concurrent cache service");
+    args.addFlag("size", "65536", "cache size in bytes");
+    args.addFlag("block", "32", "block size in bytes");
+    args.addFlag("assoc", "8", "associativity");
+    args.addFlag("policy", "lru",
+                 "replacement policy: lru|fifo|tree-plru");
+    args.addFlag("stripes", "0",
+                 "lock-stripe cap (power of two; 0 = one per set)");
+    args.addFlag("retries", "8",
+                 "optimistic probe attempts before locking");
+    args.addFlag("threads", "1,2,4,8",
+                 "comma-separated client thread counts");
+    args.addFlag("ops", "200000", "operations per thread");
+    args.addFlag("working-set", "0",
+                 "distinct blocks drawn (0 = 4x cache capacity)");
+    args.addFlag("probe-frac", "0.6",
+                 "fraction of ops that are read-only probes");
+    args.addFlag("write-frac", "0.3",
+                 "dirty fraction of the access ops");
+    args.addFlag("seed", "1", "op-stream seed");
+    args.addFlag("mem-budget", "",
+                 "byte cap (e.g. 64M) charged for cache planes, "
+                 "lock stripes and session shards");
+    args.addSwitch("verify",
+                   "record histories and replay them through the "
+                   "serializability checker after each run");
+    args.addSwitch("require-scaling",
+                   "fail unless the largest thread count reaches "
+                   "--min-speedup over one thread (needs real "
+                   "cores)");
+    args.addFlag("min-speedup", "3.0",
+                 "speedup gate for --require-scaling");
+    args.addSwitch("csv", "emit CSV instead of the text table");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    return guardedMain("svc_bench", [&]() -> int {
+        mem::CacheGeometry geom(
+            static_cast<std::uint32_t>(args.getUint("size")),
+            static_cast<std::uint32_t>(args.getUint("block")),
+            static_cast<std::uint32_t>(args.getUint("assoc")));
+
+        svc::SvcConfig cfg;
+        cfg.engine.policy =
+            policyFromString(args.getString("policy"));
+        cfg.engine.max_stripes =
+            static_cast<unsigned>(args.getUint("stripes"));
+        cfg.engine.optimistic_retries =
+            static_cast<unsigned>(args.getUint("retries"));
+
+        std::vector<unsigned> thread_counts =
+            parseThreadList(args.getString("threads"));
+        std::uint64_t ops = args.getUint("ops");
+        fatalIf(ops == 0, "--ops must be positive");
+        std::uint64_t seed = args.getUint("seed");
+        double probe_frac = args.getDouble("probe-frac");
+        double write_frac = args.getDouble("write-frac");
+        fatalIf(probe_frac < 0.0 || probe_frac > 1.0 ||
+                    write_frac < 0.0 || write_frac > 1.0,
+                "--probe-frac/--write-frac must be in [0, 1]");
+
+        std::uint32_t capacity = geom.sets() * geom.assoc();
+        std::uint32_t working_set = static_cast<std::uint32_t>(
+            args.getUint("working-set"));
+        if (working_set == 0)
+            working_set = capacity * 4;
+
+        std::unique_ptr<MemBudget> budget;
+        if (args.given("mem-budget")) {
+            Expected<std::uint64_t> bytes =
+                parseByteSize(args.getString("mem-budget"));
+            if (!bytes.ok())
+                throwError(Error(bytes.error())
+                               .withContext("--mem-budget"));
+            budget = std::make_unique<MemBudget>(bytes.value());
+        }
+        MemBudget *budget_ptr = budget.get();
+
+        bool verify = args.getBool("verify");
+        cfg.record_history = verify;
+        cfg.history_capacity = static_cast<std::size_t>(ops);
+
+        std::vector<RunRow> rows;
+        for (unsigned n : thread_counts) {
+            Expected<std::unique_ptr<svc::CacheService>> svcE =
+                svc::CacheService::create(geom, cfg, budget_ptr);
+            if (!svcE.ok())
+                throwError(svcE.error());
+            std::unique_ptr<svc::CacheService> service =
+                svcE.take();
+
+            std::vector<svc::Session *> sessions;
+            std::vector<std::vector<check::SvcOpSpec>> streams;
+            for (unsigned t = 0; t < n; ++t) {
+                Expected<svc::Session *> s =
+                    service->openSession();
+                if (!s.ok())
+                    throwError(s.error());
+                sessions.push_back(s.take());
+                streams.push_back(makeStream(seed, t, ops,
+                                             working_set,
+                                             probe_frac,
+                                             write_frac));
+            }
+
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<std::thread> workers;
+            for (unsigned t = 0; t < n; ++t) {
+                workers.emplace_back([&, t]() {
+                    svc::Session *session = sessions[t];
+                    for (const check::SvcOpSpec &op : streams[t])
+                        session->apply(op.kind, op.block,
+                                       op.is_write);
+                });
+            }
+            for (std::thread &w : workers)
+                w.join();
+            auto t1 = std::chrono::steady_clock::now();
+
+            RunRow row;
+            row.threads = n;
+            row.ops = ops * n;
+            row.seconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            row.ops_per_sec = row.seconds > 0.0
+                                  ? row.ops / row.seconds
+                                  : 0.0;
+            row.stats = service->totalStats();
+
+            if (verify) {
+                check::ViolationLog log;
+                bool overflowed = false;
+                std::vector<svc::HistoryEvent> events =
+                    service->collectHistory(&overflowed);
+                if (overflowed)
+                    log.add("history overflowed");
+                check::checkSvcHistory(
+                    geom, cfg.engine.policy,
+                    service->engine().stripes(), events,
+                    &service->engine().cache(), log);
+                row.verified_ok = log.ok();
+                row.violations = log.count();
+                for (const std::string &m : log.messages())
+                    std::cerr << "svc_bench: violation (threads="
+                              << n << "): " << m << "\n";
+            }
+            rows.push_back(row);
+        }
+
+        TextTable table;
+        std::vector<std::string> header = {
+            "threads", "ops",      "seconds", "Mops/s",
+            "speedup", "hit%",     "opt%",    "retries/probe",
+        };
+        if (verify)
+            header.push_back("verified");
+        table.setHeader(header);
+
+        double base_ops_per_sec = 0.0;
+        for (const RunRow &row : rows)
+            if (row.threads == 1) {
+                base_ops_per_sec = row.ops_per_sec;
+                break;
+            }
+
+        for (const RunRow &row : rows) {
+            const svc::TenantStats &st = row.stats;
+            double hit_pct =
+                st.ops ? 100.0 * st.hits() / st.ops : 0.0;
+            double opt_pct =
+                st.probe_ops
+                    ? 100.0 * st.optimistic_reads / st.probe_ops
+                    : 0.0;
+            double retries_per_probe =
+                st.probe_ops ? static_cast<double>(
+                                   st.seqlock_retries) /
+                                   st.probe_ops
+                             : 0.0;
+            std::vector<std::string> cells = {
+                TextTable::num(std::uint64_t(row.threads)),
+                TextTable::num(row.ops),
+                TextTable::num(row.seconds, 3),
+                TextTable::num(row.ops_per_sec / 1e6, 2),
+                base_ops_per_sec > 0.0
+                    ? TextTable::num(
+                          row.ops_per_sec / base_ops_per_sec, 2)
+                    : "-",
+                TextTable::num(hit_pct, 1),
+                TextTable::num(opt_pct, 1),
+                TextTable::num(retries_per_probe, 4),
+            };
+            if (verify)
+                cells.push_back(row.verified_ok ? "ok"
+                                                : "FAIL");
+            table.addRow(cells);
+        }
+        table.print(std::cout, args.getBool("csv")
+                                   ? TextTable::Format::Csv
+                                   : TextTable::Format::Text);
+        if (budget_ptr)
+            std::cout << "peak budget: "
+                      << formatBytes(budget_ptr->peak()) << " of "
+                      << formatBytes(budget_ptr->limit()) << "\n";
+
+        for (const RunRow &row : rows)
+            if (!row.verified_ok) {
+                std::cerr << "svc_bench: verification failed ("
+                          << row.violations << " violations)\n";
+                return 1;
+            }
+
+        if (args.getBool("require-scaling")) {
+            const RunRow &last = rows.back();
+            double speedup =
+                base_ops_per_sec > 0.0
+                    ? last.ops_per_sec / base_ops_per_sec
+                    : 0.0;
+            double want = args.getDouble("min-speedup");
+            if (rows.size() < 2 || base_ops_per_sec == 0.0) {
+                std::cerr << "svc_bench: --require-scaling needs "
+                             "a thread list containing 1 and a "
+                             "larger count\n";
+                return 1;
+            }
+            if (speedup < want) {
+                std::cerr << "svc_bench: scaling gate failed: "
+                          << last.threads << " threads reached "
+                          << TextTable::num(speedup, 2) << "x < "
+                          << TextTable::num(want, 2) << "x\n";
+                return 1;
+            }
+        }
+        return 0;
+    });
+}
