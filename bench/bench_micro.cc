@@ -13,6 +13,7 @@
 
 #include <mutex>
 
+#include "core/kernels.h"
 #include "core/mru_lookup.h"
 #include "core/partial_lookup.h"
 #include "core/scheme.h"
@@ -21,6 +22,7 @@
 #include "sim/runner.h"
 #include "svc/service.h"
 #include "trace/atum_like.h"
+#include "trace/trace_source.h"
 #include "util/rng.h"
 
 using namespace assoc;
@@ -112,6 +114,114 @@ BENCHMARK(BM_TraditionalLookup)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_NaiveLookup)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_MruLookup)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_PartialLookup)->Arg(4)->Arg(8)->Arg(16);
+
+// -----------------------------------------------------------------
+// Kernel sections: the raw dispatch-free cost of each registered
+// ISA table (BM_Kernel*_scalar vs _swar vs _avx2 prices the vector
+// win in isolation; the strategy benchmarks above price it through
+// activeKernels()). Registered dynamically in main() because the
+// set of tables is a runtime property of the machine.
+// -----------------------------------------------------------------
+
+void
+runEqMask(benchmark::State &state, const core::LookupKernels &kern)
+{
+    const unsigned a = static_cast<unsigned>(state.range(0));
+    Pcg32 rng(41);
+    std::vector<BenchSet> sets;
+    for (int i = 0; i < 256; ++i)
+        sets.emplace_back(a, rng);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const BenchSet &s = sets[i & 255];
+        benchmark::DoNotOptimize(kern.eq_mask(
+            s.tags.data(), s.valid.data(), a, s.incoming));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+runPartialMask(benchmark::State &state,
+               const core::LookupKernels &kern)
+{
+    // One subset spanning the whole set, k sized so g*k fills the
+    // 16-bit tag: (g, k) = (4,4), (8,2), (16,1).
+    const unsigned g = static_cast<unsigned>(state.range(0));
+    const unsigned k = 16 / g;
+    auto xf =
+        core::TagTransform::make(core::TransformKind::XorLow, 16, k);
+    Pcg32 rng(42);
+    std::vector<BenchSet> sets;
+    std::vector<std::vector<std::uint32_t>> inc_fields;
+    for (int i = 0; i < 256; ++i) {
+        sets.emplace_back(g, rng);
+        std::vector<std::uint32_t> inc(g);
+        for (unsigned l = 0; l < g; ++l)
+            inc[l] = xf->field(xf->apply(sets.back().incoming, l), l);
+        inc_fields.push_back(std::move(inc));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const BenchSet &s = sets[i & 255];
+        benchmark::DoNotOptimize(kern.partial_mask(
+            s.tags.data(), s.valid.data(), g,
+            inc_fields[i & 255].data(), k,
+            core::TransformKind::XorLow, *xf));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+runPlaneDecode(benchmark::State &state,
+               const core::LookupKernels &kern)
+{
+    // The snapshotSet() decode: shift a tag plane, expand a valid
+    // bitmask and a packed recency word into per-way bytes.
+    const unsigned a = static_cast<unsigned>(state.range(0));
+    Pcg32 rng(43);
+    std::vector<std::uint32_t> raw(a), tags(a);
+    std::vector<std::uint8_t> valid(a), order(a);
+    for (unsigned w = 0; w < a; ++w)
+        raw[w] = rng.next();
+    std::uint64_t vbits = rng.next64();
+    std::uint64_t packed = rng.next64();
+    for (auto _ : state) {
+        kern.shift_tags(raw.data(), a, 13, tags.data());
+        kern.expand_bits(vbits, a, valid.data());
+        kern.expand_nibbles(packed, a, order.data());
+        benchmark::DoNotOptimize(tags.data());
+        benchmark::DoNotOptimize(valid.data());
+        benchmark::DoNotOptimize(order.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+registerKernelBenchmarks()
+{
+    for (const core::LookupKernels *k : core::registeredKernels()) {
+        const std::string suffix = std::string("_") + k->name;
+        benchmark::RegisterBenchmark(
+            ("BM_KernelEqMask" + suffix).c_str(),
+            [k](benchmark::State &st) { runEqMask(st, *k); })
+            ->Arg(4)
+            ->Arg(8)
+            ->Arg(16)
+            ->Arg(64);
+        benchmark::RegisterBenchmark(
+            ("BM_KernelPartialMask" + suffix).c_str(),
+            [k](benchmark::State &st) { runPartialMask(st, *k); })
+            ->Arg(4)
+            ->Arg(8)
+            ->Arg(16);
+        benchmark::RegisterBenchmark(
+            ("BM_KernelPlaneDecode" + suffix).c_str(),
+            [k](benchmark::State &st) { runPlaneDecode(st, *k); })
+            ->Arg(16);
+    }
+}
 
 void
 BM_Transform(benchmark::State &state, core::TransformKind kind)
@@ -327,6 +437,33 @@ BM_HierarchyWithMeters(benchmark::State &state)
 BENCHMARK(BM_HierarchyWithMeters);
 
 void
+BM_HierarchyBatchedReplay(benchmark::State &state)
+{
+    // Whole-trace replay through TwoLevelHierarchy::run at a given
+    // RunSpec::batch_size (1 = the old per-reference loop; 64 = the
+    // default batched pull with set-plane prefetch).
+    const std::vector<trace::MemRef> &refs = replayRefs();
+    trace::VectorTraceSource src(refs);
+    mem::HierarchyConfig hcfg{mem::CacheGeometry(16384, 16, 1),
+                              mem::CacheGeometry(262144, 32, 4),
+                              true};
+    const unsigned batch = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        mem::TwoLevelHierarchy hier(hcfg);
+        hier.run(src, batch);
+        benchmark::DoNotOptimize(hier.stats().proc_refs);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(refs.size()));
+}
+
+BENCHMARK(BM_HierarchyBatchedReplay)
+    ->Arg(1)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_EndToEndTrace(benchmark::State &state)
 {
     // The full experiment pipeline a bench_* table regeneration
@@ -460,4 +597,14 @@ BENCHMARK(BM_SvcAccess)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerKernelBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,5 +1,9 @@
 #include "core/lookup.h"
 
+#include <bit>
+
+#include "core/kernels.h"
+#include "util/bitops.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -10,6 +14,17 @@ TraditionalLookup::lookup(const LookupInput &in) const
 {
     LookupResult res;
     res.probes = 1;
+    if (in.assoc <= 64) {
+        // All a ways compare in parallel in hardware — and in the
+        // kernel: one eq mask, hit = lowest matching way.
+        std::uint64_t e = activeKernels().eq_mask(
+            in.stored_tags, in.valid, in.assoc, in.incoming_tag);
+        if (e != 0) {
+            res.hit = true;
+            res.way = static_cast<int>(std::countr_zero(e));
+        }
+        return res;
+    }
     for (unsigned w = 0; w < in.assoc; ++w) {
         if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
             res.hit = true;
@@ -24,6 +39,22 @@ LookupResult
 NaiveLookup::lookup(const LookupInput &in) const
 {
     LookupResult res;
+    if (in.assoc <= 64) {
+        // Serial scan in way order: the first matching way is the
+        // eq mask's lowest set bit, and every way before it (plus
+        // the hit itself) cost one probe; a miss examined all a.
+        std::uint64_t e = activeKernels().eq_mask(
+            in.stored_tags, in.valid, in.assoc, in.incoming_tag);
+        if (e != 0) {
+            unsigned w = static_cast<unsigned>(std::countr_zero(e));
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            res.probes = w + 1;
+        } else {
+            res.probes = in.assoc;
+        }
+        return res;
+    }
     for (unsigned w = 0; w < in.assoc; ++w) {
         ++res.probes;
         if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {

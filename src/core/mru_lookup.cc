@@ -1,7 +1,10 @@
 #include "core/mru_lookup.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "core/kernels.h"
+#include "util/bitops.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -27,32 +30,43 @@ MruLookup::lookup(const LookupInput &in) const
     unsigned list_len = list_len_ == 0 ? in.assoc
                                        : std::min(list_len_, in.assoc);
 
+    // All tag compares up front, as one kernel eq mask; the serial
+    // scans below only walk bit positions. Probe accounting is
+    // unchanged: one probe per list entry examined, then one per
+    // not-yet-searched way in ascending order.
+    std::uint64_t e = activeKernels().eq_mask(
+        in.stored_tags, in.valid, in.assoc, in.incoming_tag);
+
     // Track which ways the list portion already examined. assoc is
-    // <= 255 so a small bitmap suffices.
+    // <= 64 so a bitmap suffices.
     std::uint64_t searched = 0;
 
     for (unsigned i = 0; i < list_len; ++i) {
         unsigned w = in.mru_order[i];
         ++res.probes;
         searched |= std::uint64_t{1} << w;
-        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+        if ((e >> w) & 1) {
             res.hit = true;
             res.way = static_cast<int>(w);
             return res;
         }
     }
 
-    // Remaining ways in arbitrary order (ascending way index).
-    for (unsigned w = 0; w < in.assoc; ++w) {
-        if (searched & (std::uint64_t{1} << w))
-            continue;
-        ++res.probes;
-        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
-            res.hit = true;
-            res.way = static_cast<int>(w);
-            return res;
-        }
+    // Remaining ways in arbitrary order (ascending way index): the
+    // hit is the lowest eq bit outside the searched set, and the
+    // probe count is the number of remaining ways up to and
+    // including it (all of them on a miss).
+    std::uint64_t rem = maskBits(in.assoc) & ~searched;
+    std::uint64_t rem_hits = e & rem;
+    if (rem_hits != 0) {
+        unsigned w =
+            static_cast<unsigned>(std::countr_zero(rem_hits));
+        res.hit = true;
+        res.way = static_cast<int>(w);
+        res.probes += popcount(rem & maskBits(w + 1));
+        return res;
     }
+    res.probes += popcount(rem);
     return res; // miss: 1 + a probes in total
 }
 

@@ -1,5 +1,9 @@
 #include "core/partial_lookup.h"
 
+#include <bit>
+
+#include "core/kernels.h"
+#include "core/kernels_inl.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -32,6 +36,7 @@ PartialLookup::validate(unsigned a) const
             "k * (a/s) exceeds the tag width " +
                 std::to_string(cfg_.tag_bits));
     validated_assoc_ = a;
+    inc_fields_.resize(a / s);
 }
 
 LookupResult
@@ -43,33 +48,44 @@ PartialLookup::lookup(const LookupInput &in) const
     // access: every set of one cache shares the associativity.
     if (a != validated_assoc_)
         validate(a);
-    const unsigned g = a / s; // ways per subset
+    const unsigned g = a / s; // ways per subset (g * k <= t <= 32,
+                              // so g <= 32 and masks always fit)
+    const unsigned k = cfg_.field_bits;
+    const TransformKind kind = cfg_.transform;
 
+    // The incoming tag's collection fields, once per lookup via the
+    // transforms' closed forms (kernels_inl.h) — the pre-kernel
+    // loop re-derived them through virtual apply()/field() calls
+    // for every way of every subset.
+    std::uint32_t *inc = inc_fields_.data();
+    for (unsigned l = 0; l < g; ++l)
+        inc[l] = kdetail::partialStoredField(in.incoming_tag, l, k,
+                                             kind);
+
+    const LookupKernels &kern = activeKernels();
     LookupResult res;
 
     for (unsigned sub = 0; sub < s; ++sub) {
         // Step 1: one probe partially compares all g ways of this
         // subset, each through its own k-bit collection.
         ++res.probes;
+        const unsigned base = sub * g;
+        std::uint64_t cand = kern.partial_mask(
+            in.stored_tags + base, in.valid + base, g, inc, k, kind,
+            *xform_);
 
-        // Collect partial matches, then step 2: full compares in
-        // collection order.
-        for (unsigned l = 0; l < g; ++l) {
-            unsigned w = sub * g + l;
-            if (!in.valid[w])
-                continue;
-            std::uint32_t stored = xform_->apply(in.stored_tags[w], l);
-            std::uint32_t incoming = xform_->apply(in.incoming_tag, l);
-            // g*k <= t guarantees l < nfields, so collection l
-            // always reads a complete field.
-            if (xform_->field(stored, l) != xform_->field(incoming, l))
-                continue; // filtered out by the partial compare
-
-            // Step 2 probe: full-width compare of this way.
+        // Step 2: full compares of the partial matches, in
+        // collection order. The transforms are bijections per way
+        // slot, so comparing raw tags decides exactly what the
+        // pre-kernel transformed-tag compare decided.
+        while (cand != 0) {
+            unsigned l =
+                static_cast<unsigned>(std::countr_zero(cand));
+            cand &= cand - 1;
             ++res.probes;
-            if (stored == incoming) {
+            if (in.stored_tags[base + l] == in.incoming_tag) {
                 res.hit = true;
-                res.way = static_cast<int>(w);
+                res.way = static_cast<int>(base + l);
                 return res;
             }
         }

@@ -21,6 +21,7 @@
 #define ASSOC_CORE_PARTIAL_LOOKUP_H
 
 #include <memory>
+#include <vector>
 
 #include "core/lookup.h"
 #include "core/transform.h"
@@ -64,6 +65,12 @@ class PartialLookup : public LookupStrategy
     PartialConfig cfg_;
     std::unique_ptr<TagTransform> xform_;
     mutable unsigned validated_assoc_ = 0;
+    /** Scratch: field l of apply(incoming_tag, l) for l < g,
+     *  computed once per lookup and fed to the partial-mask kernel
+     *  (the original loop recomputed it per subset per way). Sized
+     *  by validate(); same one-thread-per-instance contract as the
+     *  validation memoization. */
+    mutable std::vector<std::uint32_t> inc_fields_;
 };
 
 } // namespace core

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "core/kernels.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -162,6 +163,17 @@ WriteBackCache::findWay(BlockAddr b) const
     const BlockAddr *blk = &blocks_[index(set, 0)];
     const std::uint64_t *vw =
         &valid_[static_cast<std::size_t>(set) * vwords_];
+    if (assoc_ <= 64) {
+        // One kernel eq mask over the set's block plane; the lowest
+        // set bit is the first valid way holding b (ways are
+        // unique, but the lowest-bit pick also matches the old
+        // valid-order scan exactly).
+        std::uint64_t e = core::activeKernels().eq_mask_bits(
+            blk, vw[0], assoc_, b);
+        return e != 0
+                   ? static_cast<int>(std::countr_zero(e))
+                   : -1;
+    }
     for (unsigned i = 0; i < vwords_; ++i) {
         std::uint64_t m = vw[i];
         while (m != 0) {
@@ -192,14 +204,36 @@ WriteBackCache::probeRelaxed(BlockAddr b, unsigned *probes) const
     // writer can tear the view (duplicate or out-of-range ways);
     // bounds are guarded so a torn decode cannot fault, and the
     // caller's seqlock validation discards the result.
-    std::uint64_t packed_order = 0;
-    if (packed_)
-        packed_order = planeLoad(mru_packed_[set]);
-    for (unsigned pos = 0; pos < assoc_; ++pos) {
-        unsigned way =
-            packed_ ? static_cast<unsigned>((packed_order >> (4 * pos)) &
-                                            0xf)
+    if (assoc_ <= 64) {
+        // Tag compares as one torn-read-tolerant kernel eq mask
+        // (the AVX2 body trades per-element relaxed loads for plain
+        // vector loads outside TSan — see core/kernels.h); the
+        // order walk then only tests bit membership.
+        std::uint64_t vbits = planeLoad(valid_[vbase]);
+        std::uint64_t e =
+            core::activeKernels().eq_mask_bits_relaxed(
+                &blocks_[base], vbits, assoc_, b);
+        std::uint64_t packed_order = 0;
+        if (packed_)
+            packed_order = planeLoad(mru_packed_[set]);
+        for (unsigned pos = 0; pos < assoc_; ++pos) {
+            unsigned way =
+                packed_
+                    ? static_cast<unsigned>(
+                          (packed_order >> (4 * pos)) & 0xf)
                     : planeLoad(mru_wide_[base + pos]);
+            if (way >= assoc_)
+                break; // torn order word; validation will reject
+            if ((e >> way) & 1) {
+                *probes = pos + 1;
+                return static_cast<int>(way);
+            }
+        }
+        *probes = assoc_;
+        return -1;
+    }
+    for (unsigned pos = 0; pos < assoc_; ++pos) {
+        unsigned way = planeLoad(mru_wide_[base + pos]);
         if (way >= assoc_)
             break; // torn order word; validation will reject
         bool valid =
@@ -273,9 +307,8 @@ WriteBackCache::orderDecode(const std::vector<std::uint64_t> &packed,
                             std::uint32_t set, std::uint8_t *out) const
 {
     if (packed_) {
-        std::uint64_t w = packed[set];
-        for (unsigned i = 0; i < assoc_; ++i)
-            out[i] = static_cast<std::uint8_t>((w >> (4 * i)) & 0xf);
+        core::activeKernels().expand_nibbles(packed[set], assoc_,
+                                             out);
         return;
     }
     std::memcpy(out, &wide[index(set, 0)], assoc_);
@@ -459,17 +492,20 @@ WriteBackCache::snapshotSet(std::uint32_t set,
                             std::uint8_t *valid,
                             std::uint8_t *mru) const
 {
+    const core::LookupKernels &kern = core::activeKernels();
     if (full_tags != nullptr) {
-        const BlockAddr *blk = &blocks_[index(set, 0)];
-        for (unsigned w = 0; w < assoc_; ++w)
-            full_tags[w] = geom_.fullTagOf(blk[w]);
+        // fullTagOf() is a uniform right shift of the block plane.
+        kern.shift_tags(&blocks_[index(set, 0)], assoc_,
+                        geom_.indexBits(), full_tags);
     }
     if (valid != nullptr) {
         const std::uint64_t *vw =
             &valid_[static_cast<std::size_t>(set) * vwords_];
-        for (unsigned w = 0; w < assoc_; ++w)
-            valid[w] =
-                static_cast<std::uint8_t>((vw[w >> 6] >> (w & 63)) & 1);
+        unsigned w = 0;
+        for (unsigned i = 0; i < vwords_; ++i, w += 64)
+            kern.expand_bits(vw[i],
+                             assoc_ - w < 64 ? assoc_ - w : 64,
+                             valid + w);
     }
     if (mru != nullptr)
         orderDecode(mru_packed_, mru_wide_, set, mru);

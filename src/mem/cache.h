@@ -209,6 +209,28 @@ class WriteBackCache
     unsigned validCount(std::uint32_t set) const;
 
     /**
+     * Hint the hardware prefetcher at the planes of @p b's set (the
+     * batched replay path warms the next access's lines while the
+     * current one executes). Read-only and result-free.
+     */
+    void
+    prefetchSet(BlockAddr b) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        std::uint32_t set = geom_.setOf(b);
+        __builtin_prefetch(&blocks_[index(set, 0)]);
+        __builtin_prefetch(
+            &valid_[static_cast<std::size_t>(set) * vwords_]);
+        if (packed_)
+            __builtin_prefetch(&mru_packed_[set]);
+        else
+            __builtin_prefetch(&mru_wide_[index(set, 0)]);
+#else
+        (void)b;
+#endif
+    }
+
+    /**
      * Bytes held by the line planes (tag, valid/dirty masks and
      * recency orders). What a MemBudget is charged for this cache;
      * exact for the planes, which dominate every other member.

@@ -203,8 +203,17 @@ class TwoLevelHierarchy
     /** Apply one processor reference (or flush marker). */
     void access(const trace::MemRef &ref);
 
-    /** Stream an entire trace through the hierarchy. */
-    void run(trace::TraceSource &src);
+    /**
+     * Stream an entire trace through the hierarchy. With @p batch
+     * > 1, references are pulled @p batch at a time (one
+     * TraceSource::nextBatch call instead of @p batch virtual
+     * next() calls) and each access prefetches the next
+     * reference's level-one and level-two set planes while the
+     * current one executes. Accesses still commit strictly in
+     * trace order, one at a time — the statistics are bit-for-bit
+     * identical for every batch size (tests/kernels enforces it).
+     */
+    void run(trace::TraceSource &src, unsigned batch = 1);
 
     /** Invalidate both levels (cold start). */
     void flushAll();

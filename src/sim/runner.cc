@@ -54,7 +54,7 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
         // optional machinery. Cancellation checkpoints only exist on
         // the manual loop below, so specs without a token (every
         // benchmark) pay nothing.
-        hier.run(src);
+        hier.run(src, spec.batch_size);
     } else {
         mem::CoherencyTraffic remote(spec.coherency_rate);
         trace::MemRef r;

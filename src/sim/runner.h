@@ -61,6 +61,17 @@ struct RunSpec
      *  e.g. the invariant checkers in src/check. */
     std::vector<mem::L2Observer *> extra_observers;
 
+    /**
+     * References pulled per TraceSource::nextBatch call on the
+     * streaming fast path (with set-plane prefetch between
+     * accesses; see mem::TwoLevelHierarchy::run). 0 or 1 disables
+     * batching. Results are bit-identical at every batch size, so
+     * hashSpecs() ignores this too; the checkpointed loop below
+     * streams one reference at a time regardless, keeping
+     * cancellation latency in accesses, not batches.
+     */
+    unsigned batch_size = 64;
+
     // --- runaway-work defenses (see util/cancel.h). None of these
     // --- influence results, so hashSpecs() ignores them.
 

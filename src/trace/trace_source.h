@@ -11,6 +11,8 @@
 #ifndef ASSOC_TRACE_TRACE_SOURCE_H
 #define ASSOC_TRACE_TRACE_SOURCE_H
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +39,24 @@ class TraceSource
 
     /** Rewind to the beginning; the same stream replays. */
     virtual void reset() = 0;
+
+    /**
+     * Produce up to @p max references into @p out. Returns how many
+     * were produced; fewer than @p max only at end of trace (or on
+     * failure — check error(), exactly as with next()). The default
+     * simply loops next(); sources with contiguous backing override
+     * it to amortize the per-record virtual dispatch (the batched
+     * replay path in mem::TwoLevelHierarchy::run). The stream is
+     * identical to repeated next() calls by contract.
+     */
+    virtual std::size_t
+    nextBatch(MemRef *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /**
      * Status of the stream. File-backed sources record malformed
@@ -108,6 +128,19 @@ class VectorTraceSource : public TraceSource
     }
 
     void reset() override { pos_ = 0; }
+
+    /** Bulk copy straight out of the backing vector. */
+    std::size_t
+    nextBatch(MemRef *out, std::size_t max) override
+    {
+        std::size_t n = refs_.size() - pos_;
+        if (n > max)
+            n = max;
+        std::copy_n(refs_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    n, out);
+        pos_ += n;
+        return n;
+    }
 
     /** Total number of stored references. */
     std::size_t size() const { return refs_.size(); }

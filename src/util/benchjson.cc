@@ -298,6 +298,19 @@ benchTimeNs(const BenchEntry &e, BenchMetric metric)
     return t; // "ns" (and the benchmark library's default)
 }
 
+std::vector<BenchEntry>
+filterBenchEntries(const std::vector<BenchEntry> &entries,
+                   const std::string &needle)
+{
+    if (needle.empty())
+        return entries;
+    std::vector<BenchEntry> out;
+    for (const BenchEntry &e : entries)
+        if (e.name.find(needle) != std::string::npos)
+            out.push_back(e);
+    return out;
+}
+
 BenchComparison
 compareBench(const std::vector<BenchEntry> &baseline,
              const std::vector<BenchEntry> &current,

@@ -53,6 +53,15 @@ Error loadBenchJson(const std::string &path,
 /** @p e's selected metric converted to nanoseconds. */
 double benchTimeNs(const BenchEntry &e, BenchMetric metric);
 
+/**
+ * Entries whose name contains @p needle, in input order (all of
+ * them when @p needle is empty). Backs bench_compare's --filter so
+ * a speedup gate can target one benchmark family, e.g. "Lookup".
+ */
+std::vector<BenchEntry>
+filterBenchEntries(const std::vector<BenchEntry> &entries,
+                   const std::string &needle);
+
 /** Comparison of one benchmark present in both files. */
 struct BenchDelta
 {

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Exhaustive scalar-vs-SWAR-vs-AVX2 kernel equivalence.
+ *
+ * Every table registeredKernels() exposes must agree bit for bit
+ * with the scalar reference on every kernel, over a sweep of
+ * associativities, field geometries, all four tag transforms,
+ * misaligned plane offsets, all-invalid sets, and sets whose
+ * truncated tags collide so the partial-compare step 2 must
+ * disambiguate. A vector body that cuts a corner anywhere in this
+ * grid fails here, not in a golden diff three layers up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels.h"
+#include "core/lookup.h"
+#include "core/mru_lookup.h"
+#include "core/partial_lookup.h"
+#include "core/transform.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+namespace assoc {
+namespace core {
+namespace {
+
+// Plane offsets probed everywhere: 0 keeps whatever alignment the
+// allocator gave us, 1 and 3 force element-aligned-only pointers so
+// no kernel can get away with assuming 16/32-byte plane alignment.
+const unsigned kOffsets[] = {0, 1, 3};
+const unsigned kAssocs[] = {1, 2, 4, 8, 16};
+
+/** Planes for one synthetic set, with a controlled misalignment. */
+struct SetPlanes
+{
+    std::vector<std::uint32_t> tag_buf;
+    std::vector<std::uint8_t> valid_buf;
+    std::uint32_t *tags;
+    std::uint8_t *valid;
+
+    SetPlanes(unsigned a, unsigned off)
+        : tag_buf(a + off), valid_buf(a + off),
+          tags(tag_buf.data() + off), valid(valid_buf.data() + off)
+    {}
+};
+
+/** Fill a set from a small tag pool so duplicates are common. */
+void
+fillSet(SetPlanes &s, unsigned a, Pcg32 &rng,
+        std::uint32_t tag_mask, bool all_invalid)
+{
+    // A four-entry pool makes same-tag / same-field collisions the
+    // norm rather than a fluke.
+    std::uint32_t pool[4];
+    for (std::uint32_t &p : pool)
+        p = rng.next() & tag_mask;
+    for (unsigned w = 0; w < a; ++w) {
+        s.tags[w] = pool[rng.below(4)];
+        s.valid[w] =
+            all_invalid ? 0 : static_cast<std::uint8_t>(rng.below(3) != 0);
+    }
+}
+
+std::uint64_t
+validBitsOf(const SetPlanes &s, unsigned a)
+{
+    std::uint64_t bits = 0;
+    for (unsigned w = 0; w < a; ++w)
+        bits |= static_cast<std::uint64_t>(s.valid[w] != 0) << w;
+    return bits;
+}
+
+TEST(KernelEquivalence, EqMasksAgreeEverywhere)
+{
+    const LookupKernels &ref = scalarKernels();
+    Pcg32 rng(0x5eed0001, 11);
+    for (const LookupKernels *k : registeredKernels()) {
+        for (unsigned a : kAssocs) {
+            for (unsigned off : kOffsets) {
+                for (int all_invalid = 0; all_invalid < 2;
+                     ++all_invalid) {
+                    for (int rep = 0; rep < 50; ++rep) {
+                        SetPlanes s(a, off);
+                        fillSet(s, a, rng, 0xffffu,
+                                all_invalid != 0);
+                        std::uint32_t needle =
+                            (rep & 1) ? s.tags[rng.below(a)]
+                                      : (rng.next() & 0xffffu);
+                        std::uint64_t vbits = validBitsOf(s, a);
+                        SCOPED_TRACE(std::string(k->name) +
+                                     " a=" + std::to_string(a) +
+                                     " off=" + std::to_string(off));
+                        EXPECT_EQ(
+                            ref.eq_mask(s.tags, s.valid, a, needle),
+                            k->eq_mask(s.tags, s.valid, a, needle));
+                        EXPECT_EQ(ref.eq_mask_bits(s.tags, vbits, a,
+                                                   needle),
+                                  k->eq_mask_bits(s.tags, vbits, a,
+                                                  needle));
+                        EXPECT_EQ(ref.eq_mask_bits_relaxed(
+                                      s.tags, vbits, a, needle),
+                                  k->eq_mask_bits_relaxed(
+                                      s.tags, vbits, a, needle));
+                        if (all_invalid) {
+                            EXPECT_EQ(0u, k->eq_mask(s.tags, s.valid,
+                                                     a, needle));
+                            EXPECT_EQ(0u,
+                                      k->eq_mask_bits(s.tags, 0, a,
+                                                      needle));
+                        }
+                    }
+                }
+            }
+        }
+        // The full-width mask boundary: every way matches at a=64.
+        SetPlanes s(64, 0);
+        for (unsigned w = 0; w < 64; ++w) {
+            s.tags[w] = 0xabcd;
+            s.valid[w] = 1;
+        }
+        EXPECT_EQ(~0ull, k->eq_mask(s.tags, s.valid, 64, 0xabcd))
+            << k->name;
+        EXPECT_EQ(~0ull, k->eq_mask_bits(s.tags, ~0ull, 64, 0xabcd))
+            << k->name;
+    }
+}
+
+TEST(KernelEquivalence, PartialMaskAllTransformsAllFieldWidths)
+{
+    const LookupKernels &ref = scalarKernels();
+    const TransformKind kinds[] = {TransformKind::None,
+                                   TransformKind::XorLow,
+                                   TransformKind::Improved,
+                                   TransformKind::Swap};
+    Pcg32 rng(0x5eed0002, 12);
+    for (const LookupKernels *kern : registeredKernels()) {
+        for (unsigned t : {8u, 12u, 16u, 20u, 32u}) {
+            for (unsigned k = 1; k <= t; ++k) {
+                unsigned g_max = t / k; // the g*k <= t ceiling
+                for (unsigned g = 1; g <= g_max; ++g) {
+                    for (TransformKind kind : kinds) {
+                        auto xf = TagTransform::make(kind, t, k);
+                        std::vector<std::uint32_t> inc_fields(g);
+                        std::uint32_t tag_mask =
+                            static_cast<std::uint32_t>(
+                                maskBits(t));
+                        for (unsigned off : kOffsets) {
+                            SetPlanes s(g, off);
+                            fillSet(s, g, rng, tag_mask, false);
+                            std::uint32_t inc =
+                                s.tags[rng.below(g)];
+                            for (unsigned l = 0; l < g; ++l)
+                                inc_fields[l] = xf->field(
+                                    xf->apply(inc, l), l);
+                            std::uint64_t want = ref.partial_mask(
+                                s.tags, s.valid, g,
+                                inc_fields.data(), k, kind, *xf);
+                            std::uint64_t got = kern->partial_mask(
+                                s.tags, s.valid, g,
+                                inc_fields.data(), k, kind, *xf);
+                            EXPECT_EQ(want, got)
+                                << kern->name << " t=" << t
+                                << " k=" << k << " g=" << g
+                                << " kind="
+                                << transformKindName(kind)
+                                << " off=" << off;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, PlaneDecodeHelpersAgree)
+{
+    const LookupKernels &ref = scalarKernels();
+    Pcg32 rng(0x5eed0003, 13);
+    for (const LookupKernels *k : registeredKernels()) {
+        for (unsigned n = 1; n <= 64; ++n) {
+            std::uint64_t bits = rng.next64();
+            std::uint8_t want[64 + 3], got[64 + 3];
+            for (unsigned off : kOffsets) {
+                ref.expand_bits(bits, n, want + off);
+                k->expand_bits(bits, n, got + off);
+                for (unsigned i = 0; i < n; ++i)
+                    ASSERT_EQ(want[off + i], got[off + i])
+                        << k->name << " n=" << n << " i=" << i;
+            }
+        }
+        for (unsigned n = 1; n <= 16; ++n) {
+            std::uint64_t word = rng.next64();
+            std::uint8_t want[16], got[16];
+            ref.expand_nibbles(word, n, want);
+            k->expand_nibbles(word, n, got);
+            for (unsigned i = 0; i < n; ++i)
+                ASSERT_EQ(want[i], got[i]) << k->name << " n=" << n;
+        }
+        for (unsigned n : {1u, 3u, 8u, 16u, 33u}) {
+            for (unsigned shift : {0u, 1u, 7u, 14u, 31u}) {
+                for (unsigned off : kOffsets) {
+                    std::vector<std::uint32_t> in(n + off),
+                        want(n + off), got(n + off);
+                    for (std::uint32_t &v : in)
+                        v = rng.next();
+                    ref.shift_tags(in.data() + off, n, shift,
+                                   want.data() + off);
+                    k->shift_tags(in.data() + off, n, shift,
+                                  got.data() + off);
+                    for (unsigned i = 0; i < n; ++i)
+                        ASSERT_EQ(want[off + i], got[off + i])
+                            << k->name << " n=" << n
+                            << " shift=" << shift;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Strategy-level equivalence: every lookup strategy must produce the
+ * identical (hit, way, probes) triple under every registered table.
+ * The sets are drawn from tiny tag pools, so truncated-tag and
+ * partial-field collisions (the step-2 disambiguation path) occur
+ * constantly.
+ */
+TEST(KernelEquivalence, StrategiesBitIdenticalUnderEveryTable)
+{
+    Pcg32 rng(0x5eed0004, 14);
+    for (unsigned a : kAssocs) {
+        std::vector<std::unique_ptr<LookupStrategy>> strategies;
+        strategies.push_back(std::make_unique<TraditionalLookup>());
+        strategies.push_back(std::make_unique<NaiveLookup>());
+        strategies.push_back(std::make_unique<MruLookup>());
+        if (a > 2)
+            strategies.push_back(std::make_unique<MruLookup>(2));
+        for (TransformKind kind :
+             {TransformKind::None, TransformKind::XorLow,
+              TransformKind::Improved, TransformKind::Swap}) {
+            PartialConfig pc;
+            pc.tag_bits = 16;
+            pc.field_bits = 4;
+            pc.subsets = a > 4 ? a / 4 : 1;
+            pc.transform = kind;
+            strategies.push_back(
+                std::make_unique<PartialLookup>(pc));
+        }
+
+        for (int rep = 0; rep < 200; ++rep) {
+            SetPlanes s(a, rep % 3);
+            fillSet(s, a, rng, 0xffffu, rep % 17 == 0);
+            std::vector<std::uint8_t> order(a);
+            for (unsigned w = 0; w < a; ++w)
+                order[w] = static_cast<std::uint8_t>(w);
+            for (unsigned w = a; w > 1; --w)
+                std::swap(order[w - 1], order[rng.below(w)]);
+
+            LookupInput in;
+            in.assoc = a;
+            in.stored_tags = s.tags;
+            in.valid = s.valid;
+            in.mru_order = order.data();
+            in.incoming_tag = (rep & 1) ? s.tags[rng.below(a)]
+                                        : (rng.next() & 0xffffu);
+
+            for (const auto &strat : strategies) {
+                LookupResult want;
+                {
+                    ScopedKernelOverride o(scalarKernels());
+                    want = strat->lookup(in);
+                }
+                for (const LookupKernels *k : registeredKernels()) {
+                    ScopedKernelOverride o(*k);
+                    LookupResult got = strat->lookup(in);
+                    EXPECT_EQ(want.hit, got.hit)
+                        << strat->name() << " under " << k->name;
+                    EXPECT_EQ(want.way, got.way)
+                        << strat->name() << " under " << k->name;
+                    EXPECT_EQ(want.probes, got.probes)
+                        << strat->name() << " under " << k->name;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Hand-built collision sets: several ways share the incoming tag's
+ * partial field but only one (or none) matches the full tag, so the
+ * candidate mask alone cannot decide and step 2 must walk the false
+ * matches in way order, paying one probe each.
+ */
+TEST(KernelEquivalence, DuplicateTruncatedTagsForceStepTwo)
+{
+    // 16-bit tags, k = 2, one subset of g = 8 ways: way w's step-1
+    // compare reads field w (bits 2w..2w+1, None transform).
+    PartialConfig pc;
+    pc.tag_bits = 16;
+    pc.field_bits = 2;
+    pc.subsets = 1;
+    pc.transform = TransformKind::None;
+    PartialLookup strat(pc);
+
+    const std::uint32_t inc = 0xbeb5;
+    std::uint32_t tags[8];
+    std::uint8_t valid[8];
+    std::uint8_t order[8];
+    for (unsigned w = 0; w < 8; ++w) {
+        valid[w] = 1;
+        order[w] = static_cast<std::uint8_t>(w);
+    }
+    // Ways 0..2: field w agrees with the incoming tag (a bit in a
+    // high field is flipped instead), so each is a false candidate
+    // costing one step-2 probe. Way 3 is the true match.
+    for (unsigned w = 0; w < 3; ++w)
+        tags[w] = inc ^ (1u << (2 * (w + 5)));
+    tags[3] = inc;
+    // Ways 4, 6, 7: field w disagrees — filtered out by step 1.
+    for (unsigned w : {4u, 6u, 7u})
+        tags[w] = inc ^ (1u << (2 * w));
+    // Way 5 would be a candidate, but the line is invalid.
+    tags[5] = inc ^ (1u << 2);
+    valid[5] = 0;
+
+    LookupInput in;
+    in.assoc = 8;
+    in.stored_tags = tags;
+    in.valid = valid;
+    in.mru_order = order;
+    in.incoming_tag = inc;
+
+    for (const LookupKernels *k : registeredKernels()) {
+        ScopedKernelOverride o(*k);
+        LookupResult r = strat.lookup(in);
+        EXPECT_TRUE(r.hit) << k->name;
+        EXPECT_EQ(3, r.way) << k->name;
+        // 1 step-1 probe + full compares of ways 0,1,2,3.
+        EXPECT_EQ(5u, r.probes) << k->name;
+
+        // Flip field 4 of the incoming tag: ways 0..3 stay
+        // candidates (their fields live in bits 0..7), way 4 still
+        // mismatches, and no full compare succeeds.
+        in.incoming_tag = inc ^ (0x3u << 8);
+        LookupResult miss = strat.lookup(in);
+        EXPECT_FALSE(miss.hit) << k->name;
+        // 1 step-1 probe + 4 false full compares (way 5 invalid).
+        EXPECT_EQ(5u, miss.probes) << k->name;
+        in.incoming_tag = inc;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace assoc

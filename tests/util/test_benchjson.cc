@@ -126,6 +126,46 @@ TEST(BenchJson, CompareFlagsRegressionsAndNewBenchmarks)
     EXPECT_EQ(cmp.added[0], "BM_New");
 }
 
+TEST(BenchJson, FilterKeepsOnlyMatchingNamesInOrder)
+{
+    std::vector<BenchEntry> entries{
+        {"BM_TraditionalLookup/4", "iteration", 1.0, 1.0, "ns"},
+        {"BM_CacheFindWay/4", "iteration", 2.0, 2.0, "ns"},
+        {"BM_PartialLookup/16", "iteration", 3.0, 3.0, "ns"},
+        {"BM_KernelEqMask_avx2/8", "iteration", 4.0, 4.0, "ns"},
+    };
+    std::vector<BenchEntry> lookups =
+        filterBenchEntries(entries, "Lookup");
+    ASSERT_EQ(lookups.size(), 2u);
+    EXPECT_EQ(lookups[0].name, "BM_TraditionalLookup/4");
+    EXPECT_EQ(lookups[1].name, "BM_PartialLookup/16");
+
+    EXPECT_EQ(filterBenchEntries(entries, "").size(),
+              entries.size());
+    EXPECT_TRUE(filterBenchEntries(entries, "NoSuchName").empty());
+}
+
+TEST(BenchJson, FilteredCompareFeedsTheSpeedupGate)
+{
+    // bench_compare's --filter + --min-speedup path: compare only
+    // the Lookup family and read each delta's speedup as 1/ratio.
+    std::vector<BenchEntry> base{
+        {"BM_PartialLookup/8", "iteration", 250.0, 250.0, "ns"},
+        {"BM_CacheFillEvict", "iteration", 30.0, 30.0, "ns"},
+    };
+    std::vector<BenchEntry> curr{
+        {"BM_PartialLookup/8", "iteration", 50.0, 50.0, "ns"},
+        {"BM_CacheFillEvict", "iteration", 31.0, 31.0, "ns"},
+    };
+    BenchComparison cmp = compareBench(
+        filterBenchEntries(base, "Lookup"),
+        filterBenchEntries(curr, "Lookup"), BenchMetric::CpuTime);
+    ASSERT_EQ(cmp.deltas.size(), 1u);
+    EXPECT_EQ(cmp.deltas[0].name, "BM_PartialLookup/8");
+    EXPECT_DOUBLE_EQ(cmp.deltas[0].ratio, 0.2);
+    EXPECT_GE(1.0 / cmp.deltas[0].ratio, 2.0);
+}
+
 TEST(BenchJson, LoadReportsIoErrorForMissingFile)
 {
     std::vector<BenchEntry> entries;

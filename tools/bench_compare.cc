@@ -3,7 +3,8 @@
  * Compare two google-benchmark JSON files and fail on regressions.
  *
  *   bench_compare <baseline.json> <current.json> [--max-ratio=2.0]
- *                 [--metric=cpu_time|real_time]
+ *                 [--metric=cpu_time|real_time] [--filter=substr]
+ *                 [--min-speedup=0]
  *
  * Exit 0 when every benchmark present in both files stays within
  * max-ratio of its baseline time, 1 when any exceeds it (the CI
@@ -13,6 +14,14 @@
  * baseline forever. The default 2.0 ratio is deliberately loose —
  * shared CI runners jitter by tens of percent — so only genuine
  * hot-path regressions trip it; see docs/PERFORMANCE.md.
+ *
+ * --filter narrows the comparison to benchmarks whose name contains
+ * the substring. --min-speedup flips the tool into an improvement
+ * gate: every compared benchmark must additionally be at least that
+ * many times *faster* than its baseline, e.g.
+ *   bench_compare BENCH_micro.json new.json --filter=Lookup \
+ *                 --min-speedup=2
+ * holds every lookup microbenchmark to a >= 2x win.
  */
 
 #include <cstdio>
@@ -34,6 +43,12 @@ main(int argc, char **argv)
                      "fail when current/baseline time exceeds this");
         args.addFlag("metric", "cpu_time",
                      "which time to compare: cpu_time | real_time");
+        args.addFlag("filter", "",
+                     "only compare benchmarks whose name contains "
+                     "this substring");
+        args.addFlag("min-speedup", "0",
+                     "also fail unless current is at least this "
+                     "many times faster (0 = off)");
         if (!args.parse(argc, argv))
             return 0;
 
@@ -44,6 +59,10 @@ main(int argc, char **argv)
         const double max_ratio = args.getDouble("max-ratio");
         if (max_ratio <= 0.0)
             throwError(Error::usage("--max-ratio must be > 0"));
+        const double min_speedup = args.getDouble("min-speedup");
+        if (min_speedup < 0.0)
+            throwError(Error::usage("--min-speedup must be >= 0"));
+        const std::string filter = args.getString("filter");
         const std::string metric_name = args.getString("metric");
         BenchMetric metric;
         if (metric_name == "cpu_time")
@@ -62,16 +81,28 @@ main(int argc, char **argv)
         if (!err.ok())
             throwError(err);
 
+        if (!filter.empty()) {
+            baseline = filterBenchEntries(baseline, filter);
+            current = filterBenchEntries(current, filter);
+        }
+
         BenchComparison cmp =
             compareBench(baseline, current, metric);
 
+        // A delta fails past max-ratio, and (gate mode) also when
+        // its speedup baseline/current falls short of min-speedup.
         int regressions = 0;
         for (const BenchDelta &d : cmp.deltas) {
-            const bool bad = d.ratio > max_ratio;
-            std::printf("%-40s %10.1f -> %10.1f ns  x%.2f%s\n",
+            const double speedup =
+                d.ratio > 0.0 ? 1.0 / d.ratio : 0.0;
+            const bool slow = d.ratio > max_ratio;
+            const bool short_win =
+                min_speedup > 0.0 && speedup < min_speedup;
+            std::printf("%-40s %10.1f -> %10.1f ns  x%.2f%s%s\n",
                         d.name.c_str(), d.baseline_ns, d.current_ns,
-                        d.ratio, bad ? "  REGRESSION" : "");
-            if (bad)
+                        d.ratio, slow ? "  REGRESSION" : "",
+                        short_win ? "  BELOW MIN SPEEDUP" : "");
+            if (slow || short_win)
                 ++regressions;
         }
         for (const std::string &name : cmp.missing)
