@@ -4,8 +4,9 @@
  *
  * Subcommands (first positional argument):
  *   generate <out>   write the ATUM-like trace to a file
- *                    (.din = ASCII Dinero, anything else = binary)
- *   convert <in> <out>  convert between the two formats
+ *                    (.din = ASCII Dinero, .ftr = framed binary,
+ *                    anything else = flat binary)
+ *   convert <in> <out>  convert between the three formats
  *   stats <in>       print reference mix / footprint statistics
  *                    (--per-segment for one row per sub-trace)
  *   simulate <in>    run the file through the paper's default
@@ -25,6 +26,8 @@
 #include "trace/atum_like.h"
 #include "trace/bin_io.h"
 #include "trace/din_io.h"
+#include "trace/ftr_writer.h"
+#include "trace/trace_file.h"
 #include "trace/trace_stats.h"
 #include "util/argparse.h"
 #include "util/table.h"
@@ -35,28 +38,30 @@ using namespace assoc::trace;
 
 namespace {
 
-bool
-isDin(const std::string &path)
-{
-    return path.size() >= 4 &&
-           path.compare(path.size() - 4, 4, ".din") == 0;
-}
-
 std::unique_ptr<TraceSource>
 openTrace(const std::string &path, const ErrorPolicy &policy)
 {
-    if (isDin(path))
-        return std::make_unique<DinTraceSource>(path, policy);
-    return std::make_unique<BinTraceSource>(path, policy);
+    // Format from the extension (.din/.bin/.ftr) or magic sniff.
+    return openTraceFile(path, policy);
 }
 
 void
 writeTrace(TraceSource &src, const std::string &path)
 {
-    if (isDin(path))
+    switch (detectTraceFormat(path)) {
+      case TraceFormat::Din:
         writeDin(src, path);
-    else
+        break;
+      case TraceFormat::Ftr: {
+        Expected<std::uint64_t> n = writeFtr(src, path);
+        if (!n.ok())
+            throwError(Error(n.error()));
+        break;
+      }
+      case TraceFormat::Bin:
         writeBin(src, path);
+        break;
+    }
 }
 
 /** Propagate a reader failure (and report skips) after a drain. */

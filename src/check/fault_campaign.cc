@@ -11,7 +11,11 @@
 #include "trace/atum_like.h"
 #include "trace/bin_io.h"
 #include "trace/din_io.h"
+#include "trace/ftr_reader.h"
+#include "trace/ftr_writer.h"
+#include "trace/trace_file.h"
 #include "util/error.h"
+#include "util/io_fault.h"
 #include "util/rng.h"
 
 namespace assoc {
@@ -21,7 +25,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/** The eleven fault families, selected by case index % 11. */
+/** The sixteen fault families, selected by case index % 16. */
 enum class FaultKind {
     DinCorruptFailFast,
     DinCorruptSkip,
@@ -34,9 +38,14 @@ enum class FaultKind {
     Hang,
     Slow,
     Oom,
+    FtrCorrupt,
+    FtrTruncate,
+    FtrTornFooter,
+    IoShortRead,
+    IoError,
 };
 
-constexpr std::uint64_t kFaultKinds = 11;
+constexpr std::uint64_t kFaultKinds = 16;
 
 const char *
 kindName(FaultKind k)
@@ -64,6 +73,16 @@ kindName(FaultKind k)
         return "slow";
       case FaultKind::Oom:
         return "oom";
+      case FaultKind::FtrCorrupt:
+        return "ftr-corrupt";
+      case FaultKind::FtrTruncate:
+        return "ftr-truncate";
+      case FaultKind::FtrTornFooter:
+        return "ftr-torn-footer";
+      case FaultKind::IoShortRead:
+        return "io-short-read";
+      case FaultKind::IoError:
+        return "io-error";
     }
     return "?";
 }
@@ -284,6 +303,319 @@ caseBinCorrupt(Scratch &scratch, std::uint64_t case_seed,
         chk.require(streamed + src.skippedRecords() == written,
                     "reader lost records without reporting a skip "
                     "or an error");
+}
+
+/**
+ * Post-stream contract for the ftr reader. Unlike din/bin, the
+ * policy's skip cap bounds damaged *regions* (damage events); one
+ * region may lose many records, all reported via skippedRecords().
+ */
+void
+checkFtrContract(const trace::FtrTraceSource &src, ErrorMode mode,
+                 std::uint64_t max_skips, CaseCheck &chk)
+{
+    if (src.failed()) {
+        ErrorCode c = src.error().code();
+        chk.require(c == ErrorCode::Data || c == ErrorCode::Io,
+                    std::string("ftr reader error is ") +
+                        errorCodeName(c) + ", want data or io");
+        chk.require(!src.error().text().empty(),
+                    "ftr reader error has empty text");
+    } else if (mode == ErrorMode::Skip) {
+        chk.require(src.damageEvents() <= max_skips,
+                    "damage-event count exceeds the policy cap "
+                    "without an error");
+    }
+    if (mode == ErrorMode::FailFast) {
+        chk.require(src.skippedRecords() == 0,
+                    "fail-fast ftr reader skipped records");
+        chk.require(src.damageEvents() == 0,
+                    "fail-fast ftr reader tolerated damage");
+    }
+}
+
+/** Write a small trace as ftr with seeded frame sizing; returns the
+ *  record count (and flags a violation on a writer failure). */
+std::uint64_t
+writeSmallFtr(const trace::AtumLikeConfig &cfg,
+              const std::string &path, std::uint32_t frame_records,
+              CaseCheck &chk)
+{
+    trace::AtumLikeGenerator gen(cfg);
+    trace::FtrWriter::Options wopt;
+    wopt.frame_records = frame_records;
+    Expected<std::uint64_t> wrote = trace::writeFtr(gen, path, wopt);
+    if (!wrote.ok()) {
+        chk.require(false,
+                    "writeFtr failed: " + wrote.error().text());
+        return 0;
+    }
+    return wrote.take();
+}
+
+/** Flip bytes of an ftr file (header protected): every body byte is
+ *  CRC-covered, so non-skip modes must reject, and skip mode must
+ *  resync with exact per-record damage accounting. */
+void
+caseFtrCorrupt(Scratch &scratch, std::uint64_t case_seed,
+               CaseCheck &chk)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x667472ULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+
+    std::string path = scratch.file("fault.ftr");
+    std::uint64_t written =
+        writeSmallFtr(cfg, path, 1 + rng.below(64), chk);
+    if (written == 0)
+        return;
+
+    unsigned flips = 1 + rng.below(8);
+    exec::FaultInjector::corruptBytes(path, case_seed ^ 0xf7fULL,
+                                      flips,
+                                      /*skip=*/trace::ftr::kHeaderBytes);
+
+    const ErrorMode modes[] = {ErrorMode::FailFast, ErrorMode::Skip,
+                               ErrorMode::Strict};
+    ErrorPolicy policy;
+    policy.mode = modes[rng.below(3)];
+    trace::FtrOptions fopt;
+    fopt.prefetch = rng.below(2) == 0;
+    trace::FtrTraceSource src(path, policy, fopt);
+
+    std::uint64_t streamed = drainBounded(src, written, chk);
+    checkFtrContract(src, policy.mode, policy.max_skips, chk);
+    chk.require(streamed + src.skippedRecords() <= written,
+                "corrupt ftr reader invented records");
+    if (policy.mode != ErrorMode::Skip)
+        chk.require(src.failed(),
+                    "a bit-flipped ftr body passed CRC validation");
+    else
+        chk.require(streamed + src.skippedRecords() == written,
+                    "skip-mode ftr reader lost records without "
+                    "accounting for them (" +
+                        std::to_string(streamed) + " streamed + " +
+                        std::to_string(src.skippedRecords()) +
+                        " skipped of " + std::to_string(written) +
+                        ")");
+
+    // reset() must replay the identical outcome (prefetch restarts).
+    src.reset();
+    std::uint64_t again = drainBounded(src, written, chk);
+    chk.require(again == streamed,
+                "reset() changed the streamed record count (" +
+                    std::to_string(streamed) + " then " +
+                    std::to_string(again) + ")");
+}
+
+/** Truncate an ftr file at a random byte: non-skip modes must
+ *  reject (the footer is always damaged), skip mode must rebuild
+ *  the index and account for every lost record. */
+void
+caseFtrTruncate(Scratch &scratch, std::uint64_t case_seed,
+                CaseCheck &chk)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x667431ULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+
+    std::string path = scratch.file("trunc.ftr");
+    std::uint64_t written =
+        writeSmallFtr(cfg, path, 1 + rng.below(64), chk);
+    if (written == 0)
+        return;
+    std::uint64_t full = fs::file_size(path);
+    std::uint64_t keep = rng.below(static_cast<std::uint32_t>(full));
+    exec::FaultInjector::truncateFile(path, keep);
+
+    const ErrorMode modes[] = {ErrorMode::FailFast, ErrorMode::Skip,
+                               ErrorMode::Strict};
+    ErrorPolicy policy;
+    policy.mode = modes[rng.below(3)];
+    trace::FtrOptions fopt;
+    fopt.prefetch = rng.below(2) == 0;
+    trace::FtrTraceSource src(path, policy, fopt);
+
+    std::uint64_t streamed = drainBounded(src, written, chk);
+    checkFtrContract(src, policy.mode, policy.max_skips, chk);
+    if (policy.mode != ErrorMode::Skip) {
+        chk.require(src.failed(),
+                    "truncated ftr file was not rejected (keep=" +
+                        std::to_string(keep) + "/" +
+                        std::to_string(full) + ")");
+    } else if (keep < trace::ftr::kHeaderBytes) {
+        chk.require(src.failed(),
+                    "an ftr file cut inside its header was "
+                    "accepted");
+    } else {
+        chk.require(!src.failed(),
+                    "skip-mode reader rejected a recoverable "
+                    "truncation: " + src.error().text());
+        chk.require(streamed + src.skippedRecords() == written,
+                    "skip-mode ftr reader miscounted a torn tail (" +
+                        std::to_string(streamed) + " streamed + " +
+                        std::to_string(src.skippedRecords()) +
+                        " skipped of " + std::to_string(written) +
+                        ")");
+    }
+}
+
+/** Tear only the footer off (crash-before-finish): fail-fast must
+ *  reject at open, skip mode must rebuild the index by scanning and
+ *  then replay the stream bit-identically, zero records skipped. */
+void
+caseFtrTornFooter(Scratch &scratch, std::uint64_t case_seed,
+                  CaseCheck &chk)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x667432ULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+
+    std::string path = scratch.file("torn.ftr");
+    std::uint64_t written =
+        writeSmallFtr(cfg, path, 1 + rng.below(64), chk);
+    if (written == 0)
+        return;
+    std::uint64_t torn = exec::FaultInjector::tearFooter(path);
+    chk.require(torn != 0, "tearFooter found no footer to remove");
+
+    ErrorPolicy ff;
+    ff.mode = ErrorMode::FailFast;
+    trace::FtrTraceSource strict_src(path, ff);
+    chk.require(strict_src.failed() &&
+                    strict_src.error().code() == ErrorCode::Data,
+                "fail-fast reader accepted a torn-off footer");
+
+    ErrorPolicy sk;
+    sk.mode = ErrorMode::Skip;
+    trace::FtrOptions fopt;
+    fopt.prefetch = rng.below(2) == 0;
+    trace::FtrTraceSource src(path, sk, fopt);
+    chk.require(src.indexRebuilt(),
+                "skip-mode reader did not rebuild the torn footer");
+
+    trace::AtumLikeGenerator ref(cfg);
+    ref.reset();
+    trace::MemRef a, b;
+    std::uint64_t n = 0;
+    bool same = true;
+    while (same && src.next(a)) {
+        same = ref.next(b) && a.addr == b.addr && a.type == b.type &&
+               a.pid == b.pid;
+        ++n;
+    }
+    chk.require(same && n == written,
+                "rebuilt index did not replay the stream "
+                "bit-identically (" + std::to_string(n) + " of " +
+                    std::to_string(written) + " records)");
+    chk.require(!src.failed(),
+                "torn-footer replay failed: " + src.error().text());
+    chk.require(src.skippedRecords() == 0 && src.damageEvents() == 0,
+                "intact frames after a torn footer were counted as "
+                "damage");
+}
+
+/** A device that returns EOF early (file shrank / short read): the
+ *  reader must report it against the header's claimed count, never
+ *  silently deliver a prefix as a complete stream. */
+void
+caseIoShortRead(Scratch &scratch, std::uint64_t case_seed,
+                CaseCheck &chk, std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x736872ULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+    trace::AtumLikeGenerator gen(cfg);
+
+    std::string path = scratch.file("short.bin");
+    std::uint64_t written = trace::writeBin(gen, path);
+    std::uint64_t full = 16 + written * 6;
+
+    IoFaultPlan plan;
+    plan.short_read_at = rng.below(static_cast<std::uint32_t>(full));
+    const ErrorMode modes[] = {ErrorMode::FailFast, ErrorMode::Skip,
+                               ErrorMode::Strict};
+    ErrorPolicy policy;
+    policy.mode = modes[rng.below(3)];
+    std::unique_ptr<trace::TraceSource> src =
+        trace::openTraceFileWithFaults(path, policy, plan);
+    faults += 1;
+
+    std::uint64_t streamed = drainBounded(*src, written, chk);
+    chk.require(src->failed(),
+                "a short read below the claimed record count went "
+                "unreported (short_read_at=" +
+                    std::to_string(plan.short_read_at) + "/" +
+                    std::to_string(full) + ")");
+    ErrorCode c = src->error().code();
+    chk.require(c == ErrorCode::Data || c == ErrorCode::Io,
+                std::string("short-read error is ") +
+                    errorCodeName(c) + ", want data or io");
+    chk.require(src->skippedRecords() == 0,
+                "a device fault was skipped; short reads are not "
+                "skippable");
+    if (plan.short_read_at >= 16)
+        chk.require(streamed == (plan.short_read_at - 16) / 6,
+                    "reader delivered " + std::to_string(streamed) +
+                        " records before a short read at byte " +
+                        std::to_string(plan.short_read_at));
+}
+
+/** A hard device error (EIO) mid-file: every reader and policy must
+ *  surface a structured failure — badbit never masquerades as EOF,
+ *  and skip mode never skips past it. */
+void
+caseIoError(Scratch &scratch, std::uint64_t case_seed,
+            CaseCheck &chk, std::uint64_t &faults)
+{
+    Pcg32 rng(case_seed, /*stream=*/0x65696fULL);
+    std::uint64_t refs = 100 + rng.below(400);
+    trace::AtumLikeConfig cfg = smallTrace(case_seed, refs);
+
+    unsigned fmt = rng.below(3);
+    std::string path;
+    std::uint64_t written = 0;
+    if (fmt == 0) {
+        trace::AtumLikeGenerator gen(cfg);
+        path = scratch.file("eio.din");
+        written = gen.totalRefs();
+        trace::writeDin(gen, path);
+    } else if (fmt == 1) {
+        trace::AtumLikeGenerator gen(cfg);
+        path = scratch.file("eio.bin");
+        written = trace::writeBin(gen, path);
+    } else {
+        path = scratch.file("eio.ftr");
+        written = writeSmallFtr(cfg, path, 1 + rng.below(64), chk);
+        if (written == 0)
+            return;
+    }
+    std::uint64_t full = fs::file_size(path);
+
+    IoFaultPlan plan;
+    plan.io_error_at = rng.below(static_cast<std::uint32_t>(full));
+    const ErrorMode modes[] = {ErrorMode::FailFast, ErrorMode::Skip,
+                               ErrorMode::Strict};
+    ErrorPolicy policy;
+    policy.mode = modes[rng.below(3)];
+    std::unique_ptr<trace::TraceSource> src =
+        trace::openTraceFileWithFaults(path, policy, plan);
+    faults += 1;
+
+    std::uint64_t streamed = drainBounded(*src, written, chk);
+    chk.require(streamed <= written,
+                "a failing device produced extra records");
+    chk.require(src->failed(),
+                "an injected device error (EIO at byte " +
+                    std::to_string(plan.io_error_at) + " of " +
+                    std::to_string(full) +
+                    ") was swallowed; the stream ended as if clean");
+    ErrorCode c = src->error().code();
+    chk.require(c == ErrorCode::Data || c == ErrorCode::Io,
+                std::string("device-error code is ") +
+                    errorCodeName(c) + ", want data or io");
+    chk.require(!src->error().text().empty(),
+                "device-error text is empty");
 }
 
 /** The three-job mini sweep all sweep-fault cases run. */
@@ -765,6 +1097,23 @@ runFaultCampaign(const FaultCampaignOptions &opt)
             break;
           case FaultKind::Oom:
             caseOom(case_seed, chk, sum.faults_injected);
+            break;
+          case FaultKind::FtrCorrupt:
+            caseFtrCorrupt(scratch, case_seed, chk);
+            break;
+          case FaultKind::FtrTruncate:
+            caseFtrTruncate(scratch, case_seed, chk);
+            break;
+          case FaultKind::FtrTornFooter:
+            caseFtrTornFooter(scratch, case_seed, chk);
+            break;
+          case FaultKind::IoShortRead:
+            caseIoShortRead(scratch, case_seed, chk,
+                            sum.faults_injected);
+            break;
+          case FaultKind::IoError:
+            caseIoError(scratch, case_seed, chk,
+                        sum.faults_injected);
             break;
         }
         ++sum.cases_run;

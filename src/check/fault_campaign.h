@@ -4,9 +4,12 @@
  *
  * Where src/check/fuzz.* fuzzes the lookup schemes themselves, this
  * campaign fuzzes the *failure paths* around them: corrupted and
- * truncated trace files under every ErrorPolicy, faults thrown from
- * inside a metered lookup, transient job failures that must be
- * retried, cancellation mid-sweep followed by a journal resume, and
+ * truncated trace files under every ErrorPolicy (including framed
+ * ftr traces — bit flips, mid-file truncation, torn-off footers),
+ * device faults injected at the stream layer (short reads, EIO),
+ * faults thrown from inside a metered lookup, transient job
+ * failures that must be retried, cancellation mid-sweep followed by
+ * a journal resume, and
  * the runaway-work kinds — a wedged job the watchdog must cut loose
  * (hang), a slow-but-progressing job that must NOT be killed (slow),
  * and a job ballooning past its memory budget (oom). Each case

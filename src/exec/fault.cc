@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "trace/ftr_format.h"
 #include "util/rng.h"
 
 namespace assoc {
@@ -244,6 +245,30 @@ FaultInjector::truncateFile(const std::string &path,
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(data.data(),
               static_cast<std::streamsize>(data.size()));
+}
+
+std::uint64_t
+FaultInjector::tearFooter(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return 0;
+    std::uint64_t size = static_cast<std::uint64_t>(in.tellg());
+    if (size < trace::ftr::kTrailerBytes)
+        return 0;
+    std::uint8_t tr[trace::ftr::kTrailerBytes] = {};
+    in.seekg(static_cast<std::streamoff>(size - sizeof(tr)));
+    in.read(reinterpret_cast<char *>(tr), sizeof(tr));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(tr)) ||
+        trace::ftr::getU32(tr + 4) != trace::ftr::kTrailerMagic)
+        return 0;
+    std::uint64_t cut =
+        trace::ftr::getU32(tr) + trace::ftr::kTrailerBytes;
+    if (cut > size)
+        return 0;
+    in.close();
+    truncateFile(path, size - cut);
+    return cut;
 }
 
 void

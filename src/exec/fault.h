@@ -131,6 +131,14 @@ class FaultInjector
     static void truncateFile(const std::string &path,
                              std::uint64_t keep_bytes);
 
+    /**
+     * Tear the frame-index footer (block + trailer) off the ftr
+     * file at @p path — the exact shape a crash between the last
+     * frame and FtrWriter::finish() leaves behind. Returns the
+     * bytes removed (0 when the file carries no valid trailer).
+     */
+    static std::uint64_t tearFooter(const std::string &path);
+
   private:
     FaultPlan plan_;
     CancelToken *cancel_;

@@ -237,7 +237,7 @@ encodeRunOutput(const sim::RunOutput &out)
 {
     std::ostringstream os;
     const mem::HierarchyStats &st = out.stats;
-    os << "v1 stats";
+    os << "v2 stats";
     for (std::uint64_t v :
          {st.proc_refs, st.l1_hits, st.l1_misses, st.read_ins,
           st.read_in_hits, st.read_in_misses, st.write_backs,
@@ -261,6 +261,7 @@ encodeRunOutput(const sim::RunOutput &out)
         os << " " << hex64(doubleBits(v));
     os << " occ " << hex64(doubleBits(out.mean_occupancy));
     os << " coh " << out.coherency_invalidations;
+    os << " skips " << out.skipped_records;
     return os.str();
 }
 
@@ -269,7 +270,9 @@ decodeRunOutput(const std::string &payload)
 {
     Error bad = Error::data("corrupt journal payload");
     TokenReader r(payload);
-    if (!r.keyword("v1") || !r.keyword("stats"))
+    std::string version;
+    if (!r.word(version) || (version != "v1" && version != "v2") ||
+        !r.keyword("stats"))
         return bad;
 
     sim::RunOutput out;
@@ -311,6 +314,10 @@ decodeRunOutput(const std::string &payload)
     if (!r.keyword("occ") || !r.bitsDoubleTok(out.mean_occupancy))
         return bad;
     if (!r.keyword("coh") || !r.u64(out.coherency_invalidations))
+        return bad;
+    // v1 predates skip accounting; those journals decode with 0.
+    if (version == "v2" &&
+        (!r.keyword("skips") || !r.u64(out.skipped_records)))
         return bad;
     return out;
 }

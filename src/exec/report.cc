@@ -93,6 +93,9 @@ writeRunBody(std::ostream &os, const sim::RunSpec &spec,
        << jsonNum(out.stats.localMissRatio()) << ",\n";
     os << "      \"write_back_fraction\": "
        << jsonNum(out.stats.writeBackFraction()) << ",\n";
+    if (out.skipped_records != 0)
+        os << "      \"skipped_records\": " << out.skipped_records
+           << ",\n";
     os << "      \"schemes\": [";
     for (std::size_t s = 0; s < out.probes.size(); ++s) {
         const core::ProbeStats &p = out.probes[s];

@@ -35,6 +35,19 @@ atumTraceFactory(const trace::AtumLikeConfig &cfg)
     };
 }
 
+TraceFactory
+fileTraceFactory(const std::string &path, ErrorPolicy policy)
+{
+    // Each job opens its own reader: jobs run on pool threads, and
+    // TraceSource instances are single-threaded by contract. Open
+    // failures surface through the source's sticky error when the
+    // job first streams it, which routes through the normal
+    // per-job retry/failure machinery.
+    return [path, policy](std::size_t) {
+        return trace::openTraceFile(path, policy);
+    };
+}
+
 void
 runJobs(std::vector<std::function<void()>> jobs,
         const SweepOptions &opts)

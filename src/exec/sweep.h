@@ -37,6 +37,7 @@
 #include "exec/thread_pool.h"
 #include "sim/runner.h"
 #include "trace/atum_like.h"
+#include "trace/trace_file.h"
 #include "util/cancel.h"
 
 namespace assoc {
@@ -115,6 +116,16 @@ using TraceFactory =
 /** A TraceFactory producing one AtumLikeGenerator per job from the
  *  shared config (every job replays the identical stream). */
 TraceFactory atumTraceFactory(const trace::AtumLikeConfig &cfg);
+
+/**
+ * A TraceFactory that opens @p path once per job, with the format
+ * (din / bin / ftr) detected from extension or magic. @p policy
+ * governs damaged-record handling; under ErrorMode::Skip every job
+ * sees the identical post-skip stream, so sweep results stay
+ * deterministic even over a damaged trace.
+ */
+TraceFactory fileTraceFactory(const std::string &path,
+                              ErrorPolicy policy = ErrorPolicy());
 
 /**
  * Run every spec in @p specs against its own trace from

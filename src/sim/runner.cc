@@ -107,6 +107,7 @@ runTrace(trace::TraceSource &src, const RunSpec &spec)
         throwError(std::move(e.withContext("streaming the trace")));
     }
 
+    out.skipped_records = src.skippedRecords();
     out.stats = hier.stats();
     for (const auto &meter : meters) {
         out.names.push_back(meter->name());

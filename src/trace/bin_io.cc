@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <fstream>
 
 #include "util/logging.h"
 
@@ -71,10 +72,23 @@ writeBin(TraceSource &src, const std::string &path)
 }
 
 BinTraceSource::BinTraceSource(const std::string &path, ErrorPolicy policy)
-    : path_(path), policy_(policy)
+    : path_(path), policy_(policy),
+      in_(std::make_unique<std::ifstream>(path, std::ios::binary))
 {
-    in_.open(path_, std::ios::binary);
-    if (!in_) {
+    if (!*in_) {
+        header_error_ =
+            Error::io("cannot open binary trace '" + path_ + "'");
+        error_ = header_error_;
+        return;
+    }
+    readHeader();
+}
+
+BinTraceSource::BinTraceSource(std::unique_ptr<std::istream> in,
+                               std::string name, ErrorPolicy policy)
+    : path_(std::move(name)), policy_(policy), in_(std::move(in))
+{
+    if (!in_ || in_->fail()) {
         header_error_ =
             Error::io("cannot open binary trace '" + path_ + "'");
         error_ = header_error_;
@@ -87,11 +101,11 @@ void
 BinTraceSource::readHeader()
 {
     std::array<char, kHeaderBytes> header{};
-    in_.read(header.data(), header.size());
-    if (in_.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    in_->read(header.data(), header.size());
+    if (in_->gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
         header_error_ =
             Error::data("'" + path_ + "' is too short to be a binary "
-                        "trace (" + std::to_string(in_.gcount()) +
+                        "trace (" + std::to_string(in_->gcount()) +
                         " bytes, header needs " +
                         std::to_string(kHeaderBytes) + ")");
         error_ = header_error_;
@@ -117,23 +131,41 @@ BinTraceSource::readHeader()
                 << 32);
 
     // Validate the claimed count against the actual file size so
-    // truncation is reported at open, with byte-exact context.
-    in_.clear();
-    in_.seekg(0, std::ios::end);
-    std::uint64_t size = static_cast<std::uint64_t>(in_.tellg());
-    in_.seekg(static_cast<std::streamoff>(kHeaderBytes));
+    // truncation is reported at open, with byte-exact context. All
+    // comparisons go through the record count (division), never
+    // claimed_ * kRecordBytes: the count is attacker-controlled
+    // 64-bit input and the product can wrap around, which would let
+    // an absurd header pass a naive expected-size check.
+    in_->clear();
+    in_->seekg(0, std::ios::end);
+    std::uint64_t size = static_cast<std::uint64_t>(in_->tellg());
+    in_->seekg(static_cast<std::streamoff>(kHeaderBytes));
     std::uint64_t body = size - kHeaderBytes;
     std::uint64_t whole = body / kRecordBytes;
-    std::uint64_t expect = kHeaderBytes + claimed_ * kRecordBytes;
+
+    // An implausible count is rejected outright — even in Skip mode,
+    // before anything downstream sizes a buffer or a progress bar by
+    // it. 2^48 records is ~1.5 PiB of file, far past any real trace.
+    constexpr std::uint64_t kMaxPlausibleRecords = 1ull << 48;
+    if (claimed_ > kMaxPlausibleRecords) {
+        header_error_ = Error::data(
+            "'" + path_ + "' claims an implausible " +
+            std::to_string(claimed_) + " records (file holds " +
+            std::to_string(whole) + "); rejecting the header");
+        error_ = header_error_;
+        count_ = 0;
+        return;
+    }
 
     count_ = claimed_;
     clamp_skips_ = 0;
-    if (size < expect) {
+    if (claimed_ > whole) {
         Error e = Error::data(
             "'" + path_ + "' is truncated: header claims " +
             std::to_string(claimed_) + " records (" +
-            std::to_string(expect) + " bytes) but the file holds " +
-            std::to_string(size) + " bytes (" + std::to_string(whole) +
+            std::to_string(kHeaderBytes + claimed_ * kRecordBytes) +
+            " bytes) but the file holds " + std::to_string(size) +
+            " bytes (" + std::to_string(whole) +
             " complete records)");
         if (policy_.mode == ErrorMode::Skip &&
             claimed_ - whole <= policy_.max_skips) {
@@ -149,10 +181,12 @@ BinTraceSource::readHeader()
             count_ = 0;
             return;
         }
-    } else if (size > expect && policy_.mode == ErrorMode::Strict) {
+    } else if (body - claimed_ * kRecordBytes > 0 &&
+               policy_.mode == ErrorMode::Strict) {
         header_error_ =
             Error::data("'" + path_ + "' has " +
-                        std::to_string(size - expect) +
+                        std::to_string(body -
+                                       claimed_ * kRecordBytes) +
                         " trailing bytes beyond the last record");
         error_ = header_error_;
         count_ = 0;
@@ -200,13 +234,17 @@ BinTraceSource::next(MemRef &ref)
             }
         }
         std::array<char, kRecordBytes> rec{};
-        in_.read(rec.data(), rec.size());
-        if (in_.gcount() != static_cast<std::streamsize>(kRecordBytes)) {
-            // The file shrank after the open-time size check.
+        in_->read(rec.data(), rec.size());
+        if (in_->gcount() != static_cast<std::streamsize>(kRecordBytes)) {
+            // badbit is a device failure (EIO); EOF here means the
+            // file shrank after the open-time size check. Both are
+            // environmental, but say which one happened.
             error_ = Error::io(
-                "'" + path_ + "': short read at record " +
-                std::to_string(pos_) + " (header claims " +
-                std::to_string(claimed_) + " records)");
+                "'" + path_ + "': " +
+                (in_->bad() ? "read error" : "short read") +
+                " at record " + std::to_string(pos_) +
+                " (header claims " + std::to_string(claimed_) +
+                " records)");
             return false;
         }
         std::uint8_t t = static_cast<std::uint8_t>(rec[4]);
@@ -233,11 +271,11 @@ BinTraceSource::reset()
     error_ = header_error_;
     if (error_.failed())
         return;
-    in_.clear();
-    in_.seekg(kHeaderBytes);
+    in_->clear();
+    in_->seekg(kHeaderBytes);
     pos_ = 0;
     skipped_ = clamp_skips_;
-    if (!in_.good())
+    if (!in_->good())
         error_ = Error::io("cannot rewind binary trace '" + path_ + "'");
 }
 

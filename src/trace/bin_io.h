@@ -16,7 +16,8 @@
 #ifndef ASSOC_TRACE_BIN_IO_H
 #define ASSOC_TRACE_BIN_IO_H
 
-#include <fstream>
+#include <istream>
+#include <memory>
 #include <string>
 
 #include "trace/trace_source.h"
@@ -40,6 +41,11 @@ class BinTraceSource : public TraceSource
      */
     explicit BinTraceSource(const std::string &path,
                             ErrorPolicy policy = ErrorPolicy());
+
+    /** Read from a caller-supplied stream (fault-injection tests);
+     *  @p name labels error messages. */
+    BinTraceSource(std::unique_ptr<std::istream> in, std::string name,
+                   ErrorPolicy policy = ErrorPolicy());
 
     bool next(MemRef &ref) override;
     void reset() override;
@@ -66,7 +72,7 @@ class BinTraceSource : public TraceSource
 
     std::string path_;
     ErrorPolicy policy_;
-    std::ifstream in_;
+    std::unique_ptr<std::istream> in_;
     std::uint64_t claimed_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t pos_ = 0;

@@ -1,6 +1,7 @@
 #include "trace/din_io.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/logging.h"
@@ -59,10 +60,18 @@ writeDin(TraceSource &src, const std::string &path)
 }
 
 DinTraceSource::DinTraceSource(const std::string &path, ErrorPolicy policy)
-    : path_(path), policy_(policy)
+    : path_(path), policy_(policy),
+      in_(std::make_unique<std::ifstream>(path))
 {
-    in_.open(path_);
-    if (!in_)
+    if (!*in_)
+        error_ = Error::io("cannot open din trace '" + path_ + "'");
+}
+
+DinTraceSource::DinTraceSource(std::unique_ptr<std::istream> in,
+                               std::string name, ErrorPolicy policy)
+    : path_(std::move(name)), policy_(policy), in_(std::move(in))
+{
+    if (!in_ || in_->fail())
         error_ = Error::io("cannot open din trace '" + path_ + "'");
 }
 
@@ -95,7 +104,7 @@ DinTraceSource::next(MemRef &ref)
     if (error_.failed())
         return false;
     std::string line;
-    while (std::getline(in_, line)) {
+    while (std::getline(*in_, line)) {
         ++line_;
         if (cancel_ && line_ % kCancelStride == 0) {
             Expected<void> go = cancel_->checkpoint();
@@ -207,18 +216,28 @@ DinTraceSource::next(MemRef &ref)
         ref.pid = static_cast<std::uint8_t>(pid);
         return true;
     }
+    // getline stops on both end-of-file and a hard read error; the
+    // latter must not masquerade as a clean EOF, or a dying disk
+    // would silently truncate the trace we compute statistics over.
+    if (in_->bad())
+        error_ = Error::io(path_ + ": read error after line " +
+                           std::to_string(line_));
     return false;
 }
 
 void
 DinTraceSource::reset()
 {
-    in_.clear();
-    in_.seekg(0);
+    if (!in_) {
+        error_ = Error::io("cannot rewind din trace '" + path_ + "'");
+        return;
+    }
+    in_->clear();
+    in_->seekg(0);
     line_ = 0;
     skipped_ = 0;
     error_ = Error();
-    if (!in_.good())
+    if (!in_->good())
         error_ = Error::io("cannot rewind din trace '" + path_ + "'");
 }
 

@@ -19,7 +19,8 @@
 #ifndef ASSOC_TRACE_DIN_IO_H
 #define ASSOC_TRACE_DIN_IO_H
 
-#include <fstream>
+#include <istream>
+#include <memory>
 #include <string>
 
 #include "trace/trace_source.h"
@@ -42,6 +43,11 @@ class DinTraceSource : public TraceSource
      */
     explicit DinTraceSource(const std::string &path,
                             ErrorPolicy policy = ErrorPolicy());
+
+    /** Read from a caller-supplied stream (fault-injection tests);
+     *  @p name labels error messages. */
+    DinTraceSource(std::unique_ptr<std::istream> in, std::string name,
+                   ErrorPolicy policy = ErrorPolicy());
 
     bool next(MemRef &ref) override;
     void reset() override;
@@ -69,7 +75,7 @@ class DinTraceSource : public TraceSource
 
     std::string path_;
     ErrorPolicy policy_;
-    std::ifstream in_;
+    std::unique_ptr<std::istream> in_;
     std::uint64_t line_ = 0;
     std::uint64_t skipped_ = 0;
     const CancelToken *cancel_ = nullptr;

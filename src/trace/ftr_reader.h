@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Recoverable, prefetching reader for the framed trace (ftr) format.
+ *
+ * Every frame is verified (header CRC, payload CRC, exact decode)
+ * *before* any of its records reach the simulator. What happens on a
+ * bad frame is the ErrorPolicy's call:
+ *
+ *  - FailFast/Strict: stop with a structured Data error naming the
+ *    file, byte offset, and record position.
+ *  - Skip: resync — scan forward for the next frame whose sync
+ *    magic, header CRC, and payload CRC all check out, count the
+ *    records the damage swallowed (frames carry absolute record
+ *    indices, so the gap is exact), and keep streaming. Each damaged
+ *    region counts as ONE damage event against ErrorPolicy::
+ *    max_skips; skippedRecords() still reports lost *records*, so a
+ *    single 64Ki-record frame lost to a disk error does not exhaust
+ *    a 100-event budget.
+ *
+ * Hard IO errors (badbit — the device failed, not the data) are
+ * never skippable; they surface as Error::io regardless of policy.
+ *
+ * The footer's frame index makes the file seekable; when it is torn
+ * off or damaged, Skip mode rebuilds the index by scanning frame
+ * headers (FailFast reports it). Reading is double-buffered: a
+ * producer thread verifies and decodes the next frames while the
+ * simulator drains the current one, with every decoded-frame buffer
+ * charged to the attached MemBudget and cancellation polled at frame
+ * granularity on the producer and every ~1k records on the consumer.
+ */
+
+#ifndef ASSOC_TRACE_FTR_READER_H
+#define ASSOC_TRACE_FTR_READER_H
+
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/ftr_format.h"
+#include "trace/trace_source.h"
+
+namespace assoc {
+namespace trace {
+
+/** Reader knobs beyond the ErrorPolicy. */
+struct FtrOptions
+{
+    /** Decode ahead on a producer thread (double-buffered). The
+     *  stream is bit-identical with prefetch on or off. */
+    bool prefetch = true;
+};
+
+/** Streaming TraceSource over an ftr file. */
+class FtrTraceSource : public TraceSource
+{
+  public:
+    /** Open @p path; problems land in error(), nothing throws. */
+    explicit FtrTraceSource(const std::string &path,
+                            ErrorPolicy policy = ErrorPolicy(),
+                            FtrOptions opt = FtrOptions());
+
+    /** Read from a caller-supplied stream (fault-injection tests);
+     *  @p name labels error messages. */
+    FtrTraceSource(std::unique_ptr<std::istream> in, std::string name,
+                   ErrorPolicy policy = ErrorPolicy(),
+                   FtrOptions opt = FtrOptions());
+
+    ~FtrTraceSource() override;
+
+    bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *out, std::size_t max) override;
+    void reset() override;
+
+    const Error &error() const override { return error_; }
+
+    /** Records lost to damaged/missing frames (Skip mode). */
+    std::uint64_t skippedRecords() const override { return skipped_; }
+
+    /** Damaged regions tolerated so far (what max_skips bounds). */
+    std::uint64_t damageEvents() const { return damage_; }
+
+    /** Record count claimed by the (CRC-verified) file header. */
+    std::uint64_t totalRecords() const { return header_.total_records; }
+
+    /** Writer's frame size hint from the header. */
+    std::uint32_t frameRecords() const { return header_.frame_records; }
+
+    /** True when the footer was unusable and the frame index was
+     *  rebuilt by scanning (Skip mode only). */
+    bool indexRebuilt() const { return index_rebuilt_; }
+
+    /** Frame seek points (from the footer, or rebuilt by scan). */
+    const std::vector<ftr::IndexEntry> &frameIndex() const
+    {
+        return index_;
+    }
+
+    /**
+     * Position the stream so the next record delivered is record
+     * @p index (indices are absolute, 0-based; damaged records are
+     * unreachable and silently stepped over, as in streaming). Seeks
+     * land on the containing frame via the index and discard within
+     * it. Skip/damage counters keep accumulating across seeks;
+     * reset() is the full rewind.
+     */
+    Expected<void> seekToRecord(std::uint64_t index);
+
+    /** Attach before streaming begins (or after reset()). */
+    void setCancelToken(const CancelToken *t) override { cancel_ = t; }
+    void setMemBudget(MemBudget *b) override { budget_ = b; }
+
+  private:
+    /** Producer queue depth: one frame draining, two in flight. */
+    static constexpr std::size_t kPrefetchDepth = 2;
+    /** Consumer records between cancel-token polls. */
+    static constexpr std::uint64_t kCancelStride = 1024;
+    /** Bytes per chunk while scanning for a sync magic. */
+    static constexpr std::size_t kScanChunk = 64 * 1024;
+
+    /** One verified, decoded frame (or an end/error marker). */
+    struct Slot
+    {
+        std::vector<MemRef> recs;
+        MemCharge charge;
+        std::uint64_t first_index = 0; ///< absolute index of recs[0]
+        std::uint64_t skipped_total = 0;
+        std::uint64_t damage_total = 0;
+        Error err;
+        bool end = false;
+    };
+
+    /** Outcome of validating one frame at a byte offset. */
+    enum class FrameCheck {
+        Good,    ///< fully verified and decoded
+        Corrupt, ///< damage (bad CRC/decode/short data) — resyncable
+        Hard,    ///< unskippable failure (IO error, budget)
+    };
+
+    void openAndValidate();
+    void loadIndex();
+    void rebuildIndexByScan();
+    std::size_t readAt(std::uint64_t off, std::uint8_t *dst,
+                       std::size_t n, Error &hard);
+    FrameCheck tryFrameAt(std::uint64_t off, ftr::FrameHeader &fh,
+                          Slot &s, Error &hard);
+    bool resync(std::uint64_t from, ftr::FrameHeader &fh, Slot &s,
+                Error &hard, bool &found);
+    Slot fillSlot();
+    void endOfData();
+    void ensureStarted();
+    void stopProducer();
+    void producerLoop();
+    bool pullBuffer();
+    void resetCore();
+
+    std::string name_;
+    ErrorPolicy policy_;
+    FtrOptions opt_;
+    std::unique_ptr<std::istream> in_;
+
+    // Set once at open.
+    ftr::FileHeader header_;
+    std::vector<ftr::IndexEntry> index_;
+    bool index_rebuilt_ = false;
+    std::uint64_t file_size_ = 0;
+    std::uint64_t data_end_ = 0; ///< byte offset where frames stop
+    Error header_error_;         ///< permanent open/validation failure
+
+    // Producer-side streaming state (the consumer touches it only
+    // while no producer thread is running).
+    std::uint64_t read_offset_ = 0;
+    std::uint64_t expected_ = 0; ///< next record index due
+    std::uint64_t core_skipped_ = 0;
+    std::uint64_t core_damage_ = 0;
+    bool core_end_ = false;
+    Error core_err_;
+    std::vector<std::uint8_t> buf_; ///< frame payload scratch
+    MemCharge buf_charge_;
+
+    // Consumer-side state.
+    std::vector<MemRef> cur_;
+    MemCharge cur_charge_;
+    std::size_t cur_pos_ = 0;
+    std::uint64_t cur_first_ = 0;
+    std::uint64_t discard_to_ = 0; ///< seek target (absolute index)
+    std::uint64_t polled_ = 0;
+    std::uint64_t skipped_ = 0;
+    std::uint64_t damage_ = 0;
+    bool done_ = false;
+    Error error_;
+    const CancelToken *cancel_ = nullptr;
+    MemBudget *budget_ = nullptr;
+
+    // Prefetch plumbing.
+    std::thread producer_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Slot> queue_;
+    bool stop_ = false;
+    bool started_ = false;
+};
+
+} // namespace trace
+} // namespace assoc
+
+#endif // ASSOC_TRACE_FTR_READER_H

@@ -1,0 +1,138 @@
+#include "trace/ftr_writer.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/crc32c.h"
+
+namespace assoc {
+namespace trace {
+
+FtrWriter::FtrWriter(const std::string &path)
+    : FtrWriter(path, Options())
+{}
+
+FtrWriter::FtrWriter(const std::string &path, Options opt)
+    : path_(path), opt_(opt)
+{
+    opt_.frame_records = std::max(
+        1u, std::min(opt_.frame_records, ftr::kMaxFrameRecords));
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+        error_ = Error::io("cannot open '" + path_ + "' for writing");
+        return;
+    }
+    frame_.reserve(opt_.frame_records);
+    // Header with a zero total; patched in finish().
+    std::array<std::uint8_t, ftr::kHeaderBytes> header{};
+    ftr::FileHeader h;
+    h.total_records = 0;
+    h.frame_records = opt_.frame_records;
+    ftr::encodeFileHeader(header.data(), h);
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    offset_ = ftr::kHeaderBytes;
+}
+
+void
+FtrWriter::flushFrame()
+{
+    if (frame_.empty() || error_.failed())
+        return;
+    payload_.clear();
+    ftr::encodeFramePayload(frame_.data(), frame_.size(), payload_);
+
+    ftr::FrameHeader fh;
+    fh.start_index = total_ - frame_.size();
+    fh.record_count = static_cast<std::uint32_t>(frame_.size());
+    fh.payload_len = static_cast<std::uint32_t>(payload_.size());
+    std::array<std::uint8_t, ftr::kFrameHeaderBytes> header{};
+    ftr::encodeFrameHeader(header.data(), fh);
+
+    std::array<std::uint8_t, 4> crc{};
+    ftr::putU32(crc.data(), crc32c(payload_.data(), payload_.size()));
+
+    index_.push_back({offset_, fh.start_index});
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    out_.write(reinterpret_cast<const char *>(payload_.data()),
+               static_cast<std::streamsize>(payload_.size()));
+    out_.write(reinterpret_cast<const char *>(crc.data()),
+               static_cast<std::streamsize>(crc.size()));
+    if (!out_.good()) {
+        error_ = Error::io("error writing frame " +
+                           std::to_string(index_.size() - 1) +
+                           " to '" + path_ + "'");
+        return;
+    }
+    offset_ += header.size() + payload_.size() + crc.size();
+    frame_.clear();
+}
+
+void
+FtrWriter::add(const MemRef &r)
+{
+    if (error_.failed() || finished_)
+        return;
+    frame_.push_back(r);
+    ++total_;
+    if (frame_.size() >= opt_.frame_records)
+        flushFrame();
+}
+
+Expected<void>
+FtrWriter::finish()
+{
+    if (error_.failed())
+        return Error(error_);
+    if (finished_)
+        return {};
+    flushFrame();
+    if (error_.failed())
+        return Error(error_);
+
+    std::vector<std::uint8_t> footer;
+    ftr::encodeFooter(index_, total_, footer);
+    out_.write(reinterpret_cast<const char *>(footer.data()),
+               static_cast<std::streamsize>(footer.size()));
+
+    std::array<std::uint8_t, ftr::kHeaderBytes> header{};
+    ftr::FileHeader h;
+    h.total_records = total_;
+    h.frame_records = opt_.frame_records;
+    ftr::encodeFileHeader(header.data(), h);
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    out_.flush();
+    if (!out_.good()) {
+        error_ = Error::io("error finishing ftr file '" + path_ + "'");
+        return Error(error_);
+    }
+    finished_ = true;
+    return {};
+}
+
+Expected<std::uint64_t>
+writeFtr(TraceSource &src, const std::string &path,
+         FtrWriter::Options opt)
+{
+    FtrWriter w(path, opt);
+    if (w.error().failed())
+        return Error(w.error());
+    src.reset();
+    MemRef r;
+    while (src.next(r))
+        w.add(r);
+    if (src.failed())
+        return Error(src.error())
+            .withContext("reading the source trace for '" + path +
+                         "'");
+    Expected<void> done = w.finish();
+    if (!done.ok())
+        return done.takeError();
+    return w.written();
+}
+
+} // namespace trace
+} // namespace assoc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Streaming writer for the framed trace (ftr) format.
+ *
+ * Buffers records into frames of a configurable size, emits each
+ * frame with its CRCs as soon as it fills (memory stays bounded by
+ * one frame regardless of trace length), and on finish() writes the
+ * frame-index footer and patches the file header's total. A crash
+ * before finish() leaves intact frames and no footer — exactly the
+ * torn-footer shape the reader's index rebuild recovers from.
+ */
+
+#ifndef ASSOC_TRACE_FTR_WRITER_H
+#define ASSOC_TRACE_FTR_WRITER_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/ftr_format.h"
+#include "trace/trace_source.h"
+#include "util/error.h"
+
+namespace assoc {
+namespace trace {
+
+/** Incremental ftr file writer. */
+class FtrWriter
+{
+  public:
+    struct Options
+    {
+        /** Records per frame (clamped to [1, ftr::kMaxFrameRecords]).
+         *  Smaller frames = finer seek/recovery granularity, more
+         *  per-frame overhead (~28 bytes + one CRC each). */
+        std::uint32_t frame_records = ftr::kDefaultFrameRecords;
+    };
+
+    /** Open @p path for writing; check error() before adding. */
+    explicit FtrWriter(const std::string &path);
+    FtrWriter(const std::string &path, Options opt);
+
+    /** Append one record (no-op once the writer has failed). */
+    void add(const MemRef &r);
+
+    /**
+     * Flush the final partial frame, write footer + trailer, patch
+     * the header's record total. The file is valid only after this
+     * succeeds. Idempotent.
+     */
+    Expected<void> finish();
+
+    /** Records accepted so far. */
+    std::uint64_t written() const { return total_; }
+
+    /** Sticky first failure (IO errors while emitting frames). */
+    const Error &error() const { return error_; }
+
+  private:
+    void flushFrame();
+
+    std::string path_;
+    Options opt_;
+    std::ofstream out_;
+    std::vector<MemRef> frame_;
+    std::vector<std::uint8_t> payload_;
+    std::vector<ftr::IndexEntry> index_;
+    std::uint64_t total_ = 0;
+    std::uint64_t offset_ = 0; ///< current write position
+    bool finished_ = false;
+    Error error_;
+};
+
+/**
+ * Write all of @p src (after reset()) to @p path as ftr.
+ * @return records written, or the writer's / source's error.
+ */
+Expected<std::uint64_t> writeFtr(TraceSource &src,
+                                 const std::string &path,
+                                 FtrWriter::Options opt =
+                                     FtrWriter::Options());
+
+} // namespace trace
+} // namespace assoc
+
+#endif // ASSOC_TRACE_FTR_WRITER_H

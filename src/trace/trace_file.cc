@@ -1,0 +1,94 @@
+#include "trace/trace_file.h"
+
+#include <fstream>
+
+#include "trace/bin_io.h"
+#include "trace/din_io.h"
+#include "trace/ftr_format.h"
+#include "trace/ftr_reader.h"
+
+namespace assoc {
+namespace trace {
+
+namespace {
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // namespace
+
+const char *
+traceFormatName(TraceFormat f)
+{
+    switch (f) {
+      case TraceFormat::Din: return "din";
+      case TraceFormat::Bin: return "bin";
+      case TraceFormat::Ftr: return "ftr";
+    }
+    return "?";
+}
+
+TraceFormat
+detectTraceFormat(const std::string &path)
+{
+    if (hasSuffix(path, ".din"))
+        return TraceFormat::Din;
+    if (hasSuffix(path, ".bin"))
+        return TraceFormat::Bin;
+    if (hasSuffix(path, ".ftr"))
+        return TraceFormat::Ftr;
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {0, 0, 0, 0};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() == 4) {
+        if (magic[0] == 'A' && magic[1] == 'S' && magic[2] == 'T' &&
+            magic[3] == 'R')
+            return TraceFormat::Bin;
+        if (magic[0] == 'A' && magic[1] == 'S' && magic[2] == 'F' &&
+            magic[3] == '1')
+            return TraceFormat::Ftr;
+    }
+    return TraceFormat::Din;
+}
+
+std::unique_ptr<TraceSource>
+openTraceFile(const std::string &path, ErrorPolicy policy)
+{
+    switch (detectTraceFormat(path)) {
+      case TraceFormat::Bin:
+        return std::make_unique<BinTraceSource>(path, policy);
+      case TraceFormat::Ftr:
+        return std::make_unique<FtrTraceSource>(path, policy);
+      case TraceFormat::Din:
+        break;
+    }
+    return std::make_unique<DinTraceSource>(path, policy);
+}
+
+std::unique_ptr<TraceSource>
+openTraceFileWithFaults(const std::string &path, ErrorPolicy policy,
+                        const IoFaultPlan &plan)
+{
+    if (!plan.armed())
+        return openTraceFile(path, policy);
+    switch (detectTraceFormat(path)) {
+      case TraceFormat::Bin:
+        return std::make_unique<BinTraceSource>(
+            openFaultyFile(path, plan), path, policy);
+      case TraceFormat::Ftr:
+        return std::make_unique<FtrTraceSource>(
+            openFaultyFile(path, plan), path, policy);
+      case TraceFormat::Din:
+        break;
+    }
+    return std::make_unique<DinTraceSource>(
+        openFaultyFile(path, plan), path, policy);
+}
+
+} // namespace trace
+} // namespace assoc

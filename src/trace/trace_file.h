@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One place that knows how to open a trace file of any on-disk
+ * format (din text, packed bin, framed ftr) — by extension when it
+ * is telling, by magic-number sniff when it is not — optionally with
+ * IO faults injected underneath for robustness testing.
+ */
+
+#ifndef ASSOC_TRACE_TRACE_FILE_H
+#define ASSOC_TRACE_TRACE_FILE_H
+
+#include <memory>
+#include <string>
+
+#include "trace/trace_source.h"
+#include "util/error.h"
+#include "util/io_fault.h"
+
+namespace assoc {
+namespace trace {
+
+/** The trace file formats this repo reads and writes. */
+enum class TraceFormat { Din, Bin, Ftr };
+
+/** Short lowercase name ("din", "bin", "ftr"). */
+const char *traceFormatName(TraceFormat f);
+
+/**
+ * Decide @p path's format: a .din/.bin/.ftr extension wins; anything
+ * else is sniffed by magic number (unreadable or unrecognized files
+ * default to din, whose parser reports precise line errors).
+ */
+TraceFormat detectTraceFormat(const std::string &path);
+
+/**
+ * Open @p path as a TraceSource of the detected format. Never null;
+ * open failures are carried in the source's error() as usual.
+ */
+std::unique_ptr<TraceSource>
+openTraceFile(const std::string &path,
+              ErrorPolicy policy = ErrorPolicy());
+
+/**
+ * Same, but the reader sees @p plan's injected IO faults (short
+ * read / hard error at a byte offset) — the fault campaigns' view
+ * of a dying disk.
+ */
+std::unique_ptr<TraceSource>
+openTraceFileWithFaults(const std::string &path, ErrorPolicy policy,
+                        const IoFaultPlan &plan);
+
+} // namespace trace
+} // namespace assoc
+
+#endif // ASSOC_TRACE_TRACE_FILE_H

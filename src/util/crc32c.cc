@@ -1,0 +1,70 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace assoc {
+
+namespace {
+
+/**
+ * Slice-by-8 tables, built once at first use. Table 0 is the plain
+ * byte-at-a-time table for the reflected polynomial; table k folds a
+ * byte that is k positions deeper into the 8-byte block.
+ */
+struct Crc32cTables
+{
+    std::uint32_t t[8][256];
+
+    Crc32cTables()
+    {
+        constexpr std::uint32_t poly = 0x82F63B78u;
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int b = 0; b < 8; ++b)
+                crc = (crc >> 1) ^ (poly & (0u - (crc & 1u)));
+            t[0][i] = crc;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i)
+            for (int k = 1; k < 8; ++k)
+                t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+    }
+};
+
+const Crc32cTables &
+tables()
+{
+    static const Crc32cTables tbl;
+    return tbl;
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const Crc32cTables &tbl = tables();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+
+    // Byte-wise until... the slice-by-8 loop reads bytes
+    // individually (no aligned loads), so it is safe at any
+    // alignment; endianness never enters because bytes are combined
+    // explicitly.
+    while (len >= 8) {
+        std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                  (static_cast<std::uint32_t>(p[1]) << 8) |
+                                  (static_cast<std::uint32_t>(p[2]) << 16) |
+                                  (static_cast<std::uint32_t>(p[3]) << 24));
+        crc = tbl.t[7][lo & 0xff] ^ tbl.t[6][(lo >> 8) & 0xff] ^
+              tbl.t[5][(lo >> 16) & 0xff] ^ tbl.t[4][lo >> 24] ^
+              tbl.t[3][p[4]] ^ tbl.t[2][p[5]] ^ tbl.t[1][p[6]] ^
+              tbl.t[0][p[7]];
+        p += 8;
+        len -= 8;
+    }
+    while (len--)
+        crc = (crc >> 8) ^ tbl.t[0][(crc ^ *p++) & 0xff];
+    return ~crc;
+}
+
+} // namespace assoc

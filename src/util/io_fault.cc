@@ -1,0 +1,102 @@
+#include "util/io_fault.h"
+
+#include <algorithm>
+
+namespace assoc {
+
+FaultyStreamBuf::FaultyStreamBuf(const std::string &path,
+                                 const IoFaultPlan &plan)
+    : plan_(plan)
+{
+    file_.open(path, std::ios::in | std::ios::binary);
+    setg(buf_, buf_, buf_);
+}
+
+std::uint64_t
+FaultyStreamBuf::budgetLeft() const
+{
+    std::uint64_t left = sizeof(buf_);
+    if (plan_.io_error_at != IoFaultPlan::kNever)
+        left = std::min(left, plan_.io_error_at - pos_);
+    if (plan_.short_read_at != IoFaultPlan::kNever)
+        left = std::min(left, plan_.short_read_at - pos_);
+    return left;
+}
+
+FaultyStreamBuf::int_type
+FaultyStreamBuf::underflow()
+{
+    if (gptr() < egptr())
+        return traits_type::to_int_type(*gptr());
+    // The fault bites exactly at its byte offset: reads up to it
+    // succeed (clamped below), the read crossing it fails.
+    if (pos_ >= plan_.io_error_at)
+        throw std::ios_base::failure(
+            "injected IO error at byte offset " +
+            std::to_string(pos_));
+    if (pos_ >= plan_.short_read_at)
+        return traits_type::eof();
+    std::streamsize got = file_.sgetn(
+        buf_, static_cast<std::streamsize>(budgetLeft()));
+    if (got <= 0)
+        return traits_type::eof();
+    setg(buf_, buf_, buf_ + got);
+    pos_ += static_cast<std::uint64_t>(got);
+    return traits_type::to_int_type(*gptr());
+}
+
+FaultyStreamBuf::pos_type
+FaultyStreamBuf::seekoff(off_type off, std::ios_base::seekdir dir,
+                         std::ios_base::openmode which)
+{
+    std::uint64_t logical =
+        pos_ - static_cast<std::uint64_t>(egptr() - gptr());
+    if (dir == std::ios_base::cur && off == 0)
+        return static_cast<off_type>(logical); // tellg fast path
+    pos_type np;
+    if (dir == std::ios_base::cur)
+        np = file_.pubseekpos(
+            static_cast<off_type>(logical) + off, which);
+    else
+        np = file_.pubseekoff(off, dir, which);
+    if (np == pos_type(off_type(-1)))
+        return np;
+    setg(buf_, buf_, buf_); // buffered bytes are stale after a seek
+    pos_ = static_cast<std::uint64_t>(static_cast<off_type>(np));
+    return np;
+}
+
+FaultyStreamBuf::pos_type
+FaultyStreamBuf::seekpos(pos_type pos, std::ios_base::openmode which)
+{
+    return seekoff(static_cast<off_type>(pos), std::ios_base::beg,
+                   which);
+}
+
+namespace {
+
+/** istream owning its FaultyStreamBuf. */
+class FaultyIstream : public std::istream
+{
+  public:
+    FaultyIstream(const std::string &path, const IoFaultPlan &plan)
+        : std::istream(nullptr), buf_(path, plan)
+    {
+        rdbuf(&buf_);
+        if (!buf_.isOpen())
+            setstate(std::ios::failbit);
+    }
+
+  private:
+    FaultyStreamBuf buf_;
+};
+
+} // namespace
+
+std::unique_ptr<std::istream>
+openFaultyFile(const std::string &path, const IoFaultPlan &plan)
+{
+    return std::make_unique<FaultyIstream>(path, plan);
+}
+
+} // namespace assoc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LEB128 varints and zigzag mapping for the delta-encoded ftr trace
+ * frames (src/trace/ftr_format.h).
+ *
+ * Address deltas between consecutive references are small and
+ * sign-mixed, so zigzag-mapping the signed delta and LEB128-encoding
+ * the result stores the common case in one byte instead of four.
+ * Decoding is defensive by design: these bytes arrive from possibly
+ * corrupted files, so the decoder never reads past its bound and
+ * rejects over-long encodings instead of silently wrapping.
+ */
+
+#ifndef ASSOC_UTIL_VARINT_H
+#define ASSOC_UTIL_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace assoc {
+
+/** Map a signed value onto unsigned so small magnitudes of either
+ *  sign become small numbers: 0,-1,1,-2,... -> 0,1,2,3,... */
+inline std::uint32_t
+zigzagEncode32(std::int32_t v)
+{
+    return (static_cast<std::uint32_t>(v) << 1) ^
+           static_cast<std::uint32_t>(v >> 31);
+}
+
+/** Inverse of zigzagEncode32. */
+inline std::int32_t
+zigzagDecode32(std::uint32_t v)
+{
+    return static_cast<std::int32_t>((v >> 1) ^ (0u - (v & 1u)));
+}
+
+/** Longest LEB128 encoding of a 32-bit value. */
+constexpr std::size_t kMaxVarint32Bytes = 5;
+
+/**
+ * Append the LEB128 encoding of @p v at @p out (which must have
+ * room for kMaxVarint32Bytes). @return bytes written (1..5).
+ */
+inline std::size_t
+putVarint32(std::uint8_t *out, std::uint32_t v)
+{
+    std::size_t n = 0;
+    while (v >= 0x80) {
+        out[n++] = static_cast<std::uint8_t>(v | 0x80);
+        v >>= 7;
+    }
+    out[n++] = static_cast<std::uint8_t>(v);
+    return n;
+}
+
+/**
+ * Decode one LEB128 varint from the @p len bytes at @p in. Returns
+ * bytes consumed (1..5), or 0 when the input is exhausted
+ * mid-varint or the encoding is over-long / overflows 32 bits —
+ * the caller treats 0 as data corruption.
+ */
+inline std::size_t
+getVarint32(const std::uint8_t *in, std::size_t len, std::uint32_t &out)
+{
+    std::uint32_t v = 0;
+    for (std::size_t n = 0; n < len && n < kMaxVarint32Bytes; ++n) {
+        std::uint32_t byte = in[n];
+        if (n == kMaxVarint32Bytes - 1 && (byte & 0xf0) != 0)
+            return 0; // the 5th byte may only carry bits 32..34 clear
+        v |= (byte & 0x7f) << (7 * n);
+        if ((byte & 0x80) == 0) {
+            out = v;
+            return n + 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_VARINT_H

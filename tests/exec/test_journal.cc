@@ -94,6 +94,37 @@ TEST(JournalCodec, RoundTripIsBitExact)
     }
 }
 
+TEST(JournalCodec, SkippedRecordsSurviveTheRoundTrip)
+{
+    trace::AtumLikeConfig tcfg = smallTrace();
+    sim::RunOutput out = oneOutput(tcfg, sweepSpecs()[0]);
+    out.skipped_records = 65536; // a damaged-trace run
+    std::string payload = encodeRunOutput(out);
+    Expected<sim::RunOutput> back = decodeRunOutput(payload);
+    ASSERT_TRUE(back.ok()) << back.error().text();
+    EXPECT_EQ(back.value().skipped_records, 65536u);
+    EXPECT_EQ(encodeRunOutput(back.value()), payload);
+}
+
+TEST(JournalCodec, V1PayloadsDecodeWithZeroSkips)
+{
+    // Journals written before skip accounting carry no "skips"
+    // field; they must keep decoding (as an undamaged run) so a
+    // resume across the version bump still works.
+    trace::AtumLikeConfig tcfg = smallTrace();
+    sim::RunOutput out = oneOutput(tcfg, sweepSpecs()[0]);
+    out.skipped_records = 7;
+    std::string payload = encodeRunOutput(out);
+    std::size_t at = payload.rfind(" skips ");
+    ASSERT_NE(at, std::string::npos);
+    std::string v1 = "v1" + payload.substr(2, at - 2);
+    Expected<sim::RunOutput> back = decodeRunOutput(v1);
+    ASSERT_TRUE(back.ok()) << back.error().text();
+    EXPECT_EQ(back.value().skipped_records, 0u);
+    // A v2 payload with the skips field torn off is corrupt.
+    EXPECT_FALSE(decodeRunOutput(payload.substr(0, at)).ok());
+}
+
 TEST(JournalCodec, RejectsGarbage)
 {
     EXPECT_FALSE(decodeRunOutput("").ok());

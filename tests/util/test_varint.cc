@@ -1,0 +1,119 @@
+/**
+ * @file
+ * LEB128 varint + zigzag tests: round trips across the full range,
+ * exact encoded lengths, and — because these bytes arrive from
+ * possibly corrupted trace files — the defensive decode contract:
+ * never read past the bound, reject truncated and over-long
+ * encodings with 0 instead of wrapping silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/varint.h"
+
+namespace assoc {
+namespace {
+
+TEST(Zigzag, MapsSmallMagnitudesToSmallNumbers)
+{
+    EXPECT_EQ(zigzagEncode32(0), 0u);
+    EXPECT_EQ(zigzagEncode32(-1), 1u);
+    EXPECT_EQ(zigzagEncode32(1), 2u);
+    EXPECT_EQ(zigzagEncode32(-2), 3u);
+    EXPECT_EQ(zigzagEncode32(2), 4u);
+    EXPECT_EQ(zigzagEncode32(INT32_MAX), 0xFFFFFFFEu);
+    EXPECT_EQ(zigzagEncode32(INT32_MIN), 0xFFFFFFFFu);
+}
+
+TEST(Zigzag, RoundTripsEverywhere)
+{
+    for (std::int32_t v : {0, 1, -1, 2, -2, 12345, -12345,
+                           INT32_MAX, INT32_MIN, INT32_MAX - 1,
+                           INT32_MIN + 1})
+        EXPECT_EQ(zigzagDecode32(zigzagEncode32(v)), v) << v;
+    Pcg32 rng(0x5A5A11u);
+    for (int i = 0; i < 10000; ++i) {
+        std::int32_t v = static_cast<std::int32_t>(rng.next());
+        EXPECT_EQ(zigzagDecode32(zigzagEncode32(v)), v);
+    }
+}
+
+TEST(Varint32, EncodedLengthsAreExact)
+{
+    std::uint8_t buf[kMaxVarint32Bytes];
+    EXPECT_EQ(putVarint32(buf, 0), 1u);
+    EXPECT_EQ(putVarint32(buf, 0x7F), 1u);
+    EXPECT_EQ(putVarint32(buf, 0x80), 2u);
+    EXPECT_EQ(putVarint32(buf, 0x3FFF), 2u);
+    EXPECT_EQ(putVarint32(buf, 0x4000), 3u);
+    EXPECT_EQ(putVarint32(buf, 0x1FFFFF), 3u);
+    EXPECT_EQ(putVarint32(buf, 0x200000), 4u);
+    EXPECT_EQ(putVarint32(buf, 0x0FFFFFFF), 4u);
+    EXPECT_EQ(putVarint32(buf, 0x10000000), 5u);
+    EXPECT_EQ(putVarint32(buf, 0xFFFFFFFFu), 5u);
+}
+
+TEST(Varint32, RoundTripsRandomValues)
+{
+    Pcg32 rng(0x7A717Au);
+    std::uint8_t buf[kMaxVarint32Bytes];
+    for (int i = 0; i < 10000; ++i) {
+        // Bias toward small values (the common delta case) while
+        // still exercising all five lengths.
+        std::uint32_t v = rng.next() >> (rng.next() % 32);
+        std::size_t n = putVarint32(buf, v);
+        std::uint32_t back = 0;
+        EXPECT_EQ(getVarint32(buf, n, back), n);
+        EXPECT_EQ(back, v);
+    }
+}
+
+TEST(Varint32, TruncatedInputIsRejected)
+{
+    std::uint8_t buf[kMaxVarint32Bytes];
+    std::size_t n = putVarint32(buf, 0xFFFFFFFFu);
+    ASSERT_EQ(n, 5u);
+    std::uint32_t out = 0;
+    for (std::size_t len = 0; len < n; ++len)
+        EXPECT_EQ(getVarint32(buf, len, out), 0u)
+            << "decoded from only " << len << " bytes";
+    // Zero-length input cannot yield a value either.
+    EXPECT_EQ(getVarint32(buf, 0, out), 0u);
+}
+
+TEST(Varint32, OverlongAndOverflowingEncodingsAreRejected)
+{
+    std::uint32_t out = 0;
+    // Five continuation bytes: no terminator within the 32-bit max.
+    const std::uint8_t runaway[6] = {0x80, 0x80, 0x80, 0x80,
+                                     0x80, 0x01};
+    EXPECT_EQ(getVarint32(runaway, 6, out), 0u);
+    // A 5th byte carrying bits above bit 34 would overflow.
+    const std::uint8_t overflow[5] = {0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+    EXPECT_EQ(getVarint32(overflow, 5, out), 0u);
+    // The largest legal 5-byte encoding still decodes.
+    const std::uint8_t max[5] = {0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+    EXPECT_EQ(getVarint32(max, 5, out), 5u);
+    EXPECT_EQ(out, 0xFFFFFFFFu);
+}
+
+TEST(Varint32, DecoderNeverReadsPastTheBound)
+{
+    // Place a varint at the end of a buffer and hand the decoder
+    // exactly its bytes; sanitizer builds catch any overrun.
+    std::vector<std::uint8_t> tail(3);
+    std::uint8_t tmp[kMaxVarint32Bytes];
+    std::size_t n = putVarint32(tmp, 0x3FFF); // 2-byte encoding
+    ASSERT_LE(n, tail.size());
+    std::copy(tmp, tmp + n, tail.end() - static_cast<long>(n));
+    std::uint32_t out = 0;
+    EXPECT_EQ(getVarint32(tail.data() + (tail.size() - n), n, out), n);
+    EXPECT_EQ(out, 0x3FFFu);
+}
+
+} // namespace
+} // namespace assoc
