@@ -460,9 +460,12 @@ caseFtrTruncate(Scratch &scratch, std::uint64_t case_seed,
     }
 }
 
-/** Tear only the footer off (crash-before-finish): fail-fast must
- *  reject at open, skip mode must rebuild the index by scanning and
- *  then replay the stream bit-identically, zero records skipped. */
+/** Tear the footer off — half the cases also zero the header's
+ *  record total, the exact shape a writer killed before finish()
+ *  leaves behind. Fail-fast must reject at open, skip mode must
+ *  rebuild the index by scanning (deriving the total from the
+ *  frames when the header's is unpatched) and then replay the
+ *  stream bit-identically, zero records skipped. */
 void
 caseFtrTornFooter(Scratch &scratch, std::uint64_t case_seed,
                   CaseCheck &chk)
@@ -478,6 +481,9 @@ caseFtrTornFooter(Scratch &scratch, std::uint64_t case_seed,
         return;
     std::uint64_t torn = exec::FaultInjector::tearFooter(path);
     chk.require(torn != 0, "tearFooter found no footer to remove");
+    if (rng.below(2) == 0)
+        chk.require(exec::FaultInjector::unpatchHeader(path),
+                    "unpatchHeader found no valid ftr header");
 
     ErrorPolicy ff;
     ff.mode = ErrorMode::FailFast;
@@ -513,6 +519,10 @@ caseFtrTornFooter(Scratch &scratch, std::uint64_t case_seed,
     chk.require(src.skippedRecords() == 0 && src.damageEvents() == 0,
                 "intact frames after a torn footer were counted as "
                 "damage");
+    chk.require(src.totalRecords() == written,
+                "rebuilt index reports " +
+                    std::to_string(src.totalRecords()) + " records, "
+                    "the writer flushed " + std::to_string(written));
 }
 
 /** A device that returns EOF early (file shrank / short read): the

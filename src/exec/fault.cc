@@ -271,6 +271,31 @@ FaultInjector::tearFooter(const std::string &path)
     return cut;
 }
 
+bool
+FaultInjector::unpatchHeader(const std::string &path)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    if (!f)
+        return false;
+    std::uint8_t hdr[trace::ftr::kHeaderBytes] = {};
+    f.read(reinterpret_cast<char *>(hdr), sizeof(hdr));
+    if (f.gcount() != static_cast<std::streamsize>(sizeof(hdr)))
+        return false;
+    Expected<trace::ftr::FileHeader> h =
+        trace::ftr::decodeFileHeader(hdr, sizeof(hdr));
+    if (!h.ok())
+        return false;
+    trace::ftr::FileHeader zeroed = h.take();
+    zeroed.total_records = 0;
+    trace::ftr::encodeFileHeader(hdr, zeroed);
+    f.clear();
+    f.seekp(0);
+    f.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+    f.flush();
+    return f.good();
+}
+
 void
 ThrowingAuditor::audit(const core::ProbeMeter &, const mem::L2AccessView &,
                        const core::LookupInput &,

@@ -132,12 +132,25 @@ class FaultInjector
                              std::uint64_t keep_bytes);
 
     /**
-     * Tear the frame-index footer (block + trailer) off the ftr
-     * file at @p path — the exact shape a crash between the last
-     * frame and FtrWriter::finish() leaves behind. Returns the
-     * bytes removed (0 when the file carries no valid trailer).
+     * Tear the frame-index footer (block + trailer) off the
+     * *finished* ftr file at @p path: a damaged/overwritten index
+     * whose header still carries the patched record total. This is
+     * NOT the crash shape — a writer killed before
+     * FtrWriter::finish() also leaves the header total at zero;
+     * compose with unpatchHeader() for that. Returns the bytes
+     * removed (0 when the file carries no valid trailer).
      */
     static std::uint64_t tearFooter(const std::string &path);
+
+    /**
+     * Rewrite the ftr file header at @p path with a zero record
+     * total (re-CRC'd, other fields kept). Together with
+     * tearFooter() this is the exact shape a writer crash before
+     * FtrWriter::finish() leaves behind: valid header, zero total,
+     * intact flushed frames, no footer. Returns false when the file
+     * has no valid ftr header to rewrite.
+     */
+    static bool unpatchHeader(const std::string &path);
 
   private:
     FaultPlan plan_;

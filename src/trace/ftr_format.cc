@@ -1,5 +1,7 @@
 #include "trace/ftr_format.h"
 
+#include <algorithm>
+
 #include "util/crc32c.h"
 #include "util/varint.h"
 
@@ -152,24 +154,34 @@ decodeFramePayload(const std::uint8_t *p, std::size_t len,
 // the trailer and the block it points at are intact — otherwise the
 // reader rebuilds the index by scanning frame headers.
 
+// The trailer's block length is 32-bit; the entry cap must keep the
+// block representable or the trailer would point at garbage.
+static_assert(kFooterFixedBytes +
+                      kMaxFooterFrames * kIndexEntryBytes <=
+                  0xFFFFFFFFull,
+              "footer block for kMaxFooterFrames entries must fit "
+              "the trailer's 32-bit block length");
+
 void
 encodeFooter(const std::vector<IndexEntry> &index,
              std::uint64_t total_records,
              std::vector<std::uint8_t> &out)
 {
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(index.size(), kMaxFooterFrames));
     std::size_t start = out.size();
     std::size_t block = kFooterFixedBytes -
                         4 + // crc appended after the entries
-                        index.size() * kIndexEntryBytes;
+                        n * kIndexEntryBytes;
     out.resize(start + block + 4 + kTrailerBytes);
     std::uint8_t *p = out.data() + start;
     putU32(p, kFooterMagic);
-    putU64(p + 4, index.size());
+    putU64(p + 4, n);
     putU64(p + 12, total_records);
     std::uint8_t *e = p + 20;
-    for (const IndexEntry &ent : index) {
-        putU64(e, ent.offset);
-        putU64(e + 8, ent.start_index);
+    for (std::size_t i = 0; i < n; ++i) {
+        putU64(e, index[i].offset);
+        putU64(e + 8, index[i].start_index);
         e += kIndexEntryBytes;
     }
     putU32(e, crc32c(p, static_cast<std::size_t>(e - p)));
@@ -191,7 +203,7 @@ decodeFooter(const std::uint8_t *p, std::size_t len,
     if (getU32(p + len - 4) != crc32c(p, len - 4))
         return false;
     std::uint64_t nframes = getU64(p + 4);
-    if (nframes > kMaxIndexFrames)
+    if (nframes > kMaxFooterFrames)
         return false;
     if (len != kFooterFixedBytes + nframes * kIndexEntryBytes)
         return false;

@@ -72,8 +72,17 @@ constexpr std::uint32_t kDefaultFrameRecords = 1u << 16;
 constexpr std::uint32_t kMaxFrameRecords = 1u << 22;
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
-/** Frames per index entry cap — bounds footer memory on open. */
-constexpr std::uint64_t kMaxIndexFrames = 1ull << 32;
+/**
+ * Most frames one footer can index: the trailer stores the block
+ * length in 32 bits, so kFooterFixedBytes + n*kIndexEntryBytes must
+ * fit a uint32_t or the trailer would point at garbage. The encoder
+ * drops seek points past this count (sequential reads never need the
+ * index; seeks past the last entry scan forward from it), decoders
+ * reject anything claiming more, and the cap also bounds footer
+ * memory on open.
+ */
+constexpr std::uint64_t kMaxFooterFrames =
+    (0xFFFFFFFFull - kFooterFixedBytes) / kIndexEntryBytes;
 
 // Little-endian field helpers (explicit bytes: endian-agnostic).
 
@@ -173,6 +182,9 @@ struct IndexEntry
 /**
  * Append the footer block *and* the 8-byte trailer for @p index to
  * @p out. Written at the end of the file, after the last frame.
+ * Only the first kMaxFooterFrames entries are indexed — any more
+ * would overflow the trailer's 32-bit block length (the writer warns
+ * when it drops seek points; the file stays fully streamable).
  */
 void encodeFooter(const std::vector<IndexEntry> &index,
                   std::uint64_t total_records,

@@ -93,8 +93,10 @@ FtrTraceSource::openAndValidate()
             if (!h.ok())
                 header_error_ =
                     Error(h.error()).withContext("'" + name_ + "'");
-            else
+            else {
                 header_ = h.take();
+                total_ = header_.total_records;
+            }
         }
     }
     if (header_error_.ok())
@@ -157,8 +159,21 @@ FtrTraceSource::loadIndex()
     if (ok)
         return;
     if (policy_.mode == ErrorMode::Skip) {
-        warn("'" + name_ + "': frame index (footer) is missing or "
-             "damaged; rebuilding it by scanning frame headers");
+        // A zero header total with no usable footer is the crash-
+        // before-finish() shape: the writer never patched the total,
+        // so only the frames themselves can say how many records
+        // exist. Bounding the scan by the (unpatched) header total
+        // would reject every frame and silently read an empty trace.
+        total_unknown_ = header_.total_records == 0;
+        if (total_unknown_)
+            warn("'" + name_ + "': no frame index and an unpatched "
+                 "(zero) header record total — the writer crashed "
+                 "before finish(); deriving the total from the "
+                 "frames it flushed");
+        else
+            warn("'" + name_ + "': frame index (footer) is missing "
+                 "or damaged; rebuilding it by scanning frame "
+                 "headers");
         index_rebuilt_ = true;
         rebuildIndexByScan();
     } else {
@@ -192,9 +207,12 @@ FtrTraceSource::rebuildIndexByScan()
             pos + ftr::kFrameHeaderBytes + fh.payload_len +
                     ftr::kFrameCrcBytes <=
                 file_size_ &&
-            fh.start_index + fh.record_count <=
-                header_.total_records) {
+            (total_unknown_ ||
+             fh.start_index + fh.record_count <= total_)) {
             index_.push_back({pos, fh.start_index});
+            if (total_unknown_)
+                total_ = std::max(total_, fh.start_index +
+                                              fh.record_count);
             pos += ftr::kFrameHeaderBytes + fh.payload_len +
                    ftr::kFrameCrcBytes;
             data_end_ = pos;
@@ -333,8 +351,7 @@ FtrTraceSource::resync(std::uint64_t from, ftr::FrameHeader &fh,
                 return false;
             if (c == FrameCheck::Good &&
                 fh.start_index >= expected_ &&
-                fh.start_index + fh.record_count <=
-                    header_.total_records) {
+                fh.start_index + fh.record_count <= total_) {
                 read_offset_ = cand;
                 found = true;
                 return true;
@@ -350,13 +367,13 @@ FtrTraceSource::resync(std::uint64_t from, ftr::FrameHeader &fh,
 void
 FtrTraceSource::endOfData()
 {
-    if (expected_ < header_.total_records) {
-        std::uint64_t lost = header_.total_records - expected_;
+    if (expected_ < total_) {
+        std::uint64_t lost = total_ - expected_;
         if (policy_.mode != ErrorMode::Skip) {
             core_err_ = Error::data(
                 "'" + name_ + "' ends at record " +
                 std::to_string(expected_) + " of " +
-                std::to_string(header_.total_records) +
+                std::to_string(total_) +
                 " (frame data is truncated)");
             return;
         }
@@ -372,10 +389,10 @@ FtrTraceSource::endOfData()
         if (core_damage_ == 1)
             warn("'" + name_ + "' ends at record " +
                  std::to_string(expected_) + " of " +
-                 std::to_string(header_.total_records) +
+                 std::to_string(total_) +
                  " (skipping the torn tail)");
         core_skipped_ += lost;
-        expected_ = header_.total_records;
+        expected_ = total_;
     }
     core_end_ = true;
 }
@@ -420,8 +437,7 @@ FtrTraceSource::fillSlot()
         // and frames claiming records past the header's total.
         if (c == FrameCheck::Good &&
             (fh.start_index < expected_ ||
-             fh.start_index + fh.record_count >
-                 header_.total_records))
+             fh.start_index + fh.record_count > total_))
             c = FrameCheck::Corrupt;
 
         bool resynced = false;
@@ -432,7 +448,7 @@ FtrTraceSource::fillSlot()
                     "'" + name_ + "': corrupt frame at byte offset " +
                     std::to_string(at) + " (next record " +
                     std::to_string(expected_) + " of " +
-                    std::to_string(header_.total_records) + ")");
+                    std::to_string(total_) + ")");
                 continue;
             }
             ++core_damage_;
@@ -698,9 +714,9 @@ FtrTraceSource::seekToRecord(std::uint64_t index)
     core_end_ = false;
     done_ = false;
     error_ = Error();
-    if (index >= header_.total_records) {
+    if (index >= total_) {
         read_offset_ = data_end_;
-        expected_ = header_.total_records;
+        expected_ = total_;
         discard_to_ = 0;
         return {};
     }

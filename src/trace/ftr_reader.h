@@ -22,7 +22,11 @@
  *
  * The footer's frame index makes the file seekable; when it is torn
  * off or damaged, Skip mode rebuilds the index by scanning frame
- * headers (FailFast reports it). Reading is double-buffered: a
+ * headers (FailFast reports it). A writer killed before
+ * FtrWriter::finish() additionally leaves the header's record total
+ * unpatched at zero; the same scan then derives the total from the
+ * recovered frames, so every flushed frame is still delivered
+ * (records that never left the writer's buffer are unknowable). Reading is double-buffered: a
  * producer thread verifies and decodes the next frames while the
  * simulator drains the current one, with every decoded-frame buffer
  * charged to the attached MemBudget and cancellation polled at frame
@@ -84,8 +88,11 @@ class FtrTraceSource : public TraceSource
     /** Damaged regions tolerated so far (what max_skips bounds). */
     std::uint64_t damageEvents() const { return damage_; }
 
-    /** Record count claimed by the (CRC-verified) file header. */
-    std::uint64_t totalRecords() const { return header_.total_records; }
+    /** Record count claimed by the (CRC-verified) file header — or,
+     *  when a crash before FtrWriter::finish() left the header total
+     *  unpatched (zero) with frames on disk, the total derived from
+     *  the recovered frames during the index rebuild. */
+    std::uint64_t totalRecords() const { return total_; }
 
     /** Writer's frame size hint from the header. */
     std::uint32_t frameRecords() const { return header_.frame_records; }
@@ -165,6 +172,12 @@ class FtrTraceSource : public TraceSource
 
     // Set once at open.
     ftr::FileHeader header_;
+    /** Effective record total every bound/accounting check uses: the
+     *  header's, unless total_unknown_ made the scan derive it. */
+    std::uint64_t total_ = 0;
+    /** The header total is unpatched (zero, writer crashed before
+     *  finish()) and frames must speak for themselves. */
+    bool total_unknown_ = false;
     std::vector<ftr::IndexEntry> index_;
     bool index_rebuilt_ = false;
     std::uint64_t file_size_ = 0;

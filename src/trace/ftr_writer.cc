@@ -4,6 +4,7 @@
 #include <array>
 
 #include "util/crc32c.h"
+#include "util/logging.h"
 
 namespace assoc {
 namespace trace {
@@ -91,6 +92,15 @@ FtrWriter::finish()
     if (error_.failed())
         return Error(error_);
 
+    if (index_.size() > ftr::kMaxFooterFrames) {
+        warn("'" + path_ + "': " + std::to_string(index_.size()) +
+             " frames exceed the footer's 32-bit index; keeping "
+             "the first " + std::to_string(ftr::kMaxFooterFrames) +
+             " seek points (streaming reads are unaffected; seeks "
+             "past the last one scan forward from it)");
+        index_.resize(
+            static_cast<std::size_t>(ftr::kMaxFooterFrames));
+    }
     std::vector<std::uint8_t> footer;
     ftr::encodeFooter(index_, total_, footer);
     out_.write(reinterpret_cast<const char *>(footer.data()),

@@ -6,8 +6,11 @@
  * frame with its CRCs as soon as it fills (memory stays bounded by
  * one frame regardless of trace length), and on finish() writes the
  * frame-index footer and patches the file header's total. A crash
- * before finish() leaves intact frames and no footer — exactly the
- * torn-footer shape the reader's index rebuild recovers from.
+ * before finish() leaves intact flushed frames, no footer, and a
+ * header whose record total is still the zero written at open; the
+ * reader's index rebuild recovers every flushed frame from that
+ * shape, deriving the total from the frames themselves (records
+ * still buffered in the writer were never on disk and are lost).
  */
 
 #ifndef ASSOC_TRACE_FTR_WRITER_H

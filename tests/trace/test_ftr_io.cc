@@ -141,7 +141,10 @@ truncateTo(const std::string &path, std::uint64_t size)
     rewrite(path, bytes);
 }
 
-/** Tear off footer + trailer: the crash-before-finish() shape. */
+/** Tear off footer + trailer of a *finished* file: a damaged index
+ *  whose header still carries the patched record total. The true
+ *  crash-before-finish() shape also has a ZERO header total — see
+ *  zeroHeaderTotal() and the CrashBeforeFinish tests. */
 void
 tearFooter(const std::string &path)
 {
@@ -153,6 +156,24 @@ tearFooter(const std::string &path)
     std::uint64_t cut = ftr::getU32(tr) + ftr::kTrailerBytes;
     ASSERT_LT(cut, bytes.size());
     bytes.resize(bytes.size() - cut);
+    rewrite(path, bytes);
+}
+
+/** Rewrite the header with total_records = 0, re-CRC'd — what the
+ *  writer's open() wrote before any finish() could patch it. */
+void
+zeroHeaderTotal(const std::string &path)
+{
+    std::string bytes = slurp(path);
+    ASSERT_GE(bytes.size(), ftr::kHeaderBytes);
+    Expected<ftr::FileHeader> h = ftr::decodeFileHeader(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()),
+        bytes.size());
+    ASSERT_TRUE(h.ok()) << h.error().text();
+    ftr::FileHeader zeroed = h.take();
+    zeroed.total_records = 0;
+    ftr::encodeFileHeader(
+        reinterpret_cast<std::uint8_t *>(&bytes[0]), zeroed);
     rewrite(path, bytes);
 }
 
@@ -375,6 +396,118 @@ TEST_F(FtrIoTest, TornFooterRebuildsTheIndexWithNoRecordLoss)
     EXPECT_EQ(drain(src), recs);
     EXPECT_EQ(src.skippedRecords(), 0u);
     EXPECT_EQ(src.damageEvents(), 0u);
+}
+
+TEST_F(FtrIoTest, CrashBeforeFinishRecoversEveryFlushedFrame)
+{
+    const std::vector<MemRef> recs = makeRecords(640, 0xF7A11);
+    {
+        // A writer killed before finish(): 10 full frames flushed,
+        // no footer, header total still the zero written at open.
+        FtrWriter::Options opt;
+        opt.frame_records = 64;
+        FtrWriter w(path_, opt);
+        for (const MemRef &r : recs)
+            w.add(r);
+        ASSERT_FALSE(w.error().failed()) << w.error().text();
+    }
+    // FailFast refuses the unfinished file...
+    {
+        FtrTraceSource src(path_);
+        EXPECT_TRUE(src.failed());
+        EXPECT_EQ(src.error().code(), ErrorCode::Data);
+    }
+    // ...Skip rebuilds the index and derives the record total from
+    // the recovered frames: zero record loss, zero damage counted.
+    FtrTraceSource src(path_, skipPolicy());
+    ASSERT_FALSE(src.failed()) << src.error().text();
+    EXPECT_TRUE(src.indexRebuilt());
+    EXPECT_EQ(src.totalRecords(), recs.size());
+    EXPECT_EQ(src.frameIndex().size(), 10u);
+    EXPECT_EQ(drain(src), recs);
+    EXPECT_FALSE(src.failed()) << src.error().text();
+    EXPECT_EQ(src.skippedRecords(), 0u);
+    EXPECT_EQ(src.damageEvents(), 0u);
+    // Seeks work against the derived total too.
+    ASSERT_TRUE(src.seekToRecord(600).ok());
+    std::vector<MemRef> tail = drain(src);
+    EXPECT_FALSE(src.failed()) << src.error().text();
+    EXPECT_EQ(tail, std::vector<MemRef>(recs.begin() + 600,
+                                        recs.end()));
+}
+
+TEST_F(FtrIoTest, CrashLosesOnlyTheUnflushedTail)
+{
+    // 650 records at 64/frame: 10 frames (640 records) hit the
+    // disk; 10 died in the writer's buffer. Those never existed on
+    // disk, so the derived total is 640 and nothing counts as
+    // skipped — the reader cannot know about records that were
+    // never written.
+    const std::vector<MemRef> recs = makeRecords(650, 0xF7A12);
+    {
+        FtrWriter::Options opt;
+        opt.frame_records = 64;
+        FtrWriter w(path_, opt);
+        for (const MemRef &r : recs)
+            w.add(r);
+    }
+    FtrTraceSource src(path_, skipPolicy());
+    ASSERT_FALSE(src.failed()) << src.error().text();
+    EXPECT_EQ(src.totalRecords(), 640u);
+    std::vector<MemRef> got = drain(src);
+    EXPECT_FALSE(src.failed()) << src.error().text();
+    EXPECT_EQ(got, std::vector<MemRef>(recs.begin(),
+                                       recs.begin() + 640));
+    EXPECT_EQ(src.skippedRecords(), 0u);
+    EXPECT_EQ(src.damageEvents(), 0u);
+}
+
+TEST_F(FtrIoTest, CrashBeforeAnyFrameIsAnEmptyTrace)
+{
+    {
+        FtrWriter w(path_); // killed before a single record
+    }
+    FtrTraceSource src(path_, skipPolicy());
+    EXPECT_FALSE(src.failed()) << src.error().text();
+    EXPECT_EQ(src.totalRecords(), 0u);
+    MemRef r;
+    EXPECT_FALSE(src.next(r));
+    EXPECT_FALSE(src.failed());
+    EXPECT_EQ(src.skippedRecords(), 0u);
+}
+
+TEST_F(FtrIoTest, CrashShapeStillResyncsAroundDamage)
+{
+    // The crash fixture built the other way (finished file, footer
+    // torn, header total re-zeroed and re-CRC'd), plus a damaged
+    // frame: derived-total accounting and resync must compose.
+    const std::vector<MemRef> recs = makeRecords(1000, 0xF7A13);
+    ASSERT_EQ(writeFile(recs, path_, 64), recs.size());
+    std::vector<ftr::IndexEntry> index = indexOf(path_);
+    ASSERT_EQ(index.size(), 16u);
+    tearFooter(path_);
+    zeroHeaderTotal(path_);
+    const std::size_t victim = 4;
+    flipByte(path_, index[victim].offset + ftr::kFrameHeaderBytes + 2);
+
+    FtrTraceSource src(path_, skipPolicy());
+    ASSERT_FALSE(src.failed()) << src.error().text();
+    EXPECT_TRUE(src.indexRebuilt());
+    // The damaged byte is in the payload, so the scan (which trusts
+    // the CRC-valid frame *headers*) still sees all 16 frames and
+    // derives the full total.
+    EXPECT_EQ(src.totalRecords(), recs.size());
+    std::vector<MemRef> got = drain(src);
+    EXPECT_FALSE(src.failed()) << src.error().text();
+    EXPECT_EQ(src.skippedRecords(), 64u);
+    EXPECT_EQ(src.damageEvents(), 1u);
+    std::vector<MemRef> want(recs.begin(),
+                             recs.begin() +
+                                 static_cast<long>(victim * 64));
+    want.insert(want.end(),
+                recs.begin() + static_cast<long>((victim + 1) * 64),
+                recs.end());
+    EXPECT_EQ(got, want);
 }
 
 TEST_F(FtrIoTest, TornTailDeliversTheExactPrefix)

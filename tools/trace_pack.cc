@@ -12,7 +12,8 @@
  *   verify <in>      stream every frame, print record count + digest
  *                    (exit 3 on damage under the chosen --errors)
  *   corrupt <file>   deterministic damage: --flips, --truncate,
- *                    --tear-footer (for tests and CI smoke runs)
+ *                    --tear-footer, --crash (for tests and CI
+ *                    smoke runs)
  *   sweep <in>       replay the file through a small scheme sweep
  *                    (--json, --journal/--resume, --jobs,
  *                    --mem-budget, --errors) — the end-to-end
@@ -266,6 +267,9 @@ main(int argc, char **argv)
                  "corrupt: cut the file to this many bytes");
     args.addSwitch("tear-footer",
                    "corrupt: rip off the ftr frame index");
+    args.addSwitch("crash",
+                   "corrupt: tear the index AND zero the header "
+                   "total — a writer killed before finish()");
     args.addSwitch("no-prefetch",
                    "verify/unpack: disable the double-buffered "
                    "prefetch thread");
@@ -373,7 +377,20 @@ main(int argc, char **argv)
             fatalIf(pos.size() != 2,
                     "usage: trace_pack corrupt <file>");
             std::uint64_t seed = args.getUint("seed");
-            if (args.getBool("tear-footer")) {
+            if (args.getBool("crash")) {
+                std::uint64_t cut =
+                    exec::FaultInjector::tearFooter(pos[1]);
+                fatalIf(cut == 0,
+                        "'" + pos[1] + "' has no valid ftr footer "
+                        "to tear off");
+                fatalIf(!exec::FaultInjector::unpatchHeader(pos[1]),
+                        "'" + pos[1] + "' has no valid ftr header "
+                        "to unpatch");
+                std::printf("crash shape: tore %llu footer bytes "
+                            "off %s and zeroed its header total\n",
+                            static_cast<unsigned long long>(cut),
+                            pos[1].c_str());
+            } else if (args.getBool("tear-footer")) {
                 std::uint64_t cut =
                     exec::FaultInjector::tearFooter(pos[1]);
                 fatalIf(cut == 0,
