@@ -18,6 +18,7 @@
 #include "core/partial_lookup.h"
 #include "core/scheme.h"
 #include "core/transform.h"
+#include "core/way_memo.h"
 #include "mem/hierarchy.h"
 #include "sim/runner.h"
 #include "svc/service.h"
@@ -36,6 +37,7 @@ struct BenchSet
     std::vector<std::uint8_t> valid;
     std::vector<std::uint8_t> order;
     std::uint32_t incoming;
+    std::uint32_t block_addr;
 
     explicit BenchSet(unsigned a, Pcg32 &rng)
         : tags(a), valid(a, 1), order(a)
@@ -46,6 +48,11 @@ struct BenchSet
         }
         incoming = rng.chance(0.8) ? tags[rng.below(a)]
                                    : (rng.next() & 0xffff);
+        // Address-indexed strategies (way memoization) key their
+        // tables on the block address; a 12-bit space over 256
+        // fixture sets gives a realistic mix of memo hits, misses
+        // and tagged-entry conflicts.
+        block_addr = rng.next() & 0xfff;
     }
 
     core::LookupInput
@@ -57,6 +64,8 @@ struct BenchSet
         in.valid = valid.data();
         in.mru_order = order.data();
         in.incoming_tag = incoming;
+        in.block_addr = block_addr;
+        in.set = block_addr & 255;
         return in;
     }
 };
@@ -110,10 +119,29 @@ BM_PartialLookup(benchmark::State &state)
     runLookup(state, pl);
 }
 
+void
+BM_WayMemoLookup(benchmark::State &state)
+{
+    // Software cost of the memo wrapper on top of its underlying
+    // strategy: table index, entry check, and the fallback lookup.
+    core::WayMemoConfig cfg;
+    core::WayMemoLookup wm(
+        std::make_unique<core::TraditionalLookup>(), cfg);
+    runLookup(state, wm);
+}
+
+void
+BM_WayPredictLookup(benchmark::State &state)
+{
+    runLookup(state, core::WayPredictLookup{});
+}
+
 BENCHMARK(BM_TraditionalLookup)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_NaiveLookup)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_MruLookup)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_PartialLookup)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_WayMemoLookup)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_WayPredictLookup)->Arg(4)->Arg(8)->Arg(16);
 
 // -----------------------------------------------------------------
 // Kernel sections: the raw dispatch-free cost of each registered

@@ -6,6 +6,7 @@
 
 #include "core/mru_lookup.h"
 #include "core/partial_lookup.h"
+#include "core/way_memo.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -95,6 +96,26 @@ class BrokenPartial final : public core::PartialLookup
     }
 };
 
+/**
+ * Way memo that trusts stale entries: on a memo hit it reports the
+ * next way over, as if the table entry survived an eviction it
+ * should have been invalidated by.
+ */
+class BrokenWayMemo final : public core::WayMemoLookup
+{
+  public:
+    using core::WayMemoLookup::WayMemoLookup;
+
+    core::LookupResult
+    lookup(const core::LookupInput &in) const override
+    {
+        core::LookupResult res = core::WayMemoLookup::lookup(in);
+        if (res.memo_hit)
+            res.way = (res.way + 1) % static_cast<int>(in.assoc);
+        return res;
+    }
+};
+
 std::unique_ptr<core::LookupStrategy>
 makeStrategy(const core::SchemeSpec &spec, BugInjection inject)
 {
@@ -119,6 +140,18 @@ makeStrategy(const core::SchemeSpec &spec, BugInjection inject)
             return std::make_unique<BrokenPartial>(cfg);
         }
         break;
+      case BugInjection::MemoStale:
+        if (spec.kind == core::SchemeKind::WayMemo) {
+            core::SchemeSpec inner = spec;
+            inner.kind = spec.memo_underlying;
+            core::WayMemoConfig cfg;
+            cfg.entries = spec.memo_entries;
+            cfg.region_bits = spec.memo_region_bits;
+            cfg.tagged = spec.memo_tagged;
+            return std::make_unique<BrokenWayMemo>(
+                inner.makeStrategy(), cfg);
+        }
+        break;
     }
     return spec.makeStrategy();
 }
@@ -133,6 +166,10 @@ schemeName(const core::SchemeSpec &s)
     if (s.kind == core::SchemeKind::Partial)
         os << "(k=" << s.partial_k << ",s=" << s.partial_subsets
            << "," << core::transformKindName(s.transform) << ")";
+    if (s.kind == core::SchemeKind::WayMemo)
+        os << "(e=" << s.memo_entries << ",r=" << s.memo_region_bits
+           << (s.memo_tagged ? ",tagged" : ",untagged") << ")+"
+           << core::schemeKindName(s.memo_underlying);
     return os.str();
 }
 
@@ -217,6 +254,74 @@ checkMeterStats(const FuzzCase &c, const mem::HierarchyStats &hs,
         break;
       case core::SchemeKind::Partial:
         break; // per-lookup bounds already cover it
+      case core::SchemeKind::WayMemo:
+        // A memo hit needs the underlying scheme to hit, so every
+        // miss costs exactly the underlying scheme's miss probes.
+        if (ps.alias_hits == 0) {
+            switch (spec.memo_underlying) {
+              case core::SchemeKind::Traditional:
+                expectSum(log, who, "read-in miss",
+                          ps.read_in_misses, 1);
+                break;
+              case core::SchemeKind::Naive:
+                expectSum(log, who, "read-in miss",
+                          ps.read_in_misses, a);
+                break;
+              case core::SchemeKind::Mru:
+                expectSum(log, who, "read-in miss",
+                          ps.read_in_misses, a + 1);
+                break;
+              default:
+                break;
+            }
+        }
+        break;
+      case core::SchemeKind::WayPredict:
+        // A miss probes the predicted way then every other way at
+        // once: always two probes (one at a = 1).
+        if (ps.alias_hits == 0)
+            expectSum(log, who, "read-in miss", ps.read_in_misses,
+                      a > 1 ? 2 : 1);
+        break;
+    }
+}
+
+/**
+ * Memoization must not change outcomes: a memo scheme's meter must
+ * report exactly the alias counters of its underlying scheme's
+ * meter (the only scheme-declared verdict state the meter keeps).
+ */
+void
+checkMemoOutcomeIdentity(
+    const FuzzCase &c,
+    const std::vector<std::unique_ptr<core::ProbeMeter>> &meters,
+    ViolationLog &log)
+{
+    for (std::size_t i = 0; i < c.schemes.size(); ++i) {
+        const core::SchemeSpec &s = c.schemes[i];
+        if (s.kind != core::SchemeKind::WayMemo)
+            continue;
+        for (std::size_t j = 0; j < c.schemes.size(); ++j) {
+            const core::SchemeSpec &u = c.schemes[j];
+            if (u.kind != s.memo_underlying ||
+                u.tag_bits != s.tag_bits)
+                continue;
+            if (u.kind == core::SchemeKind::Mru &&
+                u.mru_list_len != s.mru_list_len)
+                continue;
+            const core::ProbeStats &mm = meters[i]->stats();
+            const core::ProbeStats &um = meters[j]->stats();
+            if (mm.alias_hits != um.alias_hits ||
+                mm.alias_wrong_way != um.alias_wrong_way)
+                log.add(schemeName(s) +
+                        ": outcome counters diverge from " +
+                        schemeName(u) + " (alias " +
+                        std::to_string(mm.alias_hits) + "/" +
+                        std::to_string(mm.alias_wrong_way) +
+                        " vs " + std::to_string(um.alias_hits) + "/" +
+                        std::to_string(um.alias_wrong_way) + ")");
+            break;
+        }
     }
 }
 
@@ -240,8 +345,11 @@ bugInjectionFromString(const std::string &s)
         return BugInjection::MruUndercount;
     if (s == "partial-filter")
         return BugInjection::PartialFilter;
+    if (s == "memo-stale")
+        return BugInjection::MemoStale;
     fatal("unknown injection '" + s +
-          "' (expected none|naive-skip|mru-undercount|partial-filter)");
+          "' (expected none|naive-skip|mru-undercount|partial-filter|"
+          "memo-stale)");
 }
 
 std::string
@@ -354,6 +462,23 @@ sampleCase(std::uint64_t seed, std::uint64_t index)
         add(p);
     }
 
+    core::SchemeSpec wp;
+    wp.kind = core::SchemeKind::WayPredict;
+    add(wp);
+
+    core::SchemeSpec wm;
+    wm.kind = core::SchemeKind::WayMemo;
+    wm.memo_entries = 1u << (2 + rng.below(5)); // 4..64 entries
+    wm.memo_region_bits = rng.below(3);         // 1..4 blocks/region
+    wm.memo_tagged = rng.chance(0.7);
+    static const core::SchemeKind kUnder[] = {
+        core::SchemeKind::Traditional,
+        core::SchemeKind::Naive,
+        core::SchemeKind::Mru,
+    };
+    wm.memo_underlying = kUnder[rng.below(3)];
+    add(wm);
+
     // --- synthetic trace: a hot subset inside a wider region, a
     //     trickle of far addresses, flushes, and (with truncated
     //     tags) deliberate alias partners that share the set index
@@ -446,6 +571,7 @@ runCase(const FuzzCase &c, BugInjection inject,
             for (std::size_t i = 0; i < meters.size(); ++i)
                 checkMeterStats(c, hier.stats(), *meters[i],
                                 c.schemes[i], out.log);
+            checkMemoOutcomeIdentity(c, meters, out.log);
         }
 
         std::uint64_t h = kDigestInit;
@@ -466,6 +592,13 @@ runCase(const FuzzCase &c, BugInjection inject,
             fnvMixMean(h, ps.write_backs);
             digestMix(h, ps.alias_hits);
             digestMix(h, ps.alias_wrong_way);
+            digestMix(h, ps.memo_hits);
+            digestMix(h, ps.events.tag_reads);
+            digestMix(h, ps.events.field_reads);
+            digestMix(h, ps.events.tag_compares);
+            digestMix(h, ps.events.list_reads);
+            digestMix(h, ps.events.memo_reads);
+            digestMix(h, ps.events.memo_writes);
         }
         out.digest = h;
     } catch (const PanicError &e) {

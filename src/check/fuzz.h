@@ -47,10 +47,13 @@ enum class BugInjection {
     MruUndercount,
     /** Partial compare whose step-1 filter drops a candidate. */
     PartialFilter,
+    /** Way memo that trusts stale entries: a memo hit names the
+     *  wrong way. */
+    MemoStale,
 };
 
 /** Parse "none" / "naive-skip" / "mru-undercount" /
- *  "partial-filter". */
+ *  "partial-filter" / "memo-stale". */
 BugInjection bugInjectionFromString(const std::string &s);
 
 /** FNV-1a 64-bit offset basis: start value for digest chains. */

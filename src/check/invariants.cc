@@ -5,6 +5,7 @@
 #include "core/mru_lookup.h"
 #include "core/partial_lookup.h"
 #include "core/tagbits.h"
+#include "core/way_memo.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -45,6 +46,19 @@ probeBoundsFor(const core::LookupStrategy &strategy, unsigned a)
         // partial match; a hit needs at least one of each.
         unsigned s = p->config().subsets;
         b = {2, s + a, s, s + a};
+    } else if (auto *wm = dynamic_cast<const core::WayMemoLookup *>(
+                   &strategy)) {
+        // A memo miss costs exactly what the underlying scheme
+        // costs; a memo hit skips every probe.
+        b = probeBoundsFor(wm->underlying(), a);
+        b.hit_min = 0;
+    } else if (dynamic_cast<const core::WayPredictLookup *>(
+                   &strategy)) {
+        // One probe on a correct prediction; otherwise one more
+        // wide probe covers the remaining ways — so 2 on any
+        // misprediction or miss (1 when there is only one way).
+        unsigned second = a > 1 ? 2 : 1;
+        b = {1, second, second, second};
     } else {
         // Universal envelope: a list read, a step-1 probe per way
         // and a full compare per way can never be exceeded.
@@ -148,6 +162,32 @@ refPartial(const core::PartialConfig &cfg,
     return res;
 }
 
+core::LookupResult
+refWayPredict(const core::LookupInput &in)
+{
+    core::LookupResult res;
+    res.probes = 1; // the predicted way
+    const unsigned pred = in.mru_order[0];
+    if (in.valid[pred] && in.stored_tags[pred] == in.incoming_tag) {
+        res.hit = true;
+        res.way = static_cast<int>(pred);
+        return res;
+    }
+    if (in.assoc == 1)
+        return res;
+    ++res.probes; // the wide probe over the remaining ways
+    for (unsigned w = 0; w < in.assoc; ++w) {
+        if (w == pred)
+            continue;
+        if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
+            res.hit = true;
+            res.way = static_cast<int>(w);
+            return res;
+        }
+    }
+    return res;
+}
+
 } // namespace
 
 bool
@@ -171,6 +211,13 @@ referenceLookup(const core::LookupStrategy &strategy,
         out = refPartial(p->config(), in);
         return true;
     }
+    if (dynamic_cast<const core::WayPredictLookup *>(&strategy)) {
+        out = refWayPredict(in);
+        return true;
+    }
+    // WayMemoLookup is stateful (the memo table) so no stateless
+    // re-execution exists; the auditor's memo-consistency check
+    // validates it against the underlying scheme's reference.
     return false;
 }
 
@@ -436,7 +483,40 @@ InvariantAuditor::audit(const core::ProbeMeter &meter,
         }
     }
 
-    // 5. LRU-stack integrity of the accessed set, for both the
+    // 5. Memo consistency: memoization may change costs, never
+    // outcomes. A memo hit must skip every probe and name exactly
+    // the way the underlying scheme's reference scan finds; a memo
+    // miss must reproduce the underlying reference verbatim.
+    if (auto *wm = dynamic_cast<const core::WayMemoLookup *>(&strat)) {
+        core::LookupResult uref;
+        const bool have = referenceLookup(wm->underlying(), in, uref);
+        if (res.memo_hit) {
+            if (res.probes != 0)
+                log_->add(who + ": memo hit cost " +
+                          std::to_string(res.probes) +
+                          " probes (must skip all tag probes)");
+            if (!res.hit)
+                log_->add(who + ": memo_hit flagged on a miss");
+            if (have && (!uref.hit || uref.way != res.way))
+                log_->add(who + ": memo hit names way " +
+                          std::to_string(res.way) +
+                          " but the underlying reference finds " +
+                          (uref.hit ? "way " + std::to_string(uref.way)
+                                    : std::string("a miss")));
+        } else if (have && (res.hit != uref.hit ||
+                            res.way != uref.way ||
+                            res.probes != uref.probes)) {
+            log_->add(who + ": memo miss diverges from the underlying "
+                      "reference (got hit=" + std::to_string(res.hit) +
+                      " way=" + std::to_string(res.way) + " probes=" +
+                      std::to_string(res.probes) + ", want hit=" +
+                      std::to_string(uref.hit) + " way=" +
+                      std::to_string(uref.way) + " probes=" +
+                      std::to_string(uref.probes) + ")");
+        }
+    }
+
+    // 6. LRU-stack integrity of the accessed set, for both the
     // recency and the fill-age order.
     checkRecencyOrders(*view.cache, view.set, *log_);
 }

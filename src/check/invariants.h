@@ -179,7 +179,11 @@ bool checkInclusion(const mem::TwoLevelHierarchy &hier,
  *     divergent hit must be justified by sliced-tag equality (a
  *     genuine alias) and a true hit may never be missed;
  *  4. the Partial step-1 superset property;
- *  5. LRU-stack integrity of the accessed set.
+ *  5. memo consistency: a WayMemo memo hit skips every probe and
+ *     names exactly the way the underlying scheme's reference scan
+ *     finds, and a memo miss reproduces that reference verbatim —
+ *     memoization changes costs, never outcomes;
+ *  6. LRU-stack integrity of the accessed set.
  */
 class InvariantAuditor : public core::LookupAuditor
 {

@@ -14,6 +14,9 @@ TraditionalLookup::lookup(const LookupInput &in) const
 {
     LookupResult res;
     res.probes = 1;
+    // One wide probe reads and compares all a tags in parallel.
+    res.events.tag_reads = in.assoc;
+    res.events.tag_compares = in.assoc;
     if (in.assoc <= 64) {
         // All a ways compare in parallel in hardware — and in the
         // kernel: one eq mask, hit = lowest matching way.
@@ -53,6 +56,9 @@ NaiveLookup::lookup(const LookupInput &in) const
         } else {
             res.probes = in.assoc;
         }
+        // Each serial probe reads and compares one t-bit tag.
+        res.events.tag_reads = res.probes;
+        res.events.tag_compares = res.probes;
         return res;
     }
     for (unsigned w = 0; w < in.assoc; ++w) {
@@ -60,9 +66,11 @@ NaiveLookup::lookup(const LookupInput &in) const
         if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
             res.hit = true;
             res.way = static_cast<int>(w);
-            return res;
+            break;
         }
     }
+    res.events.tag_reads = res.probes;
+    res.events.tag_compares = res.probes;
     return res; // miss: all a tags were examined
 }
 

@@ -29,6 +29,40 @@ struct LookupInput
     /** Way indices from most- to least-recently used. */
     const std::uint8_t *mru_order = nullptr;
     std::uint32_t incoming_tag = 0;         ///< t-bit incoming tag
+    /** Incoming block address (set + full tag, unsliced). Lets
+     *  address-indexed strategies (way memoization) key their state;
+     *  tag-only strategies ignore it. */
+    std::uint32_t block_addr = 0;
+    std::uint32_t set = 0;                  ///< set index of this access
+};
+
+/**
+ * Per-access micro-event counts underneath the probe total: what
+ * hardware structure each probe actually touched. Probes remain the
+ * paper's cost unit; events are the energy model's (src/hw) — a
+ * k-bit field read, a full t-bit tag read, and a memo-table access
+ * cost different energy even when each is "one probe".
+ */
+struct ProbeEvents
+{
+    std::uint32_t tag_reads = 0;    ///< full t-bit tag-array reads
+    std::uint32_t field_reads = 0;  ///< k-bit partial-field reads
+    std::uint32_t tag_compares = 0; ///< full-width tag compares
+    std::uint32_t list_reads = 0;   ///< MRU-list reads
+    std::uint32_t memo_reads = 0;   ///< memo/prediction-table reads
+    std::uint32_t memo_writes = 0;  ///< memo/prediction-table updates
+
+    ProbeEvents &
+    operator+=(const ProbeEvents &o)
+    {
+        tag_reads += o.tag_reads;
+        field_reads += o.field_reads;
+        tag_compares += o.tag_compares;
+        list_reads += o.list_reads;
+        memo_reads += o.memo_reads;
+        memo_writes += o.memo_writes;
+        return *this;
+    }
 };
 
 /** What a lookup concluded and what it cost. */
@@ -37,6 +71,10 @@ struct LookupResult
     bool hit = false;
     int way = -1;        ///< matching way (valid when hit)
     unsigned probes = 0; ///< tag-memory probes consumed
+    ProbeEvents events;  ///< event breakdown behind the probe count
+    /** True when a memo table supplied the way and every tag probe
+     *  was skipped (probes == 0). Only WayMemo sets it. */
+    bool memo_hit = false;
 };
 
 /** Abstract search strategy over one set. */
@@ -50,6 +88,13 @@ class LookupStrategy
 
     /** Display name ("Traditional", "Naive", "MRU", "Partial"). */
     virtual std::string name() const = 0;
+
+    /**
+     * The hierarchy was flushed (cold-start boundary): any
+     * address-keyed strategy state (memo tables) is now stale and
+     * must be dropped. Stateless strategies ignore it.
+     */
+    virtual void onFlush() {}
 };
 
 /**

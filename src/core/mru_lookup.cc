@@ -26,6 +26,7 @@ MruLookup::lookup(const LookupInput &in) const
     // One probe-equivalent to read the MRU ordering information
     // before any tag can be examined (Section 2.1).
     res.probes = 1;
+    res.events.list_reads = 1;
 
     unsigned list_len = list_len_ == 0 ? in.assoc
                                        : std::min(list_len_, in.assoc);
@@ -44,6 +45,8 @@ MruLookup::lookup(const LookupInput &in) const
     for (unsigned i = 0; i < list_len; ++i) {
         unsigned w = in.mru_order[i];
         ++res.probes;
+        ++res.events.tag_reads;
+        ++res.events.tag_compares;
         searched |= std::uint64_t{1} << w;
         if ((e >> w) & 1) {
             res.hit = true;
@@ -63,10 +66,16 @@ MruLookup::lookup(const LookupInput &in) const
             static_cast<unsigned>(std::countr_zero(rem_hits));
         res.hit = true;
         res.way = static_cast<int>(w);
-        res.probes += popcount(rem & maskBits(w + 1));
+        unsigned n = popcount(rem & maskBits(w + 1));
+        res.probes += n;
+        res.events.tag_reads += n;
+        res.events.tag_compares += n;
         return res;
     }
-    res.probes += popcount(rem);
+    unsigned n = popcount(rem);
+    res.probes += n;
+    res.events.tag_reads += n;
+    res.events.tag_compares += n;
     return res; // miss: 1 + a probes in total
 }
 

@@ -69,6 +69,7 @@ PartialLookup::lookup(const LookupInput &in) const
         // Step 1: one probe partially compares all g ways of this
         // subset, each through its own k-bit collection.
         ++res.probes;
+        res.events.field_reads += g;
         const unsigned base = sub * g;
         std::uint64_t cand = kern.partial_mask(
             in.stored_tags + base, in.valid + base, g, inc, k, kind,
@@ -83,6 +84,8 @@ PartialLookup::lookup(const LookupInput &in) const
                 static_cast<unsigned>(std::countr_zero(cand));
             cand &= cand - 1;
             ++res.probes;
+            ++res.events.tag_reads;
+            ++res.events.tag_compares;
             if (in.stored_tags[base + l] == in.incoming_tag) {
                 res.hit = true;
                 res.way = static_cast<int>(base + l);

@@ -39,6 +39,9 @@ ProbeStats::reset()
     write_backs.reset();
     alias_hits = 0;
     alias_wrong_way = 0;
+    events = EventTotals{};
+    memo_hits = 0;
+    metered = 0;
 }
 
 ProbeMeter::ProbeMeter(std::unique_ptr<LookupStrategy> strategy,
@@ -46,6 +49,12 @@ ProbeMeter::ProbeMeter(std::unique_ptr<LookupStrategy> strategy,
     : strategy_(std::move(strategy)), cfg_(cfg)
 {
     panicIf(!strategy_, "ProbeMeter: null strategy");
+}
+
+void
+ProbeMeter::onFlush()
+{
+    strategy_->onFlush();
 }
 
 void
@@ -80,8 +89,15 @@ ProbeMeter::observe(const mem::L2AccessView &view)
     in.valid = view.valid;
     in.mru_order = view.mru_order;
     in.incoming_tag = sliceTag(view.full_tag, cfg_.tag_bits);
+    in.block_addr = view.block;
+    in.set = view.set;
 
     LookupResult res = strategy_->lookup(in);
+
+    stats_.events.add(res.events);
+    ++stats_.metered;
+    if (res.memo_hit)
+        ++stats_.memo_hits;
 
     // Auditors run before the ground-truth panic below so a broken
     // strategy is reported through the checker's channel too.

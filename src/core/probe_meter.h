@@ -49,6 +49,35 @@ struct ProbeStats
     std::uint64_t alias_hits = 0; ///< scheme hit where simulator missed
     std::uint64_t alias_wrong_way = 0; ///< scheme hit a different way
 
+    /** 64-bit event totals behind the probe counts (the energy
+     *  model's input, src/hw/energy_model.h): per-access ProbeEvents
+     *  are 32-bit, but a long run's totals need the headroom. */
+    struct EventTotals
+    {
+        std::uint64_t tag_reads = 0;
+        std::uint64_t field_reads = 0;
+        std::uint64_t tag_compares = 0;
+        std::uint64_t list_reads = 0;
+        std::uint64_t memo_reads = 0;
+        std::uint64_t memo_writes = 0;
+
+        void
+        add(const ProbeEvents &e)
+        {
+            tag_reads += e.tag_reads;
+            field_reads += e.field_reads;
+            tag_compares += e.tag_compares;
+            list_reads += e.list_reads;
+            memo_reads += e.memo_reads;
+            memo_writes += e.memo_writes;
+        }
+    };
+    EventTotals events;
+    /** Accesses where a memo table skipped every tag probe. */
+    std::uint64_t memo_hits = 0;
+    /** Metered (non-free) accesses contributing to events. */
+    std::uint64_t metered = 0;
+
     /** Mean probes over read-in hits + write-backs (Table 4 "Hits"). */
     double hitsMean() const;
 
@@ -93,6 +122,10 @@ class ProbeMeter : public mem::L2Observer
                const MeterConfig &cfg);
 
     void observe(const mem::L2AccessView &view) override;
+
+    /** Forward the flush to address-keyed strategy state (memo
+     *  tables go stale across a cold-start boundary). */
+    void onFlush() override;
 
     /** Attach an invariant auditor (not owned; nullptr detaches). */
     void setAuditor(LookupAuditor *auditor) { auditor_ = auditor; }

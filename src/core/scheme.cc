@@ -2,6 +2,7 @@
 
 #include "core/mru_lookup.h"
 #include "core/partial_lookup.h"
+#include "core/way_memo.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -18,8 +19,13 @@ schemeKindFromString(const std::string &s)
         return SchemeKind::Mru;
     if (s == "partial")
         return SchemeKind::Partial;
+    if (s == "waymemo")
+        return SchemeKind::WayMemo;
+    if (s == "waypredict")
+        return SchemeKind::WayPredict;
     fatal("unknown scheme '" + s +
-          "' (expected traditional|naive|mru|partial)");
+          "' (expected traditional|naive|mru|partial|waymemo|"
+          "waypredict)");
 }
 
 const char *
@@ -34,6 +40,10 @@ schemeKindName(SchemeKind kind)
         return "MRU";
       case SchemeKind::Partial:
         return "Partial";
+      case SchemeKind::WayMemo:
+        return "WayMemo";
+      case SchemeKind::WayPredict:
+        return "WayPredict";
     }
     return "unknown";
 }
@@ -84,6 +94,21 @@ SchemeSpec::makeStrategy() const
         cfg.transform = transform;
         return std::make_unique<PartialLookup>(cfg);
       }
+      case SchemeKind::WayMemo: {
+        fatalIf(memo_underlying == SchemeKind::WayMemo ||
+                    memo_underlying == SchemeKind::WayPredict,
+                "waymemo cannot wrap another memo scheme");
+        SchemeSpec inner = *this;
+        inner.kind = memo_underlying;
+        WayMemoConfig cfg;
+        cfg.entries = memo_entries;
+        cfg.region_bits = memo_region_bits;
+        cfg.tagged = memo_tagged;
+        return std::make_unique<WayMemoLookup>(inner.makeStrategy(),
+                                               cfg);
+      }
+      case SchemeKind::WayPredict:
+        return std::make_unique<WayPredictLookup>();
     }
     panic("bad SchemeKind");
 }

@@ -18,15 +18,21 @@
 namespace assoc {
 namespace core {
 
-/** The four implementation approaches of the paper. */
+/**
+ * The four implementation approaches of the paper, plus the
+ * way-memoization family (docs/ENERGY.md) layered on top of them.
+ */
 enum class SchemeKind {
     Traditional,
     Naive,
     Mru,
     Partial,
+    WayMemo,
+    WayPredict,
 };
 
-/** Parse "traditional" / "naive" / "mru" / "partial". */
+/** Parse "traditional" / "naive" / "mru" / "partial" / "waymemo" /
+ *  "waypredict". */
 SchemeKind schemeKindFromString(const std::string &s);
 
 /** Printable name. */
@@ -47,6 +53,17 @@ struct SchemeSpec
 
     /** Stored tag width t. */
     unsigned tag_bits = 16;
+
+    /** WayMemo: memo-table entries (power of two). */
+    std::uint32_t memo_entries = 64;
+    /** WayMemo: region granularity, region = block >> region_bits. */
+    unsigned memo_region_bits = 0;
+    /** WayMemo: tagged entries (exact-region match) vs untagged. */
+    bool memo_tagged = true;
+    /** WayMemo: the scheme a memo miss falls back to. The rest of
+     *  this spec (mru_list_len, partial_*, tag_bits) parameterizes
+     *  it; nesting memo schemes is rejected. */
+    SchemeKind memo_underlying = SchemeKind::Traditional;
 
     /**
      * The paper's default partial configuration for associativity

@@ -14,6 +14,8 @@ SwapMruLookup::lookup(const LookupInput &in) const
     for (unsigned i = 0; i < in.assoc; ++i) {
         unsigned w = in.mru_order[i];
         ++res.probes;
+        ++res.events.tag_reads;
+        ++res.events.tag_compares;
         if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
             res.hit = true;
             res.way = static_cast<int>(w);

@@ -25,6 +25,9 @@ WideNaiveLookup::lookup(const LookupInput &in) const
     for (unsigned base = 0; base < in.assoc; base += width_) {
         ++res.probes; // one probe compares this group of b tags
         unsigned end = std::min(base + width_, in.assoc);
+        // The wide word reads and compares all b tags at once.
+        res.events.tag_reads += end - base;
+        res.events.tag_compares += end - base;
         for (unsigned w = base; w < end; ++w) {
             if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {
                 res.hit = true;
@@ -52,9 +55,12 @@ WideMruLookup::lookup(const LookupInput &in) const
 {
     LookupResult res;
     res.probes = 1; // the MRU list read
+    res.events.list_reads = 1;
     for (unsigned base = 0; base < in.assoc; base += width_) {
         ++res.probes;
         unsigned end = std::min(base + width_, in.assoc);
+        res.events.tag_reads += end - base;
+        res.events.tag_compares += end - base;
         for (unsigned i = base; i < end; ++i) {
             unsigned w = in.mru_order[i];
             if (in.valid[w] && in.stored_tags[w] == in.incoming_tag) {

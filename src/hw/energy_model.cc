@@ -1,0 +1,59 @@
+#include "hw/energy_model.h"
+
+namespace assoc {
+namespace hw {
+
+EnergySpec
+EnergySpec::defaultSram()
+{
+    // Relative magnitudes follow the way-memoization literature's
+    // SRAM breakdowns: a data-way read costs a few tag reads, a
+    // k-bit field read a fraction of a full tag read, a memo-table
+    // access less than either, and a miss fill dominates all
+    // on-chip events by more than an order of magnitude.
+    EnergySpec s;
+    s.tag_read_nj = 0.050;
+    s.field_read_nj = 0.015;
+    s.tag_compare_nj = 0.010;
+    s.list_read_nj = 0.020;
+    s.memo_access_nj = 0.012;
+    s.data_read_nj = 0.200;
+    s.miss_nj = 5.0;
+    return s;
+}
+
+EnergyBreakdown
+energyOf(const EnergySpec &spec, const EnergyEvents &ev)
+{
+    EnergyBreakdown b;
+    b.tag_nj = spec.tag_read_nj * static_cast<double>(ev.tag_reads);
+    b.field_nj =
+        spec.field_read_nj * static_cast<double>(ev.field_reads);
+    b.compare_nj =
+        spec.tag_compare_nj * static_cast<double>(ev.tag_compares);
+    b.list_nj =
+        spec.list_read_nj * static_cast<double>(ev.list_reads);
+    b.memo_nj = spec.memo_access_nj *
+                static_cast<double>(ev.memo_reads + ev.memo_writes);
+    b.data_nj = spec.data_read_nj * static_cast<double>(ev.hits);
+    b.miss_nj = spec.miss_nj * static_cast<double>(ev.misses);
+    b.total_nj = b.tag_nj + b.field_nj + b.compare_nj + b.list_nj +
+                 b.memo_nj + b.data_nj + b.miss_nj;
+    b.per_access_nj =
+        ev.accesses ? b.total_nj / static_cast<double>(ev.accesses)
+                    : 0.0;
+    return b;
+}
+
+EnergyDelay
+energyDelay(const EnergyBreakdown &e, const EffectiveResult &t)
+{
+    EnergyDelay d;
+    d.energy_nj = e.per_access_nj;
+    d.delay_ns = t.l2_request_ns;
+    d.edp_nj_ns = d.energy_nj * d.delay_ns;
+    return d;
+}
+
+} // namespace hw
+} // namespace assoc

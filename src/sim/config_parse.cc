@@ -160,10 +160,53 @@ parseSchemeList(const std::string &list, unsigned assoc,
                     }
                 }
             }
+        } else if (name == "waypredict") {
+            parsed.spec.kind = core::SchemeKind::WayPredict;
+        } else if (name == "waymemo") {
+            parsed.spec.kind = core::SchemeKind::WayMemo;
+            if (parts.size() == 2) {
+                for (const std::string &opt : split(parts[1], ';')) {
+                    auto kv = split(opt, '=');
+                    fatalIf(kv.size() != 2,
+                            "bad waymemo option '" + opt + "'");
+                    if (kv[0] == "e") {
+                        parsed.spec.memo_entries =
+                            parseUnsigned(kv[1], "memo entries");
+                    } else if (kv[0] == "r") {
+                        parsed.spec.memo_region_bits =
+                            parseUnsigned(kv[1], "memo region bits");
+                    } else if (kv[0] == "tag") {
+                        fatalIf(kv[1] != "0" && kv[1] != "1",
+                                "memo tag option must be 0 or 1");
+                        parsed.spec.memo_tagged = kv[1] == "1";
+                    } else if (kv[0] == "u") {
+                        core::SchemeKind under =
+                            core::schemeKindFromString(kv[1]);
+                        fatalIf(under == core::SchemeKind::WayMemo ||
+                                    under ==
+                                        core::SchemeKind::WayPredict,
+                                "waymemo cannot wrap another memo "
+                                "scheme");
+                        parsed.spec.memo_underlying = under;
+                    } else {
+                        fatal("unknown waymemo option '" + kv[0] +
+                              "' (e, r, tag or u)");
+                    }
+                }
+            }
+            if (parsed.spec.memo_underlying ==
+                core::SchemeKind::Partial) {
+                core::SchemeSpec p =
+                    core::SchemeSpec::paperPartial(assoc, tag_bits);
+                parsed.spec.partial_k = p.partial_k;
+                parsed.spec.partial_subsets = p.partial_subsets;
+                parsed.spec.transform = p.transform;
+            }
         } else {
             fatal("unknown scheme '" + name +
                   "' (traditional|naive|mru[:len]|swapmru|"
-                  "widenaive:<b>|widemru:<b>|partial[:opts])");
+                  "widenaive:<b>|widemru:<b>|partial[:opts]|"
+                  "waypredict|waymemo[:opts])");
         }
         out.push_back(std::move(parsed));
     }

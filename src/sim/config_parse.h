@@ -9,9 +9,13 @@
  * Scheme specs are comma-separated lists of:
  *   traditional | naive | mru | mru:<len> | swapmru |
  *   widenaive:<b> | widemru:<b> |
- *   partial | partial:k=<k>,s=<s>,tr=<none|xor|improved|swap>
+ *   partial | partial:k=<k>,s=<s>,tr=<none|xor|improved|swap> |
+ *   waypredict | waymemo | waymemo:e=<entries>;r=<region_bits>;
+ *   tag=<0|1>;u=<underlying scheme>
  * ("partial" alone uses the paper's rule for the current
- * associativity and tag width).
+ * associativity and tag width; "waymemo" alone memoizes per block
+ * with 64 tagged entries over a traditional lookup — see
+ * docs/ENERGY.md).
  */
 
 #ifndef ASSOC_SIM_CONFIG_PARSE_H

@@ -1,18 +1,38 @@
 #include "trace/sampling.h"
 
 #include "util/bitops.h"
-#include "util/logging.h"
 
 namespace assoc {
 namespace trace {
+
+Error
+WindowSampledSource::validate(std::uint64_t on_refs,
+                              std::uint64_t /*off_refs*/)
+{
+    if (on_refs == 0)
+        return Error::usage("window sampling needs a non-empty "
+                            "on-window");
+    return Error();
+}
+
+Expected<WindowSampledSource>
+WindowSampledSource::make(TraceSource &inner, std::uint64_t on_refs,
+                          std::uint64_t off_refs)
+{
+    Error err = validate(on_refs, off_refs);
+    if (err.failed())
+        return err;
+    return WindowSampledSource(inner, on_refs, off_refs);
+}
 
 WindowSampledSource::WindowSampledSource(TraceSource &inner,
                                          std::uint64_t on_refs,
                                          std::uint64_t off_refs)
     : inner_(inner), on_refs_(on_refs), off_refs_(off_refs)
 {
-    fatalIf(on_refs_ == 0, "window sampling needs a non-empty "
-                           "on-window");
+    Error err = validate(on_refs_, off_refs_);
+    if (err.failed())
+        throwError(std::move(err));
 }
 
 bool
@@ -39,6 +59,35 @@ WindowSampledSource::reset()
     pos_ = 0;
 }
 
+Error
+SetSampledSource::validate(std::uint32_t block_bytes,
+                           std::uint32_t sets,
+                           std::uint32_t first_set,
+                           std::uint32_t set_count)
+{
+    if (!isPow2(block_bytes))
+        return Error::usage("block size must be a power of two");
+    if (!isPow2(sets))
+        return Error::usage("set count must be a power of two");
+    if (set_count == 0)
+        return Error::usage("set sampling needs at least one set");
+    if (first_set >= sets || set_count > sets - first_set)
+        return Error::usage("sampled set range exceeds the geometry");
+    return Error();
+}
+
+Expected<SetSampledSource>
+SetSampledSource::make(TraceSource &inner, std::uint32_t block_bytes,
+                       std::uint32_t sets, std::uint32_t first_set,
+                       std::uint32_t set_count)
+{
+    Error err = validate(block_bytes, sets, first_set, set_count);
+    if (err.failed())
+        return err;
+    return SetSampledSource(inner, block_bytes, sets, first_set,
+                            set_count);
+}
+
 SetSampledSource::SetSampledSource(TraceSource &inner,
                                    std::uint32_t block_bytes,
                                    std::uint32_t sets,
@@ -46,13 +95,11 @@ SetSampledSource::SetSampledSource(TraceSource &inner,
                                    std::uint32_t set_count)
     : inner_(inner), first_set_(first_set), set_count_(set_count)
 {
-    fatalIf(!isPow2(block_bytes), "block size must be a power of two");
-    fatalIf(!isPow2(sets), "set count must be a power of two");
+    Error err = validate(block_bytes, sets, first_set_, set_count_);
+    if (err.failed())
+        throwError(std::move(err));
     offset_bits_ = log2i(block_bytes);
     set_mask_ = sets - 1;
-    fatalIf(set_count_ == 0, "set sampling needs at least one set");
-    fatalIf(first_set_ >= sets || set_count_ > sets - first_set_,
-            "sampled set range exceeds the geometry");
 }
 
 bool

@@ -15,6 +15,19 @@
  *    geometry). Per-set behaviour is exact for the surviving sets,
  *    so miss *ratios* are nearly unbiased while the simulation
  *    touches 1/k of the cache.
+ *
+ * Both are *transparent wrappers* (docs/TRACES.md): error(),
+ * skippedRecords(), setCancelToken() and setMemBudget() all forward
+ * to the inner source, so a wrapped file-backed source that stops on
+ * a real read failure still fails the wrapper (throwIfFailed sees
+ * the inner structured error, never a silent end-of-trace) and
+ * cancel tokens / memory budgets attached to the wrapper reach the
+ * reader that actually polls them.
+ *
+ * Bad sampling geometry is a structured Usage error, not a process
+ * abort: prefer the make() factories (Expected, matching the trace
+ * readers); the constructors throw the same Error as an
+ * ErrorException for call sites that want exceptions.
  */
 
 #ifndef ASSOC_TRACE_SAMPLING_H
@@ -35,12 +48,40 @@ class WindowSampledSource : public TraceSource
      * @param inner the full trace (not owned).
      * @param on_refs references passed per window.
      * @param off_refs references dropped between windows.
+     *
+     * Throws ErrorException (Usage) on a bad geometry; make() is
+     * the non-throwing equivalent.
      */
     WindowSampledSource(TraceSource &inner, std::uint64_t on_refs,
                         std::uint64_t off_refs);
 
+    /** Validate the window geometry without constructing. */
+    static Error validate(std::uint64_t on_refs,
+                          std::uint64_t off_refs);
+
+    /** Non-throwing constructor: a source, or a structured Usage
+     *  error a sweep job can report as a failed JobResult. */
+    static Expected<WindowSampledSource>
+    make(TraceSource &inner, std::uint64_t on_refs,
+         std::uint64_t off_refs);
+
     bool next(MemRef &ref) override;
     void reset() override;
+
+    // Transparent-wrapper forwarding (see file header).
+    const Error &error() const override { return inner_.error(); }
+    std::uint64_t skippedRecords() const override
+    {
+        return inner_.skippedRecords();
+    }
+    void setCancelToken(const CancelToken *t) override
+    {
+        inner_.setCancelToken(t);
+    }
+    void setMemBudget(MemBudget *b) override
+    {
+        inner_.setMemBudget(b);
+    }
 
   private:
     TraceSource &inner_;
@@ -63,16 +104,46 @@ class SetSampledSource : public TraceSource
      * @param sets number of sets (power of two).
      * @param first_set first sampled set index.
      * @param set_count number of sampled sets.
+     *
+     * Throws ErrorException (Usage) on a bad geometry; make() is
+     * the non-throwing equivalent.
      */
     SetSampledSource(TraceSource &inner, std::uint32_t block_bytes,
                      std::uint32_t sets, std::uint32_t first_set,
                      std::uint32_t set_count);
+
+    /** Validate the sampling geometry without constructing. */
+    static Error validate(std::uint32_t block_bytes,
+                          std::uint32_t sets, std::uint32_t first_set,
+                          std::uint32_t set_count);
+
+    /** Non-throwing constructor: a source, or a structured Usage
+     *  error a sweep job can report as a failed JobResult. */
+    static Expected<SetSampledSource>
+    make(TraceSource &inner, std::uint32_t block_bytes,
+         std::uint32_t sets, std::uint32_t first_set,
+         std::uint32_t set_count);
 
     bool next(MemRef &ref) override;
     void reset() override;
 
     /** References read from the underlying trace so far. */
     std::uint64_t consumed() const { return consumed_; }
+
+    // Transparent-wrapper forwarding (see file header).
+    const Error &error() const override { return inner_.error(); }
+    std::uint64_t skippedRecords() const override
+    {
+        return inner_.skippedRecords();
+    }
+    void setCancelToken(const CancelToken *t) override
+    {
+        inner_.setCancelToken(t);
+    }
+    void setMemBudget(MemBudget *b) override
+    {
+        inner_.setMemBudget(b);
+    }
 
   private:
     TraceSource &inner_;

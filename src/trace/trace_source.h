@@ -156,6 +156,10 @@ class VectorTraceSource : public TraceSource
 /**
  * Wrap a source, truncating it after @p limit references.
  * Useful for quick runs of the full ATUM-like trace.
+ *
+ * A transparent wrapper (docs/TRACES.md): status and attachments
+ * forward to the inner source, so a wrapped reader that stops on a
+ * real failure is never mistaken for a clean end-of-trace.
  */
 class LimitedTraceSource : public TraceSource
 {
@@ -180,6 +184,23 @@ class LimitedTraceSource : public TraceSource
     {
         inner_.reset();
         count_ = 0;
+    }
+
+    const Error &error() const override { return inner_.error(); }
+
+    std::uint64_t skippedRecords() const override
+    {
+        return inner_.skippedRecords();
+    }
+
+    void setCancelToken(const CancelToken *t) override
+    {
+        inner_.setCancelToken(t);
+    }
+
+    void setMemBudget(MemBudget *b) override
+    {
+        inner_.setMemBudget(b);
     }
 
   private:

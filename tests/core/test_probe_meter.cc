@@ -278,6 +278,102 @@ TEST(ProbeMeter, MeterNameFollowsStrategy)
     EXPECT_EQ(spec.makeMeter()->name(), "MRU-2");
 }
 
+TEST(ProbeMeter, EventTotalsMirrorPerAccessEvents)
+{
+    // Traditional reads and compares all a tags on every metered
+    // access: the 64-bit totals must track exactly, and free
+    // (optimized) write-backs must contribute nothing.
+    TwoLevelHierarchy h(smallConfig());
+    SchemeSpec spec;
+    spec.kind = SchemeKind::Traditional;
+    auto meter = spec.makeMeter();
+    h.addObserver(meter.get());
+
+    h.access({0x0000, RefType::Write, 0});
+    h.access({0x4000, RefType::Read, 0}); // write-back of 0x0000
+    h.access({0x0000, RefType::Read, 0});
+
+    const ProbeStats &s = meter->stats();
+    // The zero-probe write-back is recorded but not metered.
+    EXPECT_EQ(s.write_backs.count(), 1u);
+    EXPECT_EQ(s.metered, 3u);
+    EXPECT_EQ(s.events.tag_reads, 3u * 4u);
+    EXPECT_EQ(s.events.tag_compares, 3u * 4u);
+    EXPECT_EQ(s.events.field_reads, 0u);
+    EXPECT_EQ(s.events.list_reads, 0u);
+    EXPECT_EQ(s.events.memo_reads, 0u);
+    EXPECT_EQ(s.memo_hits, 0u);
+}
+
+TEST(ProbeMeter, BlockAddrAndSetReachTheStrategy)
+{
+    // Address-indexed strategies key their state on the block
+    // address and set index the meter passes through from the
+    // hierarchy's access view.
+    struct Capture : TraditionalLookup
+    {
+        mutable std::uint32_t last_block = ~0u;
+        mutable std::uint32_t last_set = ~0u;
+        LookupResult
+        lookup(const LookupInput &in) const override
+        {
+            last_block = in.block_addr;
+            last_set = in.set;
+            return TraditionalLookup::lookup(in);
+        }
+    };
+    TwoLevelHierarchy h(smallConfig());
+    auto strat = std::make_unique<Capture>();
+    const Capture *cap = strat.get();
+    MeterConfig mcfg;
+    ProbeMeter meter(std::move(strat), mcfg);
+    h.addObserver(&meter);
+
+    // L2: 1024B / 32B / 4-way = 8 sets. 0x1234 -> block 0x91, set 1.
+    h.access({0x1234, RefType::Read, 0});
+    EXPECT_EQ(cap->last_block, 0x1234u >> 5);
+    EXPECT_EQ(cap->last_set, (0x1234u >> 5) & 7u);
+}
+
+TEST(ProbeMeter, WayMemoMetersMemoHitsAndForwardsFlush)
+{
+    // Single-set L1 so alternating blocks always reach L2. The
+    // blocks (0x0000, 0x0040) land in distinct memo entries (0, 2)
+    // — colliding entries would evict each other and never memo-hit.
+    // Each block's lifecycle under the memo: L2 miss (nothing to
+    // memoize), first L2 hit (memo miss, repairs the table), every
+    // later L2 hit a memo hit — until a flush clears the table.
+    HierarchyConfig cfg{CacheGeometry(16, 16, 1),
+                        CacheGeometry(1024, 32, 4), true};
+    TwoLevelHierarchy h(cfg);
+    SchemeSpec spec;
+    spec.kind = SchemeKind::WayMemo;
+    auto meter = spec.makeMeter();
+    h.addObserver(meter.get());
+
+    for (int i = 0; i < 3; ++i) {
+        h.access({0x0000, RefType::Read, 0});
+        h.access({0x0040, RefType::Read, 0});
+    }
+    // Per block: miss, memo-missed hit, memo-hit.
+    const ProbeStats &s = meter->stats();
+    EXPECT_EQ(s.read_in_hits.count(), 4u);
+    EXPECT_EQ(s.memo_hits, 2u);
+    // Every metered access reads the memo table exactly once.
+    EXPECT_EQ(s.events.memo_reads, s.metered);
+
+    // A flush must reach the strategy's memo table: the first
+    // post-flush hit may not be a memo hit.
+    h.access(trace::MemRef::flush());
+    h.access({0x0000, RefType::Read, 0}); // L2 miss, refill
+    h.access({0x0040, RefType::Read, 0});
+    h.access({0x0000, RefType::Read, 0}); // first hit: memo miss
+    EXPECT_EQ(meter->stats().memo_hits, 2u);
+    h.access({0x0040, RefType::Read, 0});
+    h.access({0x0000, RefType::Read, 0}); // second hit: memo hit
+    EXPECT_EQ(meter->stats().memo_hits, 3u);
+}
+
 } // namespace
 } // namespace core
 } // namespace assoc

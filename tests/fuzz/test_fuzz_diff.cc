@@ -16,6 +16,8 @@ TEST(BugInjectionParsing, KnownNamesAndRejection)
               BugInjection::MruUndercount);
     EXPECT_EQ(bugInjectionFromString("partial-filter"),
               BugInjection::PartialFilter);
+    EXPECT_EQ(bugInjectionFromString("memo-stale"),
+              BugInjection::MemoStale);
     EXPECT_THROW(bugInjectionFromString("bogus"), FatalError);
 }
 
@@ -121,6 +123,23 @@ TEST(RunFuzz, CatchesAnInjectedNaiveBug)
     replay.inject = opt.inject;
     replay.minimize = false;
     EXPECT_FALSE(runFuzz(replay).ok());
+}
+
+TEST(RunFuzz, CatchesAnInjectedStaleMemoBug)
+{
+    // The memo-consistency invariant: a memo table that serves a
+    // rotated (stale) way must be flagged by the campaign even
+    // though hit/miss verdicts stay plausible per access.
+    FuzzOptions opt;
+    opt.seed = 3;
+    opt.iterations = 50;
+    opt.inject = BugInjection::MemoStale;
+    const FuzzSummary sum = runFuzz(opt);
+    ASSERT_FALSE(sum.ok());
+    const FuzzFailure &f = sum.failures.front();
+    EXPECT_FALSE(f.messages.empty());
+    const FuzzCase c = sampleCase(opt.seed, f.index);
+    EXPECT_FALSE(runCase(c, opt.inject, &f.minimized).log.ok());
 }
 
 TEST(RunFuzz, ReplayOfACleanCasePasses)

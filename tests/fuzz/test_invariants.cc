@@ -7,6 +7,7 @@
 #include "check/invariants.h"
 #include "core/mru_lookup.h"
 #include "core/partial_lookup.h"
+#include "core/way_memo.h"
 #include "sim/runner.h"
 #include "trace/synthetic.h"
 #include "util/rng.h"
@@ -62,6 +63,39 @@ TEST(ProbeBoundsFor, MatchesSectionTwoCostModel)
     EXPECT_EQ(b.hit_max, 10u); // all step 1s + a full compares
     EXPECT_EQ(b.miss_min, 2u); // s step-1 probes, no false matches
     EXPECT_EQ(b.miss_max, 10u);
+}
+
+TEST(ProbeBoundsFor, MemoSchemesFollowTheirDisciplines)
+{
+    // WayMemo inherits its underlying scheme's bounds with the hit
+    // floor dropped to zero (a memo hit skips every probe).
+    core::WayMemoConfig cfg;
+    core::WayMemoLookup over_naive(
+        std::make_unique<core::NaiveLookup>(), cfg);
+    ProbeBounds b = probeBoundsFor(over_naive, 8);
+    EXPECT_EQ(b.hit_min, 0u);
+    EXPECT_EQ(b.hit_max, 8u);
+    EXPECT_EQ(b.miss_min, 8u);
+    EXPECT_EQ(b.miss_max, 8u);
+
+    core::WayMemoLookup over_mru(std::make_unique<core::MruLookup>(0),
+                                 cfg);
+    b = probeBoundsFor(over_mru, 8);
+    EXPECT_EQ(b.hit_min, 0u);
+    EXPECT_EQ(b.hit_max, 9u);
+    EXPECT_EQ(b.miss_max, 9u);
+
+    // WayPredict: one probe on a correct prediction, two otherwise
+    // (one when there is no second probe left to make).
+    core::WayPredictLookup wp;
+    b = probeBoundsFor(wp, 8);
+    EXPECT_EQ(b.hit_min, 1u);
+    EXPECT_EQ(b.hit_max, 2u);
+    EXPECT_EQ(b.miss_min, 2u);
+    EXPECT_EQ(b.miss_max, 2u);
+    b = probeBoundsFor(wp, 1);
+    EXPECT_EQ(b.hit_max, 1u);
+    EXPECT_EQ(b.miss_max, 1u);
 }
 
 /** A random but well-formed set snapshot for reference checks. */
@@ -125,6 +159,9 @@ TEST(ReferenceLookup, AgreesWithProductionStrategies)
     pcfg.subsets = 2;
     pcfg.transform = core::TransformKind::XorLow;
     strategies.push_back(std::make_unique<core::PartialLookup>(pcfg));
+    // WayPredict's outcome is a pure function of the input (the
+    // counters are bookkeeping), so the reference can re-execute it.
+    strategies.push_back(std::make_unique<core::WayPredictLookup>());
 
     for (unsigned a : {2u, 4u, 8u}) {
         for (int i = 0; i < 2000; ++i) {
@@ -160,6 +197,20 @@ TEST(ReferenceLookup, RefusesUnknownStrategies)
     core::LookupInput in = s.input(3);
     core::LookupResult out;
     EXPECT_FALSE(referenceLookup(m, in, out));
+}
+
+TEST(ReferenceLookup, RefusesStatefulWayMemo)
+{
+    // The memo table makes WayMemo's cost depend on history, so no
+    // stateless re-execution exists; the auditor's dedicated
+    // memo-consistency check covers it instead.
+    core::WayMemoLookup wm(std::make_unique<core::TraditionalLookup>(),
+                           core::WayMemoConfig());
+    Pcg32 rng(7);
+    SetState s = SetState::random(rng, 4, 8);
+    core::LookupInput in = s.input(3);
+    core::LookupResult out;
+    EXPECT_FALSE(referenceLookup(wm, in, out));
 }
 
 TEST(PartialCandidateMask, ContainsEverySlicedEqualWay)
@@ -339,6 +390,16 @@ TEST(InvariantAuditor, CleanRunThroughRunSpecHook)
     s.mru_list_len = 2;
     spec.schemes.push_back(s);
     spec.schemes.push_back(core::SchemeSpec::paperPartial(4));
+    core::SchemeSpec memo;
+    memo.kind = core::SchemeKind::WayMemo;
+    memo.memo_entries = 16; // tiny: exercise aliasing + staleness
+    spec.schemes.push_back(memo);
+    memo.memo_underlying = core::SchemeKind::Mru;
+    memo.memo_tagged = false;
+    spec.schemes.push_back(memo);
+    core::SchemeSpec wp;
+    wp.kind = core::SchemeKind::WayPredict;
+    spec.schemes.push_back(wp);
     spec.auditor = &auditor;
 
     trace::UniformRandomTrace src(0x4000, 16, 2048, 30000, 2, 0.3);
@@ -383,6 +444,50 @@ TEST(InvariantAuditor, FlagsAProbeOverReportingStrategy)
 
     EXPECT_FALSE(log.ok());
     EXPECT_GT(auditor.audited(), 0u);
+}
+
+TEST(InvariantAuditor, FlagsAStaleMemoHit)
+{
+    // A memo table that rotates the way it serves on a memo hit —
+    // the stale-entry bug hardware invalidation exists to prevent.
+    // Per-access verdicts stay plausible (it is still "a hit"), so
+    // only the memo-consistency check can see it.
+    class StaleMemo : public core::WayMemoLookup
+    {
+      public:
+        using core::WayMemoLookup::WayMemoLookup;
+        core::LookupResult
+        lookup(const core::LookupInput &in) const override
+        {
+            core::LookupResult res =
+                core::WayMemoLookup::lookup(in);
+            if (res.memo_hit)
+                res.way = (res.way + 1) %
+                          static_cast<int>(in.assoc);
+            return res;
+        }
+    };
+
+    mem::HierarchyConfig cfg{mem::CacheGeometry(512, 16, 1),
+                             mem::CacheGeometry(2048, 32, 4), true};
+    mem::TwoLevelHierarchy hier(cfg);
+    ViolationLog log;
+    InvariantAuditor auditor(&log);
+    core::MeterConfig mcfg;
+    mcfg.tag_bits = 16;
+    core::ProbeMeter meter(
+        std::make_unique<StaleMemo>(
+            std::make_unique<core::TraditionalLookup>(),
+            core::WayMemoConfig()),
+        mcfg);
+    meter.setAuditor(&auditor);
+    hier.addObserver(&meter);
+
+    trace::UniformRandomTrace src(0x2000, 16, 512, 5000, 3, 0.3);
+    hier.run(src);
+
+    EXPECT_FALSE(log.ok());
+    EXPECT_GT(meter.stats().memo_hits, 0u);
 }
 
 } // namespace

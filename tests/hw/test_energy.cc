@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-probe energy model (energy_model.h): event pricing, the
+ * phased-data-array accounting, the per-access mean, and the
+ * energy·delay composition with effectiveAccess.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/energy_model.h"
+#include "hw/impl_model.h"
+
+namespace assoc {
+namespace hw {
+namespace {
+
+TEST(EnergyModel, PricesEachEventCategoryIndependently)
+{
+    EnergySpec spec;
+    spec.tag_read_nj = 1.0;
+    spec.field_read_nj = 2.0;
+    spec.tag_compare_nj = 4.0;
+    spec.list_read_nj = 8.0;
+    spec.memo_access_nj = 16.0;
+    spec.data_read_nj = 32.0;
+    spec.miss_nj = 64.0;
+
+    EnergyEvents ev;
+    ev.tag_reads = 1;
+    ev.field_reads = 1;
+    ev.tag_compares = 1;
+    ev.list_reads = 1;
+    ev.memo_reads = 1;
+    ev.memo_writes = 1; // reads and writes share the memo price
+    ev.hits = 1;
+    ev.misses = 1;
+    ev.accesses = 2;
+
+    EnergyBreakdown b = energyOf(spec, ev);
+    EXPECT_DOUBLE_EQ(b.tag_nj, 1.0);
+    EXPECT_DOUBLE_EQ(b.field_nj, 2.0);
+    EXPECT_DOUBLE_EQ(b.compare_nj, 4.0);
+    EXPECT_DOUBLE_EQ(b.list_nj, 8.0);
+    EXPECT_DOUBLE_EQ(b.memo_nj, 32.0); // one read + one write
+    EXPECT_DOUBLE_EQ(b.data_nj, 32.0);
+    EXPECT_DOUBLE_EQ(b.miss_nj, 64.0);
+    EXPECT_DOUBLE_EQ(b.total_nj, 143.0);
+    EXPECT_DOUBLE_EQ(b.per_access_nj, 71.5);
+}
+
+TEST(EnergyModel, IdleRunHasZeroPerAccessEnergy)
+{
+    EnergyBreakdown b =
+        energyOf(EnergySpec::defaultSram(), EnergyEvents{});
+    EXPECT_DOUBLE_EQ(b.total_nj, 0.0);
+    EXPECT_DOUBLE_EQ(b.per_access_nj, 0.0);
+}
+
+TEST(EnergyModel, DefaultSramMagnitudesAreOrdered)
+{
+    // The relative magnitudes are the model's substance: a memo
+    // access under a field read under a full tag read, a data-way
+    // read costing several tag reads, and a miss dwarfing all of it.
+    EnergySpec s = EnergySpec::defaultSram();
+    EXPECT_LT(s.tag_compare_nj, s.tag_read_nj);
+    EXPECT_LT(s.memo_access_nj, s.field_read_nj + s.tag_read_nj);
+    EXPECT_LT(s.memo_access_nj, s.tag_read_nj);
+    EXPECT_LT(s.field_read_nj, s.tag_read_nj);
+    EXPECT_GT(s.data_read_nj, 2.0 * s.tag_read_nj);
+    EXPECT_GT(s.miss_nj, 10.0 * s.data_read_nj);
+}
+
+TEST(EnergyModel, MemoSchemeTradesTagEnergyForMemoEnergy)
+{
+    // Same access mix, two schemes: a traditional probe-everything
+    // scheme vs a memo scheme that skipped 3 of 4 lookups' tag work.
+    // The memo run must come out cheaper under the default spec.
+    EnergySpec spec = EnergySpec::defaultSram();
+    const unsigned assoc = 4;
+
+    EnergyEvents trad;
+    trad.accesses = 4;
+    trad.hits = 4;
+    trad.tag_reads = 4 * assoc;
+    trad.tag_compares = 4 * assoc;
+
+    EnergyEvents memo;
+    memo.accesses = 4;
+    memo.hits = 4;
+    memo.tag_reads = assoc; // only the one memo miss probed tags
+    memo.tag_compares = assoc;
+    memo.memo_reads = 4;
+    memo.memo_writes = 1;
+
+    EXPECT_LT(energyOf(spec, memo).per_access_nj,
+              energyOf(spec, trad).per_access_nj);
+}
+
+TEST(EnergyModel, EnergyDelayComposesWithEffectiveAccess)
+{
+    Table2Catalog cat;
+    const ImplSpec &mru = cat.get(ImplKind::Mru, RamTech::Sram);
+    EffectiveInputs in;
+    in.extra_hit_probes = 0.5;
+    in.l1_miss_ratio = 0.1;
+    in.l2_miss_ratio = 0.2;
+    SystemTimings sys;
+    EffectiveResult er = effectiveAccess(mru, in, sys);
+
+    EnergyEvents ev;
+    ev.accesses = 10;
+    ev.hits = 8;
+    ev.misses = 2;
+    ev.tag_reads = 15;
+    ev.tag_compares = 15;
+    EnergyBreakdown eb = energyOf(EnergySpec::defaultSram(), ev);
+
+    EnergyDelay ed = energyDelay(eb, er);
+    EXPECT_DOUBLE_EQ(ed.energy_nj, eb.per_access_nj);
+    EXPECT_DOUBLE_EQ(ed.delay_ns, er.l2_request_ns);
+    EXPECT_DOUBLE_EQ(ed.edp_nj_ns, eb.per_access_nj * er.l2_request_ns);
+    EXPECT_GT(ed.edp_nj_ns, 0.0);
+}
+
+} // namespace
+} // namespace hw
+} // namespace assoc

@@ -130,6 +130,48 @@ TEST(ParseSchemeList, ExtraStrategies)
     EXPECT_EQ(widem->width(), 4u);
 }
 
+TEST(ParseSchemeList, WayMemoDefaultsAndOptions)
+{
+    // Bare "waymemo": per-block, 64 tagged entries, traditional
+    // underlying (the header's documented defaults).
+    auto schemes = parseSchemeList("waymemo,waypredict", 4, 16);
+    ASSERT_EQ(schemes.size(), 2u);
+    EXPECT_EQ(schemes[0].spec.kind, core::SchemeKind::WayMemo);
+    EXPECT_EQ(schemes[0].spec.memo_entries, 64u);
+    EXPECT_EQ(schemes[0].spec.memo_region_bits, 0u);
+    EXPECT_TRUE(schemes[0].spec.memo_tagged);
+    EXPECT_EQ(schemes[0].spec.memo_underlying,
+              core::SchemeKind::Traditional);
+    EXPECT_EQ(schemes[1].spec.kind, core::SchemeKind::WayPredict);
+
+    auto full = parseSchemeList("waymemo:e=128;r=2;tag=0;u=mru",
+                                4, 16);
+    EXPECT_EQ(full[0].spec.memo_entries, 128u);
+    EXPECT_EQ(full[0].spec.memo_region_bits, 2u);
+    EXPECT_FALSE(full[0].spec.memo_tagged);
+    EXPECT_EQ(full[0].spec.memo_underlying, core::SchemeKind::Mru);
+
+    // A partial underlying pulls the paper's (k, s) parameters for
+    // the given associativity and tag width.
+    auto part = parseSchemeList("waymemo:u=partial", 4, 16);
+    EXPECT_EQ(part[0].spec.memo_underlying,
+              core::SchemeKind::Partial);
+    EXPECT_EQ(part[0].spec.partial_k, 4u);
+    EXPECT_EQ(part[0].spec.partial_subsets, 1u);
+}
+
+TEST(ParseSchemeList, WayMemoRejections)
+{
+    EXPECT_THROW(parseSchemeList("waymemo:q=1", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("waymemo:tag=2", 4, 16), FatalError);
+    EXPECT_THROW(parseSchemeList("waymemo:e", 4, 16), FatalError);
+    // Memo-over-memo nesting is rejected at parse time.
+    EXPECT_THROW(parseSchemeList("waymemo:u=waymemo", 4, 16),
+                 FatalError);
+    EXPECT_THROW(parseSchemeList("waymemo:u=waypredict", 4, 16),
+                 FatalError);
+}
+
 TEST(ParseSchemeList, TagBitsPropagate)
 {
     auto schemes = parseSchemeList("partial", 8, 32);

@@ -121,7 +121,8 @@ main(int argc, char **argv)
                  "replay exactly one case index from the campaign");
     args.addFlag("inject", "none",
                  "deliberately broken scheme (harness self-test): "
-                 "none|naive-skip|mru-undercount|partial-filter");
+                 "none|naive-skip|mru-undercount|partial-filter|"
+                 "memo-stale");
     args.addFlag("max-failures", "1",
                  "stop after this many failing cases");
     args.addSwitch("no-minimize",
