@@ -304,9 +304,10 @@ maybeWriteSweepJson(const CommonArgs &args,
 {
     if (args.json_path.empty())
         return;
-    std::ofstream os(args.json_path);
-    fatalIf(!os, "cannot write --json file '" + args.json_path + "'");
-    exec::writeSweepJson(os, specs, outs);
+    Expected<void> ok =
+        exec::writeSweepJsonFile(args.json_path, specs, outs);
+    if (!ok.ok())
+        throwError(ok.takeError().withContext("--json"));
 }
 
 void
@@ -316,9 +317,10 @@ maybeWriteSweepJson(const CommonArgs &args,
 {
     if (args.json_path.empty())
         return;
-    std::ofstream os(args.json_path);
-    fatalIf(!os, "cannot write --json file '" + args.json_path + "'");
-    exec::writeSweepJson(os, specs, result);
+    Expected<void> ok =
+        exec::writeSweepJsonFile(args.json_path, specs, result);
+    if (!ok.ok())
+        throwError(ok.takeError().withContext("--json"));
 }
 
 } // namespace bench

@@ -308,6 +308,23 @@ checkStatsMerge(const svc::TenantStats &merged,
     log.add(os.str());
 }
 
+void
+checkAdmissionConservation(const svc::AdmissionStats &a,
+                           const std::string &who, ViolationLog &log)
+{
+    if (a.conservationHolds())
+        return;
+    std::ostringstream os;
+    os << "admission conservation broken for " << who << ": admitted "
+       << a.admitted << " != completed " << a.completed << " + shed "
+       << a.shed() << " (quota " << a.shed_quota << ", writes "
+       << a.shed_writes << ", inflight " << a.shed_inflight
+       << ") + failed " << a.failed() << " (timeout "
+       << a.failed_timeout << ", cancelled " << a.failed_cancelled
+       << ")";
+    log.add(os.str());
+}
+
 SvcCaseResult
 runSvcCase(const SvcFuzzCase &c)
 {

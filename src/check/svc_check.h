@@ -100,6 +100,17 @@ void checkStatsMerge(const svc::TenantStats &merged,
                      const svc::TenantStats &reference,
                      ViolationLog &log);
 
+/**
+ * Admission conservation invariant: every request that entered the
+ * service layer ended in exactly one disposition, so
+ * admitted == completed + shed + failed — on each tenant's shard
+ * and on any merge of shards. @p who labels the shard in
+ * violations.
+ */
+void checkAdmissionConservation(const svc::AdmissionStats &a,
+                                const std::string &who,
+                                ViolationLog &log);
+
 /** What running one case produced. */
 struct SvcCaseResult
 {

@@ -11,6 +11,47 @@
 namespace assoc {
 namespace exec {
 
+const char *
+svcFaultKindName(SvcFaultKind kind)
+{
+    switch (kind) {
+      case SvcFaultKind::None:
+        return "none";
+      case SvcFaultKind::LockHolderStall:
+        return "lock-holder-stall";
+      case SvcFaultKind::TenantFlood:
+        return "tenant-flood";
+      case SvcFaultKind::BudgetSqueeze:
+        return "budget-squeeze";
+      case SvcFaultKind::DeadlineStorm:
+        return "deadline-storm";
+    }
+    return "unknown";
+}
+
+std::function<void(std::uint32_t)>
+FaultInjector::lockStallHook()
+{
+    if (plan_.svc_fault != SvcFaultKind::LockHolderStall)
+        return {};
+    std::uint64_t every =
+        plan_.svc_stall_every ? plan_.svc_stall_every : 1;
+    std::uint64_t spins = plan_.svc_stall_spins;
+    // Captures this: the injector must outlive the engine it arms.
+    return [this, every, spins](std::uint32_t) {
+        std::uint64_t n =
+            locked_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (n % every != 0)
+            return;
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        // A compiler-opaque busy loop: the lock holder really does
+        // occupy its stripe for the whole stall.
+        volatile std::uint64_t sink = 0;
+        for (std::uint64_t i = 0; i < spins; ++i)
+            sink = sink + i;
+    };
+}
+
 void
 FaultInjector::onJobStart(std::size_t index, unsigned attempt)
 {

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -40,6 +41,28 @@ enum class RunawayKind : std::uint8_t {
     Slow, ///< inject a seeded per-access delay (output unchanged)
     Oom,  ///< charge the memory budget until it is exhausted
 };
+
+/**
+ * Service-layer fault kinds (see FaultPlan::svc_fault). The svc
+ * chaos campaign (check/svc_chaos.h) interprets these against a
+ * CacheService: exec stays svc-agnostic — it only carries the plan
+ * and builds the one hook (lockStallHook) that needs shared state.
+ */
+enum class SvcFaultKind : std::uint8_t {
+    None,            ///< no service fault
+    LockHolderStall, ///< locked engine ops periodically spin while
+                     ///< holding their stripe lock (a preempted
+                     ///< lock holder)
+    TenantFlood,     ///< one tenant's request stream is multiplied
+                     ///< by svc_flood_factor
+    BudgetSqueeze,   ///< the victim's quota bucket is drained to
+                     ///< zero mid-stream (at op svc_at)
+    DeadlineStorm,   ///< the victim issues a burst of requests with
+                     ///< already-expired deadlines
+};
+
+/** Printable fault-kind name ("lock-holder-stall", ...). */
+const char *svcFaultKindName(SvcFaultKind kind);
 
 /** What a FaultInjector does, all derived from the seed. */
 struct FaultPlan
@@ -74,6 +97,25 @@ struct FaultPlan
     /** Oom: bytes the balloon tries to charge (accounting only —
      *  no real memory is allocated). */
     std::uint64_t oom_bytes = 1ull << 30;
+
+    // --- service-layer faults (svc chaos campaign) ---
+
+    /** Which service fault to inject (None = nothing). */
+    SvcFaultKind svc_fault = SvcFaultKind::None;
+    /** Tenant index the fault targets (-1 = none; LockHolderStall
+     *  ignores this — any tenant's locked op can stall). */
+    std::int64_t svc_victim = -1;
+    /** Victim-stream op index at which the fault engages. */
+    std::uint64_t svc_at = 100;
+    /** LockHolderStall: stall every Nth locked op (1 = all). */
+    std::uint64_t svc_stall_every = 64;
+    /** LockHolderStall: busy spins per stall. */
+    std::uint64_t svc_stall_spins = 4000;
+    /** TenantFlood: the victim's stream-length multiplier. */
+    std::uint64_t svc_flood_factor = 8;
+    /** DeadlineStorm: expired-deadline requests starting at
+     *  svc_at. */
+    std::uint64_t svc_storm_span = 64;
 };
 
 /**
@@ -108,6 +150,17 @@ class FaultInjector
     wrapJobTrace(std::unique_ptr<trace::TraceSource> src,
                  std::size_t index, const CancelToken *token,
                  MemBudget *budget) const;
+
+    /**
+     * The LockHolderStall hook: a callable for
+     * ConcurrentCacheConfig::lock_hold_hook that busy-spins
+     * svc_stall_spins iterations on every svc_stall_every'th locked
+     * operation (service-wide, counted here). Empty unless the plan
+     * arms LockHolderStall. The stall perturbs thread scheduling
+     * only — it must never change a deterministic counter, which is
+     * exactly what the chaos campaign asserts.
+     */
+    std::function<void(std::uint32_t)> lockStallHook();
 
     /** Faults thrown so far. */
     std::uint64_t injected() const
@@ -157,6 +210,7 @@ class FaultInjector
     CancelToken *cancel_;
     std::atomic<std::uint64_t> completions_{0};
     std::atomic<std::uint64_t> injected_{0};
+    std::atomic<std::uint64_t> locked_ops_{0}; ///< stall cadence
 };
 
 /**

@@ -1,7 +1,9 @@
 #include "exec/report.h"
 
 #include <cstdio>
+#include <iostream>
 
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace assoc {
@@ -196,6 +198,34 @@ writeSweepJson(std::ostream &os,
     os << "  \"interrupted\": "
        << (result.interrupted ? "true" : "false") << "\n";
     os << "}\n";
+}
+
+Expected<void>
+writeSweepJsonFile(const std::string &path,
+                   const std::vector<sim::RunSpec> &specs,
+                   const std::vector<sim::RunOutput> &outs)
+{
+    if (path == "-") {
+        writeSweepJson(std::cout, specs, outs);
+        return {};
+    }
+    return writeFileAtomic(path, [&](std::ostream &os) {
+        writeSweepJson(os, specs, outs);
+    });
+}
+
+Expected<void>
+writeSweepJsonFile(const std::string &path,
+                   const std::vector<sim::RunSpec> &specs,
+                   const SweepResult &result)
+{
+    if (path == "-") {
+        writeSweepJson(std::cout, specs, result);
+        return {};
+    }
+    return writeFileAtomic(path, [&](std::ostream &os) {
+        writeSweepJson(os, specs, result);
+    });
 }
 
 } // namespace exec

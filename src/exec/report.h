@@ -84,6 +84,21 @@ void writeSweepJson(std::ostream &os,
                     const std::vector<sim::RunSpec> &specs,
                     const SweepResult &result);
 
+/**
+ * File variants of the two writeSweepJson forms, written atomically
+ * (temp file + fsync + rename, util/atomic_file.h): a process
+ * killed mid-write never leaves a torn JSON under the final name.
+ * @p path "-" streams to stdout instead (nothing to tear).
+ */
+Expected<void>
+writeSweepJsonFile(const std::string &path,
+                   const std::vector<sim::RunSpec> &specs,
+                   const std::vector<sim::RunOutput> &outs);
+
+Expected<void> writeSweepJsonFile(const std::string &path,
+                                  const std::vector<sim::RunSpec> &specs,
+                                  const SweepResult &result);
+
 } // namespace exec
 } // namespace assoc
 

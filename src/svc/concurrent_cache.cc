@@ -28,7 +28,7 @@ opKindName(OpKind kind)
 ConcurrentCache::ConcurrentCache(const mem::CacheGeometry &geom,
                                  const ConcurrentCacheConfig &cfg)
     : cache_(geom, cfg.policy), locks_(geom.sets(), cfg.max_stripes),
-      retries_(cfg.optimistic_retries)
+      retries_(cfg.optimistic_retries), hold_hook_(cfg.lock_hold_hook)
 {}
 
 Expected<std::unique_ptr<ConcurrentCache>>
@@ -90,6 +90,7 @@ ConcurrentCache::probe(mem::BlockAddr b) const
     // Persistent interference: serialize with the writers instead
     // of starving.
     std::lock_guard<SpinLock> g(s.lock);
+    stallInLock(r.set);
     unsigned probes = 0;
     int way = cache_.probeRelaxed(b, &probes);
     r.hit = way >= 0;
@@ -108,6 +109,7 @@ ConcurrentCache::lookup(mem::BlockAddr b)
     r.set = cache_.geom().setOf(b);
     SetStripe &s = locks_.stripeFor(r.set);
     std::lock_guard<SpinLock> g(s.lock);
+    stallInLock(r.set);
     unsigned probes = 0;
     int way = cache_.probeRelaxed(b, &probes);
     r.probes = probes;
@@ -134,6 +136,7 @@ ConcurrentCache::fill(mem::BlockAddr b, bool dirty)
     r.set = cache_.geom().setOf(b);
     SetStripe &s = locks_.stripeFor(r.set);
     std::lock_guard<SpinLock> g(s.lock);
+    stallInLock(r.set);
     unsigned probes = 0;
     int way = cache_.probeRelaxed(b, &probes);
     r.probes = probes;
@@ -168,6 +171,7 @@ ConcurrentCache::invalidate(mem::BlockAddr b)
     r.set = cache_.geom().setOf(b);
     SetStripe &s = locks_.stripeFor(r.set);
     std::lock_guard<SpinLock> g(s.lock);
+    stallInLock(r.set);
     unsigned probes = 0;
     int way = cache_.probeRelaxed(b, &probes);
     r.probes = probes;
@@ -194,6 +198,7 @@ ConcurrentCache::access(mem::BlockAddr b, bool is_write)
     r.set = cache_.geom().setOf(b);
     SetStripe &s = locks_.stripeFor(r.set);
     std::lock_guard<SpinLock> g(s.lock);
+    stallInLock(r.set);
     unsigned probes = 0;
     int way = cache_.probeRelaxed(b, &probes);
     r.probes = probes;

@@ -34,6 +34,7 @@
 #define ASSOC_SVC_CONCURRENT_CACHE_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "mem/cache.h"
@@ -91,6 +92,14 @@ struct ConcurrentCacheConfig
     unsigned max_stripes = 0;
     /** Optimistic probe attempts before falling back to the lock. */
     unsigned optimistic_retries = 8;
+    /**
+     * Fault-injection hook: called once per locked operation *while
+     * the stripe lock is held*, before the op touches the cache.
+     * The chaos campaign's lock-holder-stall fault spins here to
+     * model a preempted lock holder; production configs leave it
+     * empty. Must not re-enter the engine (deadlock).
+     */
+    std::function<void(std::uint32_t set)> lock_hold_hook;
 };
 
 /** The shared concurrent cache object. */
@@ -144,9 +153,18 @@ class ConcurrentCache
     ConcurrentCache(const mem::CacheGeometry &geom,
                     const ConcurrentCacheConfig &cfg);
 
+    /** Run the configured lock-hold fault hook (lock held). */
+    void
+    stallInLock(std::uint32_t set) const
+    {
+        if (hold_hook_)
+            hold_hook_(set);
+    }
+
     mem::WriteBackCache cache_;
     StripedLockTable locks_;
     unsigned retries_;
+    std::function<void(std::uint32_t)> hold_hook_;
     MemCharge charge_;
 };
 

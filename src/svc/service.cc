@@ -75,6 +75,99 @@ Session::apply(OpKind kind, mem::BlockAddr b, bool is_write)
         svc_->engine().apply(kind, saltedBlock(b), is_write));
 }
 
+Expected<OpResult>
+Session::request(OpKind kind, mem::BlockAddr b, bool is_write,
+                 const Deadline &deadline)
+{
+    AdmissionStats &a = stats_.admission;
+    ++a.admitted;
+    // Cancellation first: a shutdown in progress must not consume
+    // quota or an in-flight slot. Checked here — between critical
+    // sections — never under a stripe lock.
+    if (cancel_) {
+        Expected<void> alive = cancel_->checkpoint();
+        if (!alive.ok()) {
+            Error e = alive.takeError();
+            if (e.code() == ErrorCode::Timeout)
+                ++a.failed_timeout;
+            else
+                ++a.failed_cancelled;
+            return e.withContext("svc request from " + name_);
+        }
+    }
+    // Then the request's own deadline (propagated, per-request; the
+    // bound token's deadline was already consulted above).
+    if (deadline.expired()) {
+        ++a.failed_timeout;
+        return Error::timeout("request deadline exceeded before "
+                              "admission (" + name_ + ")");
+    }
+    // Quota before the in-flight cap: the bucket must see every
+    // request of its tenant's stream so its verdicts stay
+    // schedule-independent (svc/admission.h).
+    AdmitDecision d =
+        svc_->admission().checkQuota(bucket_, kind, is_write);
+    switch (d) {
+      case AdmitDecision::ShedQuota:
+        ++a.shed_quota;
+        return Error::overloaded(
+            "tenant " + name_ + " over quota (policy " +
+            shedPolicyName(svc_->admission().config().policy) + ")");
+      case AdmitDecision::ShedWrite:
+        ++a.shed_writes;
+        return Error::overloaded(
+            "tenant " + name_ + " over quota: write shed (policy " +
+            shedPolicyName(svc_->admission().config().policy) + ")");
+      case AdmitDecision::Degrade:
+        // Counted at verdict time, not completion: the verdict is a
+        // pure function of the tenant's stream, so the counter stays
+        // schedule-independent even when the in-flight gate later
+        // bounces the op (which lands in shed_inflight instead).
+        ++a.degraded;
+        break;
+      case AdmitDecision::Admit:
+        break;
+    }
+    Expected<AdmissionController::InflightGuard> slot =
+        svc_->admission().tryEnter();
+    if (!slot.ok()) {
+        ++a.shed_inflight;
+        Error e = slot.error();
+        return e.withContext("svc request from " + name_);
+    }
+    // Last look before the critical section: ops past this point
+    // run to completion (cancelling mid-operation would tear the
+    // engine's per-set serialization).
+    if (cancel_) {
+        Expected<void> alive = cancel_->checkpoint();
+        if (!alive.ok()) {
+            Error e = alive.takeError();
+            if (e.code() == ErrorCode::Timeout)
+                ++a.failed_timeout;
+            else
+                ++a.failed_cancelled;
+            return e.withContext("svc request from " + name_);
+        }
+    }
+    if (deadline.expired()) {
+        ++a.failed_timeout;
+        return Error::timeout("request deadline exceeded awaiting "
+                              "admission (" + name_ + ")");
+    }
+    OpResult r = d == AdmitDecision::Degrade
+                     ? finish(svc_->engine().probe(saltedBlock(b)))
+                     : finish(svc_->engine().apply(
+                           kind, saltedBlock(b), is_write));
+    ++a.completed;
+    return Expected<OpResult>(r);
+}
+
+std::uint64_t
+Session::quotaTokens() const
+{
+    return bucket_.tokens(svc_->admission().config());
+}
+
 OpResult
 Session::probeAddr(trace::Addr a)
 {
@@ -91,7 +184,8 @@ Session::accessAddr(trace::Addr a, bool is_write)
 
 CacheService::CacheService(std::unique_ptr<ConcurrentCache> engine,
                            const SvcConfig &cfg, MemBudget *budget)
-    : cfg_(cfg), budget_(budget), engine_(std::move(engine))
+    : cfg_(cfg), budget_(budget), engine_(std::move(engine)),
+      admission_(cfg.admission)
 {}
 
 Expected<std::unique_ptr<CacheService>>
@@ -131,6 +225,7 @@ CacheService::openSession(std::string name)
     sessions_.emplace_back(std::unique_ptr<Session>(
         new Session(this, tenant, std::move(name), cap,
                     charge.take())));
+    sessions_.back()->bucket_ = admission_.makeBucket(tenant);
     return sessions_.back().get();
 }
 

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "svc/admission.h"
 #include "svc/concurrent_cache.h"
 #include "svc/history.h"
 #include "svc/tenant_stats.h"
@@ -69,6 +70,10 @@ struct SvcConfig
      *  block address: disjoint per-tenant address spaces. 0 = all
      *  tenants share one address space. */
     unsigned tenant_salt_bits = 0;
+    /** Overload safety: per-tenant quotas, global in-flight cap,
+     *  shed policy (svc/admission.h). Off by default; only the
+     *  Session::request() path consults it. */
+    AdmissionConfig admission;
 };
 
 /**
@@ -97,6 +102,47 @@ class Session
     OpResult probeAddr(trace::Addr a);
     OpResult accessAddr(trace::Addr a, bool is_write);
 
+    // --- the overload-safe request path ---------------------------
+    /**
+     * Chain this session's requests to @p token: a tripped token
+     * (explicit cancel, watchdog, SIGINT/SIGTERM, token deadline)
+     * fails subsequent request() calls with the token's structured
+     * error. Not owned; null detaches. Set from the session's own
+     * thread.
+     */
+    void bindCancel(const CancelToken *token) { cancel_ = token; }
+
+    const CancelToken *boundCancel() const { return cancel_; }
+
+    /**
+     * Issue one operation through the full service layer:
+     * cancellation and @p deadline checks, per-tenant quota, the
+     * global in-flight cap, and the configured shed policy — in
+     * that order, all *outside* any striped-lock critical section
+     * (a shed or cancelled request never holds a lock). Sheds
+     * surface as Error::overloaded() (exit 5; clients retry with
+     * util/backoff.h), expired deadlines as Error::timeout(), trips
+     * of the bound token as that token's error. Every call lands in
+     * exactly one AdmissionStats bucket (the conservation
+     * invariant). Under DegradeReads an over-quota read completes
+     * as a relaxed Probe of the same block — recorded as a Probe in
+     * the stats shard, flagged in AdmissionStats::degraded.
+     */
+    Expected<OpResult> request(OpKind kind, mem::BlockAddr b,
+                               bool is_write,
+                               const Deadline &deadline
+                               = Deadline::never());
+
+    /** This tenant's quota bucket (whole tokens; for tests). */
+    std::uint64_t quotaTokens() const;
+
+    /** Chaos/testing hook: empty this tenant's bucket in place (the
+     *  mid-stream budget-squeeze fault). Refill continues from
+     *  zero. Call from the session's own thread — the squeeze is
+     *  then a pure function of the stream position, so shed counts
+     *  stay deterministic. */
+    void drainQuota() { bucket_ = AdmissionController::Bucket(); }
+
     /** This tenant's statistics shard. */
     const TenantStats &stats() const { return stats_; }
 
@@ -121,6 +167,8 @@ class Session
     TenantStats stats_;
     HistoryLog history_;
     MemCharge charge_;
+    const CancelToken *cancel_ = nullptr; ///< not owned
+    AdmissionController::Bucket bucket_;
 };
 
 /** The service. Create once, open a session per client thread. */
@@ -167,6 +215,10 @@ class CacheService
     ConcurrentCache &engine() { return *engine_; }
     const ConcurrentCache &engine() const { return *engine_; }
 
+    /** The admission gate Session::request() consults. */
+    AdmissionController &admission() { return admission_; }
+    const AdmissionController &admission() const { return admission_; }
+
     const mem::CacheGeometry &geom() const { return engine_->geom(); }
     const SvcConfig &config() const { return cfg_; }
 
@@ -180,6 +232,7 @@ class CacheService
     SvcConfig cfg_;
     MemBudget *budget_; ///< not owned; may be null
     std::unique_ptr<ConcurrentCache> engine_;
+    AdmissionController admission_;
 
     mutable std::mutex open_mutex_; ///< guards sessions_ growth
     std::vector<std::unique_ptr<Session>> sessions_;

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "core/probe_meter.h"
+#include "svc/admission.h"
 #include "svc/concurrent_cache.h"
 #include "util/stats.h"
 
@@ -62,6 +63,12 @@ struct TenantStats
     std::uint64_t optimistic_reads = 0; ///< probes served lock-free
     std::uint64_t locked_reads = 0;     ///< probes that fell back
     std::uint64_t seqlock_retries = 0;  ///< torn optimistic attempts
+
+    // --- admission accounting (Session::request only; empty when
+    // --- clients drive the raw per-op interface). Conservation and
+    // --- the deterministic/schedule-dependent split live in
+    // --- AdmissionStats itself — see svc/admission.h. -------------
+    AdmissionStats admission;
 
     /** Fold one operation's result into the shard. */
     void
@@ -126,6 +133,7 @@ struct TenantStats
         optimistic_reads += other.optimistic_reads;
         locked_reads += other.locked_reads;
         seqlock_retries += other.seqlock_retries;
+        admission.merge(other.admission);
     }
 
     /** Ops that found their block (any kind). */

@@ -1,0 +1,104 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace assoc {
+
+namespace {
+
+Error
+ioError(const std::string &what, const std::string &path)
+{
+    return Error::io(what + " '" + path + "': " +
+                     std::strerror(errno));
+}
+
+/** Flush the named file's bytes to stable storage. */
+Expected<void>
+fsyncPath(const std::string &path)
+{
+#ifdef _WIN32
+    (void)path; // no fsync; rename atomicity is best-effort here
+    return {};
+#else
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return ioError("cannot reopen for fsync", path);
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0) {
+        errno = saved;
+        return ioError("cannot fsync", path);
+    }
+    return {};
+#endif
+}
+
+int
+processId()
+{
+#ifdef _WIN32
+    return _getpid();
+#else
+    return static_cast<int>(::getpid());
+#endif
+}
+
+} // namespace
+
+Expected<void>
+writeFileAtomic(const std::string &path, const FileContentWriter &write)
+{
+    std::ostringstream pidded;
+    pidded << path << ".tmp." << processId();
+    const std::string tmp = pidded.str();
+
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            errno = errno ? errno : EACCES;
+            return ioError("cannot create temp file", tmp);
+        }
+        try {
+            write(os);
+        } catch (...) {
+            os.close();
+            std::remove(tmp.c_str());
+            throw;
+        }
+        os.flush();
+        if (!os) {
+            std::remove(tmp.c_str());
+            errno = errno ? errno : EIO;
+            return ioError("short write to temp file", tmp);
+        }
+    }
+
+    Expected<void> synced = fsyncPath(tmp);
+    if (!synced.ok()) {
+        std::remove(tmp.c_str());
+        return synced.takeError().withContext("writing '" + path +
+                                              "' atomically");
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        Error e = ioError("cannot rename temp file over", path);
+        std::remove(tmp.c_str());
+        return e;
+    }
+    return {};
+}
+
+} // namespace assoc

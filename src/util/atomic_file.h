@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Crash-safe result-file writes: temp file, fsync, rename.
+ *
+ * Sweep JSON and bench CSV outputs feed downstream tooling that
+ * half-parses whatever it finds; a process killed mid-write must
+ * never leave a torn file under the final name. writeFileAtomic()
+ * streams the content into `<path>.tmp.<pid>` in the same
+ * directory, flushes and fsyncs it, then rename(2)s it over the
+ * destination — POSIX guarantees the rename is atomic, so readers
+ * see either the complete old file or the complete new one, never a
+ * prefix. On any failure the temp file is removed and the
+ * destination is untouched.
+ */
+
+#ifndef ASSOC_UTIL_ATOMIC_FILE_H
+#define ASSOC_UTIL_ATOMIC_FILE_H
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/error.h"
+
+namespace assoc {
+
+/** Streams the file's content into the ostream it is handed. */
+using FileContentWriter = std::function<void(std::ostream &os)>;
+
+/**
+ * Atomically replace @p path with the bytes @p write produces.
+ * Returns a structured Io error (temp unlinked, destination intact)
+ * when the temp file cannot be created, written, fsynced, or
+ * renamed. Exceptions from @p write propagate after cleanup.
+ */
+Expected<void> writeFileAtomic(const std::string &path,
+                               const FileContentWriter &write);
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_ATOMIC_FILE_H

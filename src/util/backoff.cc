@@ -1,0 +1,80 @@
+#include "util/backoff.h"
+
+#include <chrono>
+#include <thread>
+
+namespace assoc {
+
+std::uint64_t
+Backoff::nextDelayNs()
+{
+    // ceil = initial * multiplier^attempts, saturated at max_ns
+    // (the loop below cannot overflow: it stops growing at the cap).
+    std::uint64_t ceil = policy_.initial_ns;
+    for (unsigned k = 0; k < attempts_; ++k) {
+        if (policy_.multiplier <= 1)
+            break;
+        if (ceil >= policy_.max_ns / policy_.multiplier) {
+            ceil = policy_.max_ns;
+            break;
+        }
+        ceil *= policy_.multiplier;
+    }
+    if (ceil > policy_.max_ns)
+        ceil = policy_.max_ns;
+    ++attempts_;
+    if (ceil == 0)
+        return 0;
+    // Equal jitter: uniform in [ceil/2, ceil]. Draw the span with
+    // one 32-bit draw scaled up; span fits easily (delays are
+    // sub-second).
+    std::uint64_t half = ceil / 2;
+    std::uint64_t span = ceil - half + 1;
+    std::uint64_t off =
+        span > 1
+            ? (rng_.next64() % span) // span << 2^64: bias negligible
+            : 0;
+    return half + off;
+}
+
+void
+backoffSleep(std::uint64_t ns)
+{
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+RetryOutcome
+retryOverloaded(const std::function<Error()> &op,
+                const BackoffPolicy &policy, unsigned max_attempts,
+                const CancelToken *cancel,
+                const BackoffSleeper &sleep)
+{
+    RetryOutcome out;
+    Backoff backoff(policy);
+    const BackoffSleeper &snooze =
+        sleep ? sleep : BackoffSleeper(backoffSleep);
+    if (max_attempts == 0)
+        max_attempts = 1;
+    for (;;) {
+        if (cancel) {
+            Expected<void> alive = cancel->checkpoint();
+            if (!alive.ok()) {
+                out.error = alive.takeError().withContext(
+                    "retrying an overloaded request");
+                return out;
+            }
+        }
+        ++out.attempts;
+        out.error = op();
+        bool retryable = out.error.code() == ErrorCode::Overloaded ||
+                         out.error.transient();
+        if (out.error.ok() || !retryable ||
+            out.attempts >= max_attempts)
+            return out;
+        std::uint64_t ns = backoff.nextDelayNs();
+        out.waited_ns += ns;
+        snooze(ns);
+    }
+}
+
+} // namespace assoc

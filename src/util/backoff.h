@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Seeded-jitter exponential backoff for retrying shed requests.
+ *
+ * An overloaded service tells its clients to go away (a structured
+ * Error::overloaded()); a polite client waits before retrying, and a
+ * fleet of polite clients must not wait the *same* amount or they
+ * re-arrive in lockstep and re-overload the server (the thundering
+ * herd). Backoff produces the classic exponentially-growing delay
+ * with full-range seeded jitter: deterministic for a (seed, attempt)
+ * pair — so tests and the chaos campaign replay byte-identical
+ * schedules — yet decorrelated across client seeds.
+ *
+ * retryOverloaded() wraps the common client loop: run an operation,
+ * sleep-and-retry while it sheds (Overloaded) or fails transiently
+ * (Io), give up after max_attempts or when the caller's CancelToken
+ * trips. The sleeper is injectable so unit tests and simulations run
+ * the schedule without real wall-clock waits.
+ */
+
+#ifndef ASSOC_UTIL_BACKOFF_H
+#define ASSOC_UTIL_BACKOFF_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/cancel.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace assoc {
+
+/** Backoff shape knobs. */
+struct BackoffPolicy
+{
+    /** Mean of the first delay, nanoseconds. */
+    std::uint64_t initial_ns = 100 * 1000; // 100us
+    /** Cap on the (pre-jitter) delay, nanoseconds. */
+    std::uint64_t max_ns = 100ull * 1000 * 1000; // 100ms
+    /** Pre-jitter delay doubles every attempt by default. */
+    unsigned multiplier = 2;
+    /** Jitter seed; two clients with different seeds draw
+     *  decorrelated schedules. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One retry loop's delay schedule. nextDelayNs() draws attempt k's
+ * delay: uniform in [ceil/2, ceil] where ceil doubles (per
+ * multiplier) from initial_ns up to max_ns — "equal jitter", which
+ * keeps the expected delay growing exponentially while never
+ * returning a degenerate zero wait. The sequence is a pure function
+ * of (policy.seed, attempt index).
+ */
+class Backoff
+{
+  public:
+    explicit Backoff(const BackoffPolicy &policy = {})
+        : policy_(policy), rng_(policy.seed, 0xb0ff)
+    {}
+
+    /** Delay before the next retry, nanoseconds; advances the
+     *  attempt counter. */
+    std::uint64_t nextDelayNs();
+
+    /** Retries drawn so far. */
+    unsigned attempts() const { return attempts_; }
+
+    /** Restart the schedule (e.g. after a success). */
+    void
+    reset()
+    {
+        attempts_ = 0;
+        rng_.reseed(policy_.seed, 0xb0ff);
+    }
+
+  private:
+    BackoffPolicy policy_;
+    Pcg32 rng_;
+    unsigned attempts_ = 0;
+};
+
+/** Sleeps for a backoff delay; injectable for tests. */
+using BackoffSleeper = std::function<void(std::uint64_t ns)>;
+
+/** The default sleeper: std::this_thread::sleep_for. */
+void backoffSleep(std::uint64_t ns);
+
+/** What a retryOverloaded() loop did, for client-side accounting. */
+struct RetryOutcome
+{
+    Error error;                  ///< final status (ok on success)
+    unsigned attempts = 0;        ///< operation invocations
+    std::uint64_t waited_ns = 0;  ///< total backoff slept
+};
+
+/**
+ * Run @p op (returning Expected<void>-like status via Error; ok() =
+ * success) with backoff retries on Overloaded and transient Io
+ * errors. Stops on success, on any other error class, after
+ * @p max_attempts invocations, or when @p cancel trips (checked
+ * before every sleep; a tripped token reports the token's own
+ * structured error). @p sleep defaults to a real wall-clock sleep.
+ */
+RetryOutcome retryOverloaded(const std::function<Error()> &op,
+                             const BackoffPolicy &policy,
+                             unsigned max_attempts,
+                             const CancelToken *cancel = nullptr,
+                             const BackoffSleeper &sleep = {});
+
+} // namespace assoc
+
+#endif // ASSOC_UTIL_BACKOFF_H

@@ -6,20 +6,27 @@
 
 namespace assoc {
 
+static_assert(kSigtermSignal == SIGTERM,
+              "kSigtermSignal must match the platform's SIGTERM");
+
 namespace {
 
 // Read cross-thread (workers, watchdog) and written from the signal
 // handler: must be a lock-free atomic, not a bare sig_atomic_t — the
 // latter is only safe against the handler interrupting its *own*
-// thread.
-std::atomic<int> g_sigint{0};
+// thread. Holds the delivered signal number (0 = none); the first
+// delivery wins so a ^C followed by an orchestrator's SIGTERM still
+// reports — and exits — as the interrupt the user saw first.
+std::atomic<int> g_shutdown_signal{0};
 static_assert(std::atomic<int>::is_always_lock_free,
-              "the SIGINT latch must be async-signal-safe");
+              "the shutdown-signal latch must be async-signal-safe");
 
 void
-onSigint(int)
+onShutdownSignal(int sig)
 {
-    g_sigint.store(1, std::memory_order_relaxed);
+    int expect = 0;
+    g_shutdown_signal.compare_exchange_strong(
+        expect, sig, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -27,7 +34,13 @@ onSigint(int)
 bool
 CancelToken::sigintSeen()
 {
-    return g_sigint.load(std::memory_order_relaxed) != 0;
+    return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+deliveredShutdownSignal()
+{
+    return g_shutdown_signal.load(std::memory_order_relaxed);
 }
 
 void
@@ -36,14 +49,15 @@ installSigintHandler()
     static bool installed = false;
     if (installed)
         return;
-    std::signal(SIGINT, onSigint);
+    std::signal(SIGINT, onShutdownSignal);
+    std::signal(SIGTERM, onShutdownSignal);
     installed = true;
 }
 
 void
 clearSigintForTests()
 {
-    g_sigint.store(0, std::memory_order_relaxed);
+    g_shutdown_signal.store(0, std::memory_order_relaxed);
 }
 
 Expected<void>

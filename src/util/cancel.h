@@ -6,9 +6,9 @@
  * A Deadline is a steady-clock expiry instant. A CancelToken is the
  * cooperative stop signal a long computation polls: it trips on an
  * explicit cancel(), on a watchdog's cancelTimeout(), on its
- * Deadline expiring, on a delivered SIGINT (when watching), or
- * transitively through a parent token (per-job tokens chain to the
- * sweep-wide one). Workers call checkpoint() every N units of work;
+ * Deadline expiring, on a delivered SIGINT or SIGTERM (when
+ * watching), or transitively through a parent token (per-job tokens
+ * chain to the sweep-wide one). Workers call checkpoint() every N units of work;
  * a tripped token yields a structured Error::timeout() /
  * Error::cancelled() that unwinds through the normal error path, so
  * cancellation latency is bounded by the checkpoint cadence and
@@ -97,6 +97,18 @@ class Deadline
     Clock::time_point expiry_;
 };
 
+/** SIGTERM's number, exposed so headers need not include
+ *  <csignal> (POSIX fixes it at 15). */
+constexpr int kSigtermSignal = 15;
+
+/**
+ * The shutdown signal delivered so far: 0 while none, otherwise the
+ * signal number (SIGINT or SIGTERM; the first delivery wins).
+ * guardedMain consults this to turn a Cancelled error into the
+ * shell-convention 128+signal exit code.
+ */
+int deliveredShutdownSignal();
+
 /**
  * Cooperative cancellation flag shared between a sweep and its
  * owner. Trips explicitly (cancel / cancelTimeout), on its deadline,
@@ -143,10 +155,11 @@ class CancelToken
 
     const Deadline &deadline() const { return deadline_; }
 
-    /** Also treat a delivered SIGINT as cancellation. */
+    /** Also treat a delivered SIGINT / SIGTERM as cancellation. */
     void watchSigint(bool watch = true) { watch_sigint_ = watch; }
 
-    /** True when the process received SIGINT (handler installed). */
+    /** True when the process received SIGINT or SIGTERM (handler
+     *  installed). */
     static bool sigintSeen();
 
     /** Why the token is tripped (None while still running). The
@@ -205,7 +218,10 @@ class CancelToken
             return Error::timeout("deadline exceeded");
           case Reason::Cancelled:
             if (watch_sigint_ && sigintSeen())
-                return Error::cancelled("interrupted (SIGINT)");
+                return Error::cancelled(
+                    deliveredShutdownSignal() == kSigtermSignal
+                        ? "terminated (SIGTERM)"
+                        : "interrupted (SIGINT)");
             return Error::cancelled("cancelled");
         }
         return Error::internal("unreachable cancel reason");
@@ -227,13 +243,15 @@ class CancelToken
 };
 
 /**
- * Install a SIGINT handler that records the signal instead of
- * killing the process (idempotent). Sweeps with a journal install
- * it so ^C drains in-flight jobs, checkpoints, and exits 130.
+ * Install SIGINT *and* SIGTERM handlers that record the signal
+ * instead of killing the process (idempotent). Sweeps with a
+ * journal install them so both ^C and an orchestrator's `kill`
+ * drain in-flight jobs, checkpoint, and exit 128+signal (130 for
+ * SIGINT, 143 for SIGTERM).
  */
 void installSigintHandler();
 
-/** Clear the recorded SIGINT (tests re-raise repeatedly). */
+/** Clear the recorded signal (tests re-raise repeatedly). */
 void clearSigintForTests();
 
 /**

@@ -3,6 +3,8 @@
 #include <exception>
 #include <iostream>
 
+#include "util/cancel.h"
+
 namespace assoc {
 
 const char *
@@ -16,6 +18,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Cancelled: return "cancelled";
       case ErrorCode::Timeout: return "timeout";
       case ErrorCode::Budget: return "budget";
+      case ErrorCode::Overloaded: return "overloaded";
       case ErrorCode::Internal: return "internal";
     }
     return "unknown";
@@ -32,6 +35,7 @@ exitCode(ErrorCode code)
       case ErrorCode::Cancelled: return 130; // 128 + SIGINT
       case ErrorCode::Timeout: return 4;
       case ErrorCode::Budget: return 4;
+      case ErrorCode::Overloaded: return 5;
       case ErrorCode::Internal: return 3;
     }
     return 3;
@@ -82,6 +86,12 @@ guardedMain(const std::string &prog, const std::function<int()> &body)
         return body();
     } catch (const ErrorException &e) {
         std::cerr << prog << ": " << e.what() << "\n";
+        // A cancellation caused by a delivered shutdown signal exits
+        // by the shell convention for *that* signal: 130 for SIGINT,
+        // 143 for SIGTERM. Plain (programmatic) cancels keep 130.
+        if (e.error().code() == ErrorCode::Cancelled &&
+            deliveredShutdownSignal() != 0)
+            return 128 + deliveredShutdownSignal();
         return exitCode(e.error().code());
     } catch (const FatalError &e) {
         std::cerr << prog << ": " << e.what() << "\n";

@@ -20,7 +20,9 @@
  *   2   data error  (corrupt/truncated/unreadable input)
  *   3   internal error (a bug in this library)
  *   4   resource limit exceeded (deadline or memory budget)
+ *   5   overloaded (admission control shed the request)
  *   130 interrupted (SIGINT; 128 + signal number, shell convention)
+ *   143 terminated  (SIGTERM; 128 + signal number, shell convention)
  */
 
 #ifndef ASSOC_UTIL_ERROR_H
@@ -44,9 +46,10 @@ enum class ErrorCode {
     Data,      ///< malformed or inconsistent input data
     Io,        ///< the environment failed us (open/read/write);
                ///< considered transient and hence retry-eligible
-    Cancelled, ///< interrupted (SIGINT or an explicit cancel)
+    Cancelled, ///< interrupted (SIGINT/SIGTERM or an explicit cancel)
     Timeout,   ///< a deadline expired (job timeout, sweep deadline)
     Budget,    ///< a memory budget was exhausted
+    Overloaded,///< admission control shed the request (retry later)
     Internal,  ///< an internal invariant was violated
 };
 
@@ -94,6 +97,10 @@ class Error
     static Error budget(std::string m)
     {
         return Error(ErrorCode::Budget, std::move(m));
+    }
+    static Error overloaded(std::string m)
+    {
+        return Error(ErrorCode::Overloaded, std::move(m));
     }
     static Error internal(std::string m)
     {

@@ -157,6 +157,39 @@ TEST(CancelToken, SigintLatchesWhenWatching)
     clearSigintForTests();
 }
 
+TEST(CancelToken, SigtermLatchesLikeSigint)
+{
+    installSigintHandler();
+    clearSigintForTests();
+    CancelToken watching;
+    watching.watchSigint(); // watches both shutdown signals
+
+    std::raise(SIGTERM);
+    EXPECT_TRUE(CancelToken::sigintSeen());
+    EXPECT_EQ(deliveredShutdownSignal(), kSigtermSignal);
+    EXPECT_EQ(watching.reason(), CancelToken::Reason::Cancelled);
+
+    Expected<void> go = watching.checkpoint();
+    ASSERT_FALSE(go.ok());
+    EXPECT_EQ(go.error().code(), ErrorCode::Cancelled);
+    EXPECT_NE(go.error().message().find("SIGTERM"),
+              std::string::npos);
+    clearSigintForTests();
+}
+
+TEST(CancelToken, FirstDeliveredSignalWins)
+{
+    installSigintHandler();
+    clearSigintForTests();
+    std::raise(SIGINT);
+    std::raise(SIGTERM);
+    // ^C landed first: the latch (and the eventual exit code)
+    // reports the interrupt the user saw, not the later SIGTERM.
+    EXPECT_EQ(deliveredShutdownSignal(), SIGINT);
+    clearSigintForTests();
+    EXPECT_EQ(deliveredShutdownSignal(), 0);
+}
+
 TEST(ParseDuration, AcceptsEveryUnit)
 {
     EXPECT_EQ(parseDuration("5ns").value(), 5u);

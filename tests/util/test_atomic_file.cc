@@ -1,0 +1,113 @@
+// Unit tests for atomic result-file writes (util/atomic_file.h):
+// contents land complete, the temp never survives, existing files
+// are replaced whole, and failures leave the previous version
+// untouched.
+
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace assoc {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+exists(const std::string &path)
+{
+    std::ifstream in(path);
+    return in.good();
+}
+
+class AtomicFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "atomic_file_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name();
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(AtomicFileTest, WritesContentToFreshFile)
+{
+    Expected<void> ok = writeFileAtomic(
+        path_, [](std::ostream &os) { os << "hello\nworld\n"; });
+    ASSERT_TRUE(ok.ok()) << ok.error().text();
+    EXPECT_EQ(slurp(path_), "hello\nworld\n");
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingFileWhole)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, [](std::ostream &os) {
+                    os << "a much longer first version\n";
+                }).ok());
+    ASSERT_TRUE(writeFileAtomic(path_, [](std::ostream &os) {
+                    os << "short\n";
+                }).ok());
+    EXPECT_EQ(slurp(path_), "short\n");
+}
+
+TEST_F(AtomicFileTest, LeavesNoTempBehind)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, [](std::ostream &os) {
+                    os << "x";
+                }).ok());
+    // The temp is "<path>.tmp.<pid>"; probing with our own pid is
+    // exact since the writer ran in this process.
+    std::string temp =
+        path_ + ".tmp." + std::to_string(::getpid());
+    EXPECT_FALSE(exists(temp));
+}
+
+TEST_F(AtomicFileTest, WriterExceptionLeavesOldVersionIntact)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, [](std::ostream &os) {
+                    os << "golden\n";
+                }).ok());
+    EXPECT_THROW(writeFileAtomic(path_,
+                                 [](std::ostream &) -> void {
+                                     throw std::runtime_error(
+                                         "mid-write crash");
+                                 }),
+                 std::runtime_error);
+    // The half-written temp is cleaned up; the target still holds
+    // the previous version.
+    EXPECT_EQ(slurp(path_), "golden\n");
+    std::string temp =
+        path_ + ".tmp." + std::to_string(::getpid());
+    EXPECT_FALSE(exists(temp));
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryReportsIoError)
+{
+    Expected<void> r = writeFileAtomic(
+        "/nonexistent-dir-for-sure/out.json",
+        [](std::ostream &os) { os << "x"; });
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::Io);
+}
+
+} // namespace
+} // namespace assoc

@@ -1,0 +1,189 @@
+// Unit tests for the seeded-jitter retry helper (util/backoff.h):
+// delay growth and bounds, cross-run determinism, and the
+// retryOverloaded() client loop (retry classes, attempt caps,
+// cancellation, sleep accounting).
+
+#include "util/backoff.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cancel.h"
+
+namespace assoc {
+namespace {
+
+BackoffPolicy
+tinyPolicy()
+{
+    BackoffPolicy p;
+    p.initial_ns = 1000;
+    p.max_ns = 16000;
+    p.multiplier = 2;
+    p.seed = 42;
+    return p;
+}
+
+TEST(Backoff, DelaysStayWithinEqualJitterBounds)
+{
+    Backoff b(tinyPolicy());
+    std::uint64_t ceil = 1000;
+    for (int k = 0; k < 10; ++k) {
+        std::uint64_t d = b.nextDelayNs();
+        EXPECT_GE(d, ceil / 2) << "attempt " << k;
+        EXPECT_LE(d, ceil) << "attempt " << k;
+        if (ceil < 16000)
+            ceil *= 2;
+        if (ceil > 16000)
+            ceil = 16000;
+    }
+}
+
+TEST(Backoff, SaturatesAtMax)
+{
+    Backoff b(tinyPolicy());
+    std::uint64_t last = 0;
+    for (int k = 0; k < 20; ++k)
+        last = b.nextDelayNs();
+    // After many doublings the ceiling is pinned at max_ns.
+    EXPECT_GE(last, 8000u);
+    EXPECT_LE(last, 16000u);
+}
+
+TEST(Backoff, SameSeedSameDelaySequence)
+{
+    Backoff a(tinyPolicy()), b(tinyPolicy());
+    for (int k = 0; k < 12; ++k)
+        EXPECT_EQ(a.nextDelayNs(), b.nextDelayNs()) << "k=" << k;
+}
+
+TEST(Backoff, DifferentSeedsDiverge)
+{
+    BackoffPolicy other = tinyPolicy();
+    other.seed = 43;
+    Backoff a(tinyPolicy()), b(other);
+    bool differed = false;
+    for (int k = 0; k < 12; ++k)
+        if (a.nextDelayNs() != b.nextDelayNs())
+            differed = true;
+    EXPECT_TRUE(differed);
+}
+
+TEST(Backoff, ResetReplaysTheSequence)
+{
+    Backoff b(tinyPolicy());
+    std::vector<std::uint64_t> first;
+    for (int k = 0; k < 6; ++k)
+        first.push_back(b.nextDelayNs());
+    b.reset();
+    for (int k = 0; k < 6; ++k)
+        EXPECT_EQ(b.nextDelayNs(), first[k]) << "k=" << k;
+}
+
+TEST(RetryOverloaded, FirstTrySuccessNeverSleeps)
+{
+    unsigned sleeps = 0;
+    RetryOutcome r = retryOverloaded(
+        []() { return Error(); }, tinyPolicy(), 5, nullptr,
+        [&](std::uint64_t) { ++sleeps; });
+    EXPECT_TRUE(r.error.ok());
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_EQ(r.waited_ns, 0u);
+    EXPECT_EQ(sleeps, 0u);
+}
+
+TEST(RetryOverloaded, RetriesOverloadedUntilSuccess)
+{
+    int calls = 0;
+    RetryOutcome r = retryOverloaded(
+        [&]() {
+            return ++calls < 3 ? Error::overloaded("shed")
+                               : Error();
+        },
+        tinyPolicy(), 5, nullptr, [](std::uint64_t) {});
+    EXPECT_TRUE(r.error.ok());
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_GT(r.waited_ns, 0u);
+}
+
+TEST(RetryOverloaded, RetriesTransientIo)
+{
+    int calls = 0;
+    RetryOutcome r = retryOverloaded(
+        [&]() {
+            return ++calls < 2 ? Error::io("flaky") : Error();
+        },
+        tinyPolicy(), 5, nullptr, [](std::uint64_t) {});
+    EXPECT_TRUE(r.error.ok());
+    EXPECT_EQ(r.attempts, 2u);
+}
+
+TEST(RetryOverloaded, GivesUpAfterMaxAttempts)
+{
+    RetryOutcome r = retryOverloaded(
+        []() { return Error::overloaded("always shed"); },
+        tinyPolicy(), 3, nullptr, [](std::uint64_t) {});
+    ASSERT_FALSE(r.error.ok());
+    EXPECT_EQ(r.error.code(), ErrorCode::Overloaded);
+    EXPECT_EQ(r.attempts, 3u);
+}
+
+TEST(RetryOverloaded, NonRetryableErrorStopsImmediately)
+{
+    unsigned sleeps = 0;
+    RetryOutcome r = retryOverloaded(
+        []() { return Error::data("corrupt"); }, tinyPolicy(), 5,
+        nullptr, [&](std::uint64_t) { ++sleeps; });
+    ASSERT_FALSE(r.error.ok());
+    EXPECT_EQ(r.error.code(), ErrorCode::Data);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_EQ(sleeps, 0u);
+}
+
+TEST(RetryOverloaded, TrippedTokenReportsItsStructuredError)
+{
+    CancelToken cancel;
+    cancel.cancel();
+    int calls = 0;
+    RetryOutcome r = retryOverloaded(
+        [&]() {
+            ++calls;
+            return Error::overloaded("shed");
+        },
+        tinyPolicy(), 5, &cancel, [](std::uint64_t) {});
+    ASSERT_FALSE(r.error.ok());
+    EXPECT_EQ(r.error.code(), ErrorCode::Cancelled);
+    // Checked before the first attempt: the op never runs.
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(r.attempts, 0u);
+}
+
+TEST(RetryOverloaded, CancelMidLoopStopsRetrying)
+{
+    CancelToken cancel;
+    int calls = 0;
+    RetryOutcome r = retryOverloaded(
+        [&]() {
+            if (++calls == 2)
+                cancel.cancel();
+            return Error::overloaded("shed");
+        },
+        tinyPolicy(), 10, &cancel, [](std::uint64_t) {});
+    ASSERT_FALSE(r.error.ok());
+    EXPECT_EQ(r.error.code(), ErrorCode::Cancelled);
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryOverloaded, WaitedNsSumsTheSleeperArguments)
+{
+    std::uint64_t slept = 0;
+    RetryOutcome r = retryOverloaded(
+        []() { return Error::overloaded("shed"); }, tinyPolicy(), 4,
+        nullptr, [&](std::uint64_t ns) { slept += ns; });
+    EXPECT_EQ(r.waited_ns, slept);
+    EXPECT_GT(slept, 0u);
+}
+
+} // namespace
+} // namespace assoc

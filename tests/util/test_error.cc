@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
+
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace assoc {
@@ -64,7 +67,18 @@ TEST(Error, ExitCodeConvention)
     EXPECT_EQ(exitCode(ErrorCode::Data), 2);
     EXPECT_EQ(exitCode(ErrorCode::Io), 2);
     EXPECT_EQ(exitCode(ErrorCode::Cancelled), 130);
+    EXPECT_EQ(exitCode(ErrorCode::Overloaded), 5);
     EXPECT_EQ(exitCode(ErrorCode::Internal), 3);
+}
+
+TEST(Error, OverloadedIsItsOwnRetryableClass)
+{
+    Error e = Error::overloaded("tenant over quota");
+    EXPECT_EQ(e.code(), ErrorCode::Overloaded);
+    // Not "transient" in the Io sense — clients back off on the
+    // code itself (util/backoff.h), not on transient().
+    EXPECT_FALSE(e.transient());
+    EXPECT_EQ(e.text(), "overloaded error: tenant over quota");
 }
 
 TEST(Error, CodeNames)
@@ -74,6 +88,7 @@ TEST(Error, CodeNames)
     EXPECT_STREQ(errorCodeName(ErrorCode::Data), "data");
     EXPECT_STREQ(errorCodeName(ErrorCode::Io), "io");
     EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Overloaded), "overloaded");
     EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
 }
 
@@ -156,6 +171,34 @@ TEST(GuardedMain, MapsOutcomesToExitCodes)
                               throw std::runtime_error("other");
                           }),
               3);
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              throwError(
+                                  Error::overloaded("shed"));
+                          }),
+              5);
+}
+
+TEST(GuardedMain, DeliveredSignalSetsTheShellExitCode)
+{
+    installSigintHandler();
+    clearSigintForTests();
+    std::raise(SIGTERM);
+    // A drain-and-exit after SIGTERM unwinds as Cancelled; the
+    // process must report 128+15 = 143 (130 stays for plain ^C).
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              throwError(
+                                  Error::cancelled("draining"));
+                          }),
+              128 + kSigtermSignal);
+    clearSigintForTests();
+    EXPECT_EQ(guardedMain("t",
+                          []() -> int {
+                              throwError(
+                                  Error::cancelled("plain"));
+                          }),
+              130);
 }
 
 } // namespace

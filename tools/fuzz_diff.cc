@@ -17,6 +17,8 @@
  *   fuzz_diff --inject-faults --iterations=200 # fault campaign
  *   fuzz_diff --threads=4 --iterations=200     # concurrent service
  *                                              # campaign (src/svc)
+ *   fuzz_diff --svc-chaos --iterations=250     # overload/shedding
+ *                                              # chaos campaign
  *
  * Exit codes follow the repository convention: 0 ok, 1 usage or a
  * failing campaign, 2 data, 3 internal.
@@ -26,6 +28,7 @@
 
 #include "check/fault_campaign.h"
 #include "check/fuzz.h"
+#include "check/svc_chaos.h"
 #include "check/svc_check.h"
 #include "exec/sweep.h"
 #include "sim/runner.h"
@@ -141,6 +144,11 @@ main(int argc, char **argv)
                    "traces, failing jobs, cancel + resume, hang / "
                    "slow / oom runaways) instead of the scheme "
                    "fuzzer");
+    args.addSwitch("svc-chaos",
+                   "run the service overload/shedding chaos "
+                   "campaign (lock-holder stall, tenant flood, "
+                   "budget squeeze, deadline storm; each case run "
+                   "twice and diffed) instead of the scheme fuzzer");
     args.addFlag("job-timeout", "",
                  "watchdog deadline for the campaign's hang cases "
                  "(e.g. 50ms; default 50ms); failing runaway cases "
@@ -150,6 +158,37 @@ main(int argc, char **argv)
         return 0;
 
     return guardedMain("fuzz_diff", [&]() -> int {
+        if (args.getBool("svc-chaos")) {
+            check::SvcChaosOptions opt;
+            opt.seed = args.getUint("seed");
+            opt.iterations = args.getUint("iterations");
+            if (args.given("threads"))
+                opt.threads =
+                    static_cast<unsigned>(args.getUint("threads"));
+            if (args.given("config")) {
+                opt.have_only_case = true;
+                opt.only_case = args.getUint("config");
+            }
+            opt.max_failures = static_cast<unsigned>(
+                args.getUint("max-failures"));
+            opt.log = &std::cerr;
+
+            check::SvcChaosSummary sum = check::runSvcChaos(opt);
+            if (args.getBool("digest")) {
+                std::cout << "digest chaos=0x" << std::hex
+                          << sum.digest << std::dec << "\n";
+            } else if (!args.getBool("quiet")) {
+                std::cout << "fuzz_diff: " << sum.cases_run
+                          << " chaos cases, " << sum.ops
+                          << " requests (" << sum.totals.shed()
+                          << " shed, " << sum.totals.degraded
+                          << " degraded, " << sum.totals.failed()
+                          << " failed), " << sum.failures.size()
+                          << " failing case(s)\n";
+            }
+            return sum.ok() ? 0 : 1;
+        }
+
         if (args.given("threads")) {
             check::SvcFuzzOptions opt;
             opt.seed = args.getUint("seed");

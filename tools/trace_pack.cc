@@ -205,13 +205,7 @@ cmdSweep(const ArgParser &args, const std::string &path)
 
     if (args.given("json")) {
         std::string out = args.getString("json");
-        std::ofstream f;
-        std::ostream *os = &std::cout;
-        if (out != "-") {
-            f.open(out, std::ios::trunc);
-            fatalIf(!f, "cannot open '" + out + "' for writing");
-            os = &f;
-        }
+        Expected<void> wrote = {};
         if (ok == result.jobs.size()) {
             // Status-free form: byte-identical whether the sweep ran
             // clean or was killed and resumed — what the recovery
@@ -220,10 +214,12 @@ cmdSweep(const ArgParser &args, const std::string &path)
             outs.reserve(result.jobs.size());
             for (const exec::JobResult &job : result.jobs)
                 outs.push_back(job.output);
-            exec::writeSweepJson(*os, specs, outs);
+            wrote = exec::writeSweepJsonFile(out, specs, outs);
         } else {
-            exec::writeSweepJson(*os, specs, result);
+            wrote = exec::writeSweepJsonFile(out, specs, result);
         }
+        if (!wrote.ok())
+            throwError(wrote.takeError().withContext("--json"));
     }
 
     if (result.interrupted)
